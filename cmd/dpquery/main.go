@@ -1,0 +1,135 @@
+// Command dpquery runs ad-hoc differentially-private queries over a
+// packet trace written by cmd/tracegen, playing the role of the data
+// owner's query endpoint in the paper's mediated-analysis setting:
+//
+//	dpquery -trace hotspot.dptr -budget 1.0 \
+//	    -query count -eps 0.1 -dstport 80
+//	dpquery -trace hotspot.dptr -query lencdf -eps 0.1
+//	dpquery -trace hotspot.dptr -query portcdf -eps 0.1
+//	dpquery -trace hotspot.dptr -query hosts -eps 0.1 -dstport 80 -minbytes 1024
+//
+// Queries:
+//
+//	count    noisy packet count (filters: -dstport, -srcport, -minlen)
+//	hosts    noisy count of distinct source hosts sending more than
+//	         -minbytes bytes (the paper's §2.3 example)
+//	lencdf   packet length CDF (CDF2), printed as "edge count" rows
+//	portcdf  destination port CDF (CDF2)
+//
+// The tool prints the remaining privacy budget after each query; a
+// refused query reports the budget error instead of an answer.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"dptrace/internal/analyses/packetdist"
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+	"dptrace/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "packet trace file (required)")
+	budget := flag.Float64("budget", 1.0, "total privacy budget for this session")
+	query := flag.String("query", "count", "count, hosts, lencdf, or portcdf")
+	eps := flag.Float64("eps", 0.1, "privacy cost of this query")
+	dstPort := flag.Int("dstport", -1, "filter: destination port")
+	srcPort := flag.Int("srcport", -1, "filter: source port")
+	minLen := flag.Int("minlen", -1, "filter: minimum packet length")
+	minBytes := flag.Int("minbytes", 1024, "hosts query: per-host byte threshold")
+	seed := flag.Uint64("seed", 0, "noise seed; 0 uses crypto randomness")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "dpquery: -trace is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	packets, err := trace.ReadPackets(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var src noise.Source
+	if *seed == 0 {
+		src = noise.NewCryptoSource()
+	} else {
+		src = noise.NewSeededSource(*seed, *seed+1)
+	}
+	q, root := core.NewQueryable(packets, *budget, src)
+
+	filtered := q.Where(func(p trace.Packet) bool {
+		if *dstPort >= 0 && int(p.DstPort) != *dstPort {
+			return false
+		}
+		if *srcPort >= 0 && int(p.SrcPort) != *srcPort {
+			return false
+		}
+		if *minLen >= 0 && int(p.Len) < *minLen {
+			return false
+		}
+		return true
+	})
+
+	switch *query {
+	case "count":
+		v, err := filtered.NoisyCount(*eps)
+		report(err)
+		fmt.Printf("noisy count: %.1f (noise std %.2f)\n", v, noise.LaplaceStd(*eps))
+	case "hosts":
+		grouped := core.GroupBy(filtered, func(p trace.Packet) trace.IPv4 { return p.SrcIP })
+		heavy := grouped.Where(func(g core.Group[trace.IPv4, trace.Packet]) bool {
+			total := 0
+			for _, p := range g.Items {
+				total += int(p.Len)
+			}
+			return total > *minBytes
+		})
+		v, err := heavy.NoisyCount(*eps)
+		report(err)
+		fmt.Printf("noisy distinct hosts over %d bytes: %.1f (noise std %.2f)\n",
+			*minBytes, v, 2*noise.LaplaceStd(*eps))
+	case "lencdf":
+		buckets := packetdist.LengthBuckets(16)
+		values, err := packetdist.PrivateLengthCDF(filtered, *eps, buckets)
+		report(err)
+		for i, edge := range buckets {
+			fmt.Printf("%d %.1f\n", edge, values[i])
+		}
+	case "portcdf":
+		buckets := packetdist.PortBuckets(1024)
+		values, err := packetdist.PrivatePortCDF(filtered, *eps, buckets)
+		report(err)
+		for i, edge := range buckets {
+			fmt.Printf("%d %.1f\n", edge, values[i])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "dpquery: unknown query %q\n", *query)
+		os.Exit(2)
+	}
+	fmt.Printf("budget: spent %.3f of %.3f\n", root.Spent(), *budget)
+}
+
+func report(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, core.ErrBudgetExceeded) {
+		fmt.Fprintf(os.Stderr, "dpquery: refused: %v\n", err)
+		os.Exit(3)
+	}
+	fatal(err)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dpquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command dpserver hosts packet traces behind the mediated-analysis
+// HTTP API (see internal/dpserver): the data owner's side of the
+// paper's deployment model.
+//
+//	dpserver -listen :8080 \
+//	    -trace hotspot=hotspot.dptr \
+//	    -total 5.0 -per-analyst 1.0
+//
+// Multiple -trace flags host multiple datasets. Noise is drawn from
+// crypto/rand unless -seed is given (for reproducible demos only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"dptrace/internal/dpserver"
+	"dptrace/internal/noise"
+	"dptrace/internal/trace"
+)
+
+// traceFlags collects repeated -trace name=path flags.
+type traceFlags []string
+
+func (t *traceFlags) String() string { return strings.Join(*t, ",") }
+func (t *traceFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var traces traceFlags
+	flag.Var(&traces, "trace", "dataset to host, as name=path (repeatable)")
+	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
+	total := flag.Float64("total", 10.0, "total privacy budget per dataset")
+	perAnalyst := flag.Float64("per-analyst", 1.0, "per-analyst privacy budget")
+	seed := flag.Uint64("seed", 0, "noise seed; 0 uses crypto randomness")
+	flag.Parse()
+
+	if len(traces) == 0 {
+		fmt.Fprintln(os.Stderr, "dpserver: at least one -trace name=path is required")
+		os.Exit(2)
+	}
+
+	var src noise.Source
+	if *seed == 0 {
+		src = noise.NewCryptoSource()
+	} else {
+		src = noise.NewSeededSource(*seed, *seed+1)
+	}
+	srv := dpserver.New(src)
+
+	for _, spec := range traces {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fmt.Fprintf(os.Stderr, "dpserver: bad -trace %q, want name=path\n", spec)
+			os.Exit(2)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		packets, err := trace.ReadPackets(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		srv.AddPacketTrace(name, packets, *total, *perAnalyst)
+		fmt.Printf("hosting %s: %d packets, total budget %.2f, per-analyst %.2f\n",
+			name, len(packets), *total, *perAnalyst)
+	}
+
+	fmt.Printf("listening on %s\n", *listen)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dpserver: %v\n", err)
+	os.Exit(1)
+}

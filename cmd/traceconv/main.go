@@ -1,0 +1,58 @@
+// Command traceconv converts textual tcpdump output into the
+// repository's binary trace format, so real captures can be hosted by
+// dpserver or queried by dpquery:
+//
+//	tcpdump -tt -n -r capture.pcap | traceconv -out capture.dptr
+//	traceconv -in capture.txt -out capture.dptr
+//
+// Unparseable lines are skipped and counted; the count is reported so
+// the operator can judge coverage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dptrace/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "-", "tcpdump text input file, - for stdin")
+	out := flag.String("out", "", "output trace file (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "traceconv: -out is required")
+		os.Exit(2)
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	packets, skipped, err := trace.ParseTcpdump(src)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WritePackets(f, packets); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d packets to %s (%d unparseable lines skipped)\n",
+		len(packets), *out, skipped)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "traceconv: %v\n", err)
+	os.Exit(1)
+}

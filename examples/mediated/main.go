@@ -1,0 +1,79 @@
+// Mediated demonstrates the paper's end-to-end deployment story: a
+// data owner hosts a raw trace behind the mediated-analysis HTTP API,
+// and two analysts query it over the network through the typed client,
+// each against their own privacy budget, until one is refused.
+//
+//	go run ./examples/mediated
+//
+// Everything runs in-process over a loopback listener; swap the
+// httptest server for cmd/dpserver to run it across machines.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+
+	"dptrace/internal/dpclient"
+	"dptrace/internal/dpserver"
+	"dptrace/internal/noise"
+	"dptrace/internal/tracegen"
+)
+
+func main() {
+	// ---- The data owner's side ----
+	cfg := tracegen.DefaultHotspotConfig()
+	packets, _ := tracegen.Hotspot(cfg)
+	owner := dpserver.New(noise.NewCryptoSource())
+	owner.AddPacketTrace("hotspot", packets, 2.0 /* total */, 0.5 /* per analyst */)
+	ts := httptest.NewServer(owner.Handler())
+	defer ts.Close()
+	fmt.Printf("data owner hosting %d packets at %s\n", len(packets), ts.URL)
+
+	// ---- Alice's side: the typed analyst client ----
+	alice := dpclient.New(ts.URL, "alice", nil)
+	port80 := 80
+	webFilter := &dpserver.Filter{DstPort: &port80}
+
+	fmt.Println("alice studies web traffic:")
+	count, err := alice.Count("hotspot", 0.1, webFilter)
+	must(err)
+	fmt.Printf("  port-80 packets ≈ %.0f\n", count)
+
+	hosts, err := alice.Hosts("hotspot", 0.1, webFilter, 1024)
+	must(err)
+	fmt.Printf("  heavy web hosts ≈ %.0f\n", hosts)
+
+	lens, err := alice.LengthCDF("hotspot", 0.1, 16)
+	must(err)
+	fmt.Printf("  length CDF: %d points, noise std %.1f per bucket\n",
+		len(lens.Values), lens.NoiseStd)
+
+	spent, remaining, err := alice.Budget("hotspot")
+	must(err)
+	fmt.Printf("  alice's budget: spent %.2f, %.2f left\n", spent, remaining)
+
+	// The next query exceeds her per-analyst cap: a typed refusal.
+	if _, err := alice.Count("hotspot", 0.2, nil); errors.Is(err, dpclient.ErrBudgetExceeded) {
+		fmt.Printf("  refused: %v\n", err)
+	}
+
+	// ---- Bob has his own allowance within the shared total ----
+	bob := dpclient.New(ts.URL, "bob", nil)
+	rtts, err := bob.RTTCDF("hotspot", 0.1, 10)
+	must(err)
+	fmt.Printf("bob's RTT CDF: %d points (cost 0.2: the join charges twice)\n", len(rtts.Values))
+
+	infos, err := bob.Datasets()
+	must(err)
+	for _, info := range infos {
+		fmt.Printf("dataset %s: total spent %.2f, remaining %.2f\n",
+			info.Name, info.TotalSpent, info.TotalRemaining)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module dptrace
+
+go 1.24

@@ -1,0 +1,131 @@
+package commrules
+
+import (
+	"math"
+	"testing"
+
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+	"dptrace/internal/toolkit"
+	"dptrace/internal/trace"
+	"dptrace/internal/tracegen"
+)
+
+func ruleConfig() Config {
+	return Config{
+		Ports:            []uint16{53, 80, 443, 22, 25},
+		WindowUs:         30_000_000, // 30 s windows
+		EpsilonPerRound:  1.0,
+		SupportThreshold: 20,
+		MinUses:          1,
+	}
+}
+
+func ruleTrace(t *testing.T) []trace.Packet {
+	t.Helper()
+	cfg := tracegen.DefaultHotspotConfig()
+	cfg.Sessions = 1500
+	cfg.Hosts = 300
+	cfg.Servers = 60
+	cfg.Worms = 0
+	cfg.LowDispersionPayloads = 0
+	cfg.BackgroundStrings = 0
+	cfg.BackgroundTotal = 0
+	cfg.StonePairs = 0
+	cfg.DecoyFlows = 0
+	cfg.Duration = 900
+	pkts, _ := tracegen.Hotspot(cfg)
+	return pkts
+}
+
+func findRule(rules []Rule, ant, cons uint16) *Rule {
+	for i := range rules {
+		if rules[i].Antecedent == ant && rules[i].Consequent == cons {
+			return &rules[i]
+		}
+	}
+	return nil
+}
+
+// TestExactRulesFindDNSDependency: the generator emits a DNS lookup
+// before 80% of web sessions, so "80 => 53" should have high
+// confidence while unrelated pairs stay low.
+func TestExactRulesFindDNSDependency(t *testing.T) {
+	pkts := ruleTrace(t)
+	rules := ExactRules(pkts, ruleConfig())
+	webDNS := findRule(rules, 80, 53)
+	if webDNS == nil {
+		t.Fatal("rule 80 => 53 not found")
+	}
+	if webDNS.Confidence < 0.7 {
+		t.Errorf("80 => 53 confidence %v, want high (DNS precedes 80%% of web)", webDNS.Confidence)
+	}
+	// SSH traffic does not trigger mail: low-confidence or absent.
+	if r := findRule(rules, 22, 25); r != nil && r.Confidence > 0.5 {
+		t.Errorf("22 => 25 confidence %v, want low", r.Confidence)
+	}
+}
+
+func TestPrivateRulesMatchExactOrdering(t *testing.T) {
+	pkts := ruleTrace(t)
+	cfg := ruleConfig()
+	exact := ExactRules(pkts, cfg)
+	q, root := core.NewQueryable(pkts, math.Inf(1), noise.NewSeededSource(71, 72))
+	private, err := PrivateRules(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(private) == 0 {
+		t.Fatal("no private rules mined")
+	}
+	// The DNS-before-web dependency must surface privately too.
+	pRule := findRule(private, 80, 53)
+	if pRule == nil {
+		t.Fatalf("private mining missed 80 => 53 (got %v)", private)
+	}
+	eRule := findRule(exact, 80, 53)
+	// Partitioned support biases confidence DOWN, never up (pair
+	// support is split, antecedent support is split less).
+	if pRule.Confidence > eRule.Confidence*1.3+0.1 {
+		t.Errorf("private confidence %v implausibly above exact %v",
+			pRule.Confidence, eRule.Confidence)
+	}
+	if pRule.Confidence < 0.2 {
+		t.Errorf("private confidence %v too diluted to be useful", pRule.Confidence)
+	}
+	// Budget: two mining rounds at 1.0 through a x2 GroupBy.
+	if spent := root.Spent(); math.Abs(spent-4.0) > 1e-9 {
+		t.Errorf("spent %v, want 4.0", spent)
+	}
+}
+
+func TestPrivateRulesBudgetExhaustion(t *testing.T) {
+	pkts := ruleTrace(t)
+	cfg := ruleConfig()
+	q, _ := core.NewQueryable(pkts, 1.0, noise.NewSeededSource(73, 74))
+	if _, err := PrivateRules(q, cfg); err == nil {
+		t.Fatal("mining within budget 1.0 should fail (needs 4.0)")
+	}
+}
+
+func TestRulesFromItemsetsConfidenceClamp(t *testing.T) {
+	// Noisy supports can make pair > antecedent; confidence clamps at 1.
+	ports := []uint16{53, 80}
+	mined := []toolkit.ItemsetCount{
+		{Items: []int{0}, Count: 50},
+		{Items: []int{1}, Count: 100},
+		{Items: []int{0, 1}, Count: 60}, // above antecedent 0's support
+	}
+	rules := rulesFromItemsets(mined, ports)
+	r := findRule(rules, 53, 80)
+	if r == nil {
+		t.Fatal("rule 53 => 80 missing")
+	}
+	if r.Confidence != 1 {
+		t.Errorf("confidence %v, want clamped to 1", r.Confidence)
+	}
+	r = findRule(rules, 80, 53)
+	if r == nil || math.Abs(r.Confidence-0.6) > 1e-9 {
+		t.Errorf("80 => 53 confidence = %+v, want 0.6", r)
+	}
+}

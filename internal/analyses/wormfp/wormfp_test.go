@@ -1,0 +1,170 @@
+package wormfp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+	"dptrace/internal/trace"
+	"dptrace/internal/tracegen"
+)
+
+func wormTrace(t *testing.T) ([]trace.Packet, *tracegen.HotspotTruth, tracegen.HotspotConfig) {
+	t.Helper()
+	cfg := tracegen.DefaultHotspotConfig()
+	cfg.Sessions = 300
+	cfg.Hosts = 80
+	cfg.Servers = 20
+	cfg.Worms = 6
+	cfg.WormDispersion = 25
+	cfg.LowDispersionPayloads = 3
+	cfg.BackgroundStrings = 20
+	cfg.BackgroundTotal = 4000
+	cfg.StonePairs = 0
+	cfg.DecoyFlows = 0
+	cfg.Duration = 300
+	pkts, truth := tracegen.Hotspot(cfg)
+	return pkts, truth, cfg
+}
+
+func TestExactFindsAllWorms(t *testing.T) {
+	pkts, truth, cfg := wormTrace(t)
+	got := Exact(pkts, 8, cfg.WormDispersion-1, cfg.WormDispersion-1)
+	wormPrefixes := make(map[string]bool)
+	for _, pt := range truth.Payloads {
+		if pt.IsWorm {
+			wormPrefixes[pt.Payload[:8]] = true
+		}
+	}
+	found := 0
+	for _, fp := range got {
+		if wormPrefixes[fp.Payload] {
+			found++
+		}
+	}
+	if found != cfg.Worms {
+		t.Fatalf("exact analysis found %d/%d worms: %+v", found, cfg.Worms, got)
+	}
+	// Low-dispersion decoys must NOT appear.
+	for _, fp := range got {
+		if strings.HasPrefix(fp.Payload, "BULK") {
+			t.Errorf("low-dispersion payload %q flagged", fp.Payload)
+		}
+	}
+}
+
+func TestPrivateRecoversWormsAtWeakPrivacy(t *testing.T) {
+	pkts, _, cfg := wormTrace(t)
+	exact := Exact(pkts, 8, cfg.WormDispersion-1, cfg.WormDispersion-1)
+	q, _ := core.NewQueryable(pkts, math.Inf(1), noise.NewSeededSource(5, 6))
+	got, err := Run(q, Config{
+		SrcThreshold:       float64(cfg.WormDispersion - 1),
+		DstThreshold:       float64(cfg.WormDispersion - 1),
+		PayloadLength:      8,
+		EpsilonPerRound:    10, // weak privacy: should recover everything
+		FrequencyThreshold: 30,
+		EpsilonEval:        10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspicious := make(map[string]bool)
+	for _, fp := range got {
+		if fp.Suspicious {
+			suspicious[string(fp.Payload)] = true
+		}
+	}
+	missed := 0
+	for _, e := range exact {
+		if !suspicious[e.Payload] {
+			missed++
+		}
+	}
+	if missed > 0 {
+		t.Errorf("weak privacy missed %d/%d true fingerprints", missed, len(exact))
+	}
+}
+
+func TestPrivateMissesMoreAtStrongPrivacy(t *testing.T) {
+	pkts, _, cfg := wormTrace(t)
+	exact := Exact(pkts, 8, cfg.WormDispersion-1, cfg.WormDispersion-1)
+	recovered := func(eps float64, seed uint64) int {
+		q, _ := core.NewQueryable(pkts, math.Inf(1), noise.NewSeededSource(seed, seed+1))
+		got, err := Run(q, Config{
+			SrcThreshold:       float64(cfg.WormDispersion - 1),
+			DstThreshold:       float64(cfg.WormDispersion - 1),
+			PayloadLength:      8,
+			EpsilonPerRound:    eps,
+			FrequencyThreshold: 60,
+			EpsilonEval:        eps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactSet := make(map[string]bool)
+		for _, e := range exact {
+			exactSet[e.Payload] = true
+		}
+		n := 0
+		for _, fp := range got {
+			if fp.Suspicious && exactSet[string(fp.Payload)] {
+				n++
+			}
+		}
+		return n
+	}
+	// Average over seeds: strong privacy recovers no more than weak.
+	var strong, weak int
+	for seed := uint64(0); seed < 3; seed++ {
+		strong += recovered(0.05, 10+seed)
+		weak += recovered(10, 20+seed)
+	}
+	if strong > weak {
+		t.Errorf("recovered %d at eps=0.05 but %d at eps=10", strong, weak)
+	}
+	if weak < 3*len(exact)*8/10 {
+		t.Errorf("weak privacy recovered only %d/%d", weak, 3*len(exact))
+	}
+}
+
+func TestSuspiciousGroupCount(t *testing.T) {
+	pkts, _, cfg := wormTrace(t)
+	exact := Exact(pkts, 8, cfg.WormDispersion-1, cfg.WormDispersion-1)
+	// The noisy group count uses full payloads, not prefixes; worm
+	// payloads are distinct at full length too.
+	q, root := core.NewQueryable(pkts, math.Inf(1), noise.NewSeededSource(7, 8))
+	got, err := SuspiciousGroupCount(q, 1.0, cfg.WormDispersion-1, cfg.WormDispersion-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-float64(len(exact))) > 15 {
+		t.Errorf("noisy group count %v, want ~%d", got, len(exact))
+	}
+	// GroupBy doubles the charge.
+	if spent := root.Spent(); math.Abs(spent-2.0) > 1e-9 {
+		t.Errorf("spent %v, want 2.0", spent)
+	}
+}
+
+func TestRunEmptyCandidates(t *testing.T) {
+	pkts, _, _ := wormTrace(t)
+	q, _ := core.NewQueryable(pkts, math.Inf(1), noise.NewSeededSource(9, 10))
+	got, err := Run(q, Config{
+		SrcThreshold: 10, DstThreshold: 10, PayloadLength: 8,
+		EpsilonPerRound: 1.0, FrequencyThreshold: 1e9, EpsilonEval: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("absurd threshold yielded %d candidates", len(got))
+	}
+}
+
+func TestExactEmptyTrace(t *testing.T) {
+	if got := Exact(nil, 8, 5, 5); len(got) != 0 {
+		t.Fatalf("empty trace yielded %v", got)
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootAgentEnforcesBudget(t *testing.T) {
+	a := NewRootAgent(1.0)
+	if err := a.Apply(0.6); err != nil {
+		t.Fatalf("first apply: %v", err)
+	}
+	if err := a.Apply(0.5); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget apply: got %v, want ErrBudgetExceeded", err)
+	}
+	if err := a.Apply(0.4); err != nil {
+		t.Fatalf("exact-fit apply: %v", err)
+	}
+	if got := a.Spent(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("spent = %v, want 1.0", got)
+	}
+	if got := a.Remaining(); math.Abs(got) > 1e-9 {
+		t.Fatalf("remaining = %v, want 0", got)
+	}
+}
+
+func TestRootAgentRejectsInvalidEpsilon(t *testing.T) {
+	a := NewRootAgent(10)
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := a.Apply(eps); !errors.Is(err, ErrInvalidEpsilon) {
+			t.Errorf("Apply(%v): got %v, want ErrInvalidEpsilon", eps, err)
+		}
+	}
+	if a.Spent() != 0 {
+		t.Errorf("invalid applies consumed budget: %v", a.Spent())
+	}
+}
+
+func TestRootAgentFailedApplyConsumesNothing(t *testing.T) {
+	a := NewRootAgent(1.0)
+	_ = a.Apply(0.9)
+	before := a.Spent()
+	_ = a.Apply(0.2) // refused
+	if a.Spent() != before {
+		t.Errorf("failed apply changed spent: %v -> %v", before, a.Spent())
+	}
+}
+
+func TestRootAgentRollback(t *testing.T) {
+	a := NewRootAgent(1.0)
+	_ = a.Apply(0.7)
+	a.Rollback(0.7)
+	if a.Spent() != 0 {
+		t.Fatalf("spent after rollback = %v", a.Spent())
+	}
+	if err := a.Apply(1.0); err != nil {
+		t.Fatalf("full budget should be available again: %v", err)
+	}
+}
+
+func TestRootAgentUnlimited(t *testing.T) {
+	a := NewRootAgent(math.Inf(1))
+	for i := 0; i < 1000; i++ {
+		if err := a.Apply(100); err != nil {
+			t.Fatalf("unlimited agent refused: %v", err)
+		}
+	}
+}
+
+func TestScaleAgentMultiplies(t *testing.T) {
+	root := NewRootAgent(10)
+	s := newScaleAgent(root, 2)
+	if err := s.Apply(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Spent(); got != 6 {
+		t.Fatalf("spent = %v, want 6 (2x scaling)", got)
+	}
+	s.Rollback(3)
+	if got := root.Spent(); got != 0 {
+		t.Fatalf("spent after rollback = %v, want 0", got)
+	}
+}
+
+func TestScaleAgentFactorOneIsIdentity(t *testing.T) {
+	root := NewRootAgent(10)
+	if got := newScaleAgent(root, 1); got != Agent(root) {
+		t.Error("factor-1 scale should return the parent unchanged")
+	}
+}
+
+func TestScaleAgentNested(t *testing.T) {
+	root := NewRootAgent(100)
+	s := newScaleAgent(newScaleAgent(root, 2), 2) // two GroupBys
+	if err := s.Apply(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Spent(); got != 4 {
+		t.Fatalf("nested scale spent = %v, want 4", got)
+	}
+}
+
+func TestDualAgentChargesBoth(t *testing.T) {
+	a, b := NewRootAgent(10), NewRootAgent(10)
+	d := newDualAgent(a, b)
+	if err := d.Apply(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Spent() != 2 || b.Spent() != 2 {
+		t.Fatalf("spent = %v, %v; want 2, 2", a.Spent(), b.Spent())
+	}
+}
+
+func TestDualAgentAtomicOnRefusal(t *testing.T) {
+	a, b := NewRootAgent(10), NewRootAgent(1)
+	d := newDualAgent(a, b)
+	if err := d.Apply(5); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	if a.Spent() != 0 {
+		t.Fatalf("left agent charged %v despite right refusal", a.Spent())
+	}
+}
+
+func TestDualAgentSelfChargesTwice(t *testing.T) {
+	root := NewRootAgent(10)
+	d := newDualAgent(root, root)
+	if err := d.Apply(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Spent(); got != 4 {
+		t.Fatalf("self-dual spent = %v, want 4", got)
+	}
+}
+
+func TestPartitionAgentMaxSemantics(t *testing.T) {
+	root := NewRootAgent(10)
+	p := newPartitionAgent(root, 3)
+	m0, m1, m2 := p.member(0), p.member(1), p.member(2)
+
+	// Spending on one part charges the root.
+	if err := m0.Apply(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Spent(); got != 1 {
+		t.Fatalf("after part0 spends 1: root spent %v, want 1", got)
+	}
+	// Spending the same amount on siblings is free: max unchanged.
+	if err := m1.Apply(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Apply(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Spent(); got != 1 {
+		t.Fatalf("after all parts spend 1: root spent %v, want 1 (max, not sum)", got)
+	}
+	// Raising one part's total raises the root by the delta only.
+	if err := m1.Apply(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Spent(); got != 3 {
+		t.Fatalf("after part1 total 3: root spent %v, want 3", got)
+	}
+}
+
+func TestPartitionAgentRefusalPropagates(t *testing.T) {
+	root := NewRootAgent(2)
+	p := newPartitionAgent(root, 2)
+	if err := p.member(0).Apply(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.member(1).Apply(3); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	// The refused part's spend must not be recorded.
+	if err := p.member(1).Apply(2); err != nil {
+		t.Fatalf("retry within budget refused: %v", err)
+	}
+	if got := root.Spent(); got != 2 {
+		t.Fatalf("root spent %v, want 2", got)
+	}
+}
+
+func TestPartitionAgentRollbackRecomputesMax(t *testing.T) {
+	root := NewRootAgent(10)
+	p := newPartitionAgent(root, 2)
+	m0, m1 := p.member(0), p.member(1)
+	_ = m0.Apply(1)
+	_ = m1.Apply(4)
+	if got := root.Spent(); got != 4 {
+		t.Fatalf("root spent %v, want 4", got)
+	}
+	m1.Rollback(4)
+	if got := root.Spent(); got != 1 {
+		t.Fatalf("root spent after rollback %v, want 1 (part0's max)", got)
+	}
+}
+
+func TestPartitionAgentConcurrent(t *testing.T) {
+	root := NewRootAgent(math.Inf(1))
+	const parts, spends = 8, 200
+	p := newPartitionAgent(root, parts)
+	var wg sync.WaitGroup
+	for i := 0; i < parts; i++ {
+		wg.Add(1)
+		go func(m Agent) {
+			defer wg.Done()
+			for j := 0; j < spends; j++ {
+				if err := m.Apply(0.01); err != nil {
+					t.Errorf("concurrent apply: %v", err)
+					return
+				}
+			}
+		}(p.member(i))
+	}
+	wg.Wait()
+	want := 0.01 * spends
+	if got := root.Spent(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("root spent %v, want %v (max across equal parts)", got, want)
+	}
+}
+
+// Property: for any sequence of per-part spends, the root is charged
+// exactly the maximum of the per-part cumulative totals.
+func TestPartitionAgentMaxProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		const parts = 4
+		root := NewRootAgent(math.Inf(1))
+		p := newPartitionAgent(root, parts)
+		totals := make([]float64, parts)
+		for i, r := range raw {
+			part := i % parts
+			eps := float64(r%100+1) / 100
+			if err := p.member(part).Apply(eps); err != nil {
+				return false
+			}
+			totals[part] += eps
+		}
+		max := 0.0
+		for _, v := range totals {
+			if v > max {
+				max = v
+			}
+		}
+		return math.Abs(root.Spent()-max) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRootAgentPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative budget did not panic")
+		}
+	}()
+	NewRootAgent(-1)
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"dptrace/internal/noise"
+)
+
+// clamp restricts v to [-bound, bound].
+func clamp(v, bound float64) float64 {
+	if v > bound {
+		return bound
+	}
+	if v < -bound {
+		return -bound
+	}
+	return v
+}
+
+// NoisyCount returns the number of records perturbed with Laplace noise
+// of scale 1/ε (standard deviation √2/ε, Table 1), charging ε —
+// amplified by any accumulated sensitivity scaling — to the budget.
+func (q *Queryable[T]) NoisyCount(epsilon float64) (float64, error) {
+	if err := validEpsilon(epsilon); err != nil {
+		return 0, err
+	}
+	if err := q.agent.Apply(epsilon); err != nil {
+		return 0, err
+	}
+	return float64(len(q.records)) + noise.LaplaceForEpsilon(q.src, 1, epsilon), nil
+}
+
+// NoisyCountInt is NoisyCount with the geometric (discrete Laplace)
+// mechanism, for analyses that need an integral count. The noise
+// magnitude is essentially that of NoisyCount.
+func (q *Queryable[T]) NoisyCountInt(epsilon float64) (int64, error) {
+	if err := validEpsilon(epsilon); err != nil {
+		return 0, err
+	}
+	if err := q.agent.Apply(epsilon); err != nil {
+		return 0, err
+	}
+	return int64(len(q.records)) + noise.Geometric(q.src, 1, epsilon), nil
+}
+
+// NoisySum sums f over the records after clamping each value to
+// [-1, 1], then adds Laplace noise of scale 1/ε (std √2/ε, Table 1).
+// The clamping is what bounds the sensitivity: without it one record
+// could move the sum arbitrarily and no finite noise would suffice.
+func NoisySum[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float64, error) {
+	return NoisySumScaled(q, epsilon, 1, f)
+}
+
+// NoisySumScaled is NoisySum with values clamped to [-bound, bound] and
+// noise scaled to match: Laplace of scale bound/ε. It still charges ε;
+// the wider clamp trades more noise for less truncation bias, a choice
+// the analyst makes from public knowledge of the value range.
+func NoisySumScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (float64, error) {
+	if err := validEpsilon(epsilon); err != nil {
+		return 0, err
+	}
+	if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return 0, ErrInvalidEpsilon
+	}
+	if err := q.agent.Apply(epsilon); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, r := range q.records {
+		sum += clamp(f(r), bound)
+	}
+	return sum + noise.LaplaceForEpsilon(q.src, bound, epsilon), nil
+}
+
+// NoisyAverage returns the mean of f over the records, clamped to
+// [-1, 1], with noise of standard deviation ≈ √8/(εn) (Table 1): the
+// mean of n clamped values moves by at most 2/n when one record
+// changes, so the Laplace scale is 2/(εn). An empty dataset yields 0
+// plus noise at the n=1 scale.
+func NoisyAverage[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float64, error) {
+	if err := validEpsilon(epsilon); err != nil {
+		return 0, err
+	}
+	if err := q.agent.Apply(epsilon); err != nil {
+		return 0, err
+	}
+	n := len(q.records)
+	if n == 0 {
+		return noise.LaplaceForEpsilon(q.src, 2, epsilon), nil
+	}
+	sum := 0.0
+	for _, r := range q.records {
+		sum += clamp(f(r), 1)
+	}
+	return sum/float64(n) + noise.LaplaceForEpsilon(q.src, 2/float64(n), epsilon), nil
+}
+
+// NoisyAverageScaled is NoisyAverage with values clamped to
+// [-bound, bound]: noise scale 2·bound/(εn), so the noise standard
+// deviation is bound·√8/(εn). The analyst picks the bound from public
+// knowledge of the value range (e.g. hop counts ≤ 32); it does not
+// depend on the data.
+func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (float64, error) {
+	if err := validEpsilon(epsilon); err != nil {
+		return 0, err
+	}
+	if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return 0, ErrInvalidEpsilon
+	}
+	if err := q.agent.Apply(epsilon); err != nil {
+		return 0, err
+	}
+	n := len(q.records)
+	if n == 0 {
+		return noise.LaplaceForEpsilon(q.src, 2*bound, epsilon), nil
+	}
+	sum := 0.0
+	for _, r := range q.records {
+		sum += clamp(f(r), bound)
+	}
+	return sum/float64(n) + noise.LaplaceForEpsilon(q.src, 2*bound/float64(n), epsilon), nil
+}
+
+// NoisyMedian selects a record value via the exponential mechanism with
+// the rank-balance score -|#below - #above|: the returned value
+// partitions the input into two sets whose sizes differ by roughly
+// √2/ε (Table 1). The candidate set is the distinct values present in
+// the data; the mechanism's randomization is what protects each
+// record's presence.
+func NoisyMedian[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float64, error) {
+	if err := validEpsilon(epsilon); err != nil {
+		return 0, err
+	}
+	if err := q.agent.Apply(epsilon); err != nil {
+		return 0, err
+	}
+	if len(q.records) == 0 {
+		return 0, nil
+	}
+	values := make([]float64, len(q.records))
+	for i, r := range q.records {
+		values[i] = f(r)
+	}
+	sort.Float64s(values)
+	// Distinct candidates with their rank ranges.
+	type cand struct {
+		value float64
+		below int // strictly below
+		above int // strictly above
+	}
+	cands := make([]cand, 0, len(values))
+	i := 0
+	for i < len(values) {
+		j := i
+		for j < len(values) && values[j] == values[i] {
+			j++
+		}
+		cands = append(cands, cand{value: values[i], below: i, above: len(values) - j})
+		i = j
+	}
+	scores := make([]float64, len(cands))
+	for i, c := range cands {
+		scores[i] = -math.Abs(float64(c.below - c.above))
+	}
+	// Moving one record changes each |below-above| by at most 1.
+	idx := noise.Exponential(q.src, scores, 1, epsilon)
+	return cands[idx].value, nil
+}
+
+// NoisyOrderStatistic generalizes NoisyMedian to an arbitrary rank
+// fraction in [0, 1] (0.5 recovers the median). Useful for the noisy
+// quantiles that several trace analyses report.
+func NoisyOrderStatistic[T any](q *Queryable[T], epsilon, fraction float64, f func(T) float64) (float64, error) {
+	if err := validEpsilon(epsilon); err != nil {
+		return 0, err
+	}
+	if fraction < 0 || fraction > 1 || math.IsNaN(fraction) {
+		return 0, ErrInvalidEpsilon
+	}
+	if err := q.agent.Apply(epsilon); err != nil {
+		return 0, err
+	}
+	if len(q.records) == 0 {
+		return 0, nil
+	}
+	values := make([]float64, len(q.records))
+	for i, r := range q.records {
+		values[i] = f(r)
+	}
+	sort.Float64s(values)
+	target := fraction * float64(len(values))
+	type cand struct {
+		value float64
+		rank  float64
+	}
+	cands := make([]cand, 0, len(values))
+	i := 0
+	for i < len(values) {
+		j := i
+		for j < len(values) && values[j] == values[i] {
+			j++
+		}
+		cands = append(cands, cand{value: values[i], rank: float64(i+j) / 2})
+		i = j
+	}
+	scores := make([]float64, len(cands))
+	for i, c := range cands {
+		scores[i] = -math.Abs(c.rank - target)
+	}
+	idx := noise.Exponential(q.src, scores, 1, epsilon)
+	return cands[idx].value, nil
+}
+
+func validEpsilon(epsilon float64) error {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return ErrInvalidEpsilon
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dptrace/internal/noise"
+)
+
+// repeatedCounts runs NoisyCount n times on fresh unlimited-budget
+// queryables over the same records and returns the noise samples.
+func repeatedCounts(t *testing.T, records []int, epsilon float64, n int) []float64 {
+	t.Helper()
+	src := noise.NewSeededSource(7, 11)
+	q, _ := NewQueryable(records, math.Inf(1), src)
+	out := make([]float64, n)
+	for i := range out {
+		v, err := q.NoisyCount(epsilon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = v - float64(len(records))
+	}
+	return out
+}
+
+func stddev(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	return math.Sqrt(sumSq/n - mean*mean)
+}
+
+// TestNoisyCountStdMatchesTable1 verifies the paper's Table 1: Count's
+// added noise has std sqrt(2)/epsilon.
+func TestNoisyCountStdMatchesTable1(t *testing.T) {
+	for _, eps := range []float64{0.1, 1.0, 10.0} {
+		samples := repeatedCounts(t, ints(1000), eps, 30000)
+		got := stddev(samples)
+		want := math.Sqrt2 / eps
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("eps %v: noise std %v, want %v", eps, got, want)
+		}
+	}
+}
+
+func TestNoisyCountUnbiased(t *testing.T) {
+	samples := repeatedCounts(t, ints(500), 1.0, 30000)
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	if mean := sum / float64(len(samples)); math.Abs(mean) > 0.05 {
+		t.Errorf("noise mean %v, want ~0", mean)
+	}
+}
+
+func TestNoisyCountIntIsIntegral(t *testing.T) {
+	q, _ := newTestQueryable(ints(100), math.Inf(1))
+	for i := 0; i < 100; i++ {
+		v, err := q.NoisyCountInt(1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = v // type int64 guarantees integrality; check plausibility
+		if v < 50 || v > 150 {
+			t.Errorf("count %d wildly off 100 at eps=1", v)
+		}
+	}
+}
+
+func TestNoisySumClampsToUnitRange(t *testing.T) {
+	// Records worth +10 each must be clamped to +1 each.
+	recs := make([]float64, 100)
+	for i := range recs {
+		recs[i] = 10
+	}
+	q, _ := NewQueryable(recs, math.Inf(1), noise.NewSeededSource(3, 4))
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v, err := NoisySum(q, 10.0, func(x float64) float64 { return x })
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 1 {
+		t.Errorf("clamped sum mean %v, want ~100 (clamp to 1 each)", mean)
+	}
+}
+
+func TestNoisySumScaledWiderBound(t *testing.T) {
+	recs := []float64{5, -3, 7, 2}
+	q, _ := NewQueryable(recs, math.Inf(1), noise.NewSeededSource(5, 6))
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v, err := NoisySumScaled(q, 10.0, 10, func(x float64) float64 { return x })
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-11) > 0.5 {
+		t.Errorf("scaled sum mean %v, want ~11", mean)
+	}
+}
+
+func TestNoisySumScaledNoiseGrowsWithBound(t *testing.T) {
+	q, _ := NewQueryable(make([]float64, 10), math.Inf(1), noise.NewSeededSource(9, 9))
+	noiseStd := func(bound float64) float64 {
+		samples := make([]float64, 20000)
+		for i := range samples {
+			v, err := NoisySumScaled(q, 1.0, bound, func(float64) float64 { return 0 })
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples[i] = v
+		}
+		return stddev(samples)
+	}
+	s1, s10 := noiseStd(1), noiseStd(10)
+	if ratio := s10 / s1; ratio < 8 || ratio > 12 {
+		t.Errorf("noise std ratio %v for 10x bound, want ~10", ratio)
+	}
+}
+
+// TestNoisyAverageStdMatchesTable1: std ~ sqrt(8)/(eps*n).
+func TestNoisyAverageStdMatchesTable1(t *testing.T) {
+	const n = 200
+	recs := make([]float64, n)
+	for i := range recs {
+		recs[i] = 0.5
+	}
+	q, _ := NewQueryable(recs, math.Inf(1), noise.NewSeededSource(13, 17))
+	eps := 1.0
+	samples := make([]float64, 30000)
+	for i := range samples {
+		v, err := NoisyAverage(q, eps, func(x float64) float64 { return x })
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples[i] = v - 0.5
+	}
+	got := stddev(samples)
+	want := math.Sqrt(8) / (eps * n)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("average noise std %v, want %v", got, want)
+	}
+}
+
+func TestNoisyAverageEmptyDataset(t *testing.T) {
+	q, _ := NewQueryable([]float64{}, math.Inf(1), noise.NewSeededSource(1, 1))
+	v, err := NoisyAverage(q, 1.0, func(x float64) float64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("empty average not finite: %v", v)
+	}
+}
+
+// TestNoisyMedianPartitionBalance: Table 1 says the returned value
+// partitions the input into sets whose sizes differ by roughly
+// sqrt(2)/eps.
+func TestNoisyMedianPartitionBalance(t *testing.T) {
+	const n = 10001
+	recs := make([]float64, n)
+	for i := range recs {
+		recs[i] = float64(i)
+	}
+	q, _ := NewQueryable(recs, math.Inf(1), noise.NewSeededSource(19, 23))
+	eps := 1.0
+	const trials = 500
+	var totalImbalance float64
+	for i := 0; i < trials; i++ {
+		v, err := NoisyMedian(q, eps, func(x float64) float64 { return x })
+		if err != nil {
+			t.Fatal(err)
+		}
+		below := v // values are 0..n-1, so rank == value
+		above := float64(n-1) - v
+		totalImbalance += math.Abs(below - above)
+	}
+	avg := totalImbalance / trials
+	// Imbalance should be O(1/eps): tiny relative to n.
+	if avg > 50 {
+		t.Errorf("average partition imbalance %v, want O(sqrt(2)/eps) ~ small", avg)
+	}
+}
+
+func TestNoisyMedianEmpty(t *testing.T) {
+	q, _ := NewQueryable([]float64{}, math.Inf(1), noise.NewSeededSource(1, 2))
+	v, err := NoisyMedian(q, 1.0, func(x float64) float64 { return x })
+	if err != nil || v != 0 {
+		t.Errorf("empty median = %v, %v; want 0, nil", v, err)
+	}
+}
+
+func TestNoisyOrderStatisticQuartiles(t *testing.T) {
+	const n = 4000
+	recs := make([]float64, n)
+	for i := range recs {
+		recs[i] = float64(i)
+	}
+	q, _ := NewQueryable(recs, math.Inf(1), noise.NewSeededSource(29, 31))
+	for _, frac := range []float64{0.25, 0.5, 0.9} {
+		v, err := NoisyOrderStatistic(q, 1.0, frac, func(x float64) float64 { return x })
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := frac * n
+		if math.Abs(v-want) > 60 {
+			t.Errorf("order stat %v: got %v, want ~%v", frac, v, want)
+		}
+	}
+}
+
+func TestNoisyOrderStatisticRejectsBadFraction(t *testing.T) {
+	q, _ := newTestQueryable(ints(10), 1)
+	if _, err := NoisyOrderStatistic(q, 1.0, 1.5, func(x int) float64 { return float64(x) }); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestAggregationsRejectInvalidEpsilon(t *testing.T) {
+	q, root := newTestQueryable(ints(10), 1)
+	for _, eps := range []float64{0, -0.5, math.NaN(), math.Inf(1)} {
+		if _, err := q.NoisyCount(eps); err == nil {
+			t.Errorf("NoisyCount(%v) accepted", eps)
+		}
+		if _, err := NoisySum(q, eps, func(x int) float64 { return 1 }); err == nil {
+			t.Errorf("NoisySum(%v) accepted", eps)
+		}
+		if _, err := NoisyAverage(q, eps, func(x int) float64 { return 1 }); err == nil {
+			t.Errorf("NoisyAverage(%v) accepted", eps)
+		}
+		if _, err := NoisyMedian(q, eps, func(x int) float64 { return 1 }); err == nil {
+			t.Errorf("NoisyMedian(%v) accepted", eps)
+		}
+	}
+	if root.Spent() != 0 {
+		t.Errorf("invalid epsilons consumed budget: %v", root.Spent())
+	}
+}
+
+// TestPaperExampleDistinctHosts reproduces the §2.3 example shape:
+// filter to port 80, group by source, keep groups with >1024 summed
+// bytes, count with eps=0.1. Expected error ±10 means a correct answer
+// of 120 should come back within a few tens.
+func TestPaperExampleDistinctHosts(t *testing.T) {
+	type pkt struct {
+		srcIP   int
+		dstPort int
+		len     int
+	}
+	var packets []pkt
+	// 120 hosts that send >1024 bytes to port 80.
+	for h := 0; h < 120; h++ {
+		for p := 0; p < 3; p++ {
+			packets = append(packets, pkt{srcIP: h, dstPort: 80, len: 500})
+		}
+	}
+	// 80 hosts below the threshold, plus non-port-80 chatter.
+	for h := 200; h < 280; h++ {
+		packets = append(packets, pkt{srcIP: h, dstPort: 80, len: 100})
+		packets = append(packets, pkt{srcIP: h, dstPort: 443, len: 5000})
+	}
+	src := noise.NewSeededSource(2010, 8)
+	q, root := NewQueryable(packets, 1.0, src)
+	grouped := GroupBy(q.Where(func(p pkt) bool { return p.dstPort == 80 }),
+		func(p pkt) int { return p.srcIP })
+	heavy := grouped.Where(func(g Group[int, pkt]) bool {
+		total := 0
+		for _, p := range g.Items {
+			total += p.len
+		}
+		return total > 1024
+	})
+	got, err := heavy.NoisyCount(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise std for the grouped count is 2*sqrt(2)/0.1 ~ 28.
+	if math.Abs(got-120) > 120 {
+		t.Errorf("noisy distinct-host count %v, want ~120", got)
+	}
+	// GroupBy doubles: 0.1 spends 0.2.
+	if spent := root.Spent(); math.Abs(spent-0.2) > 1e-12 {
+		t.Errorf("spent %v, want 0.2", spent)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dptrace/internal/noise"
+)
+
+// Micro-benchmarks for the engine's operations, sized at 1M records to
+// expose per-record costs and allocation behaviour (-benchmem).
+
+const benchRecords = 1 << 20
+
+func benchQueryable(b *testing.B) *Queryable[int] {
+	b.Helper()
+	records := make([]int, benchRecords)
+	for i := range records {
+		records[i] = i
+	}
+	q, _ := NewQueryable(records, math.Inf(1), noise.NewSeededSource(1, 2))
+	return q
+}
+
+func BenchmarkWhere1M(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Where(func(x int) bool { return x%2 == 0 })
+	}
+	b.ReportMetric(float64(benchRecords), "records")
+}
+
+func BenchmarkSelect1M(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Select(q, func(x int) int { return x * 2 })
+	}
+}
+
+func BenchmarkGroupBy1M(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GroupBy(q, func(x int) int { return x % 1024 })
+	}
+}
+
+func BenchmarkDistinct1M(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Distinct(q, func(x int) int { return x % 4096 })
+	}
+}
+
+func BenchmarkPartition1M(b *testing.B) {
+	q := benchQueryable(b)
+	keys := make([]int, 256)
+	for i := range keys {
+		keys[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Partition(q, keys, func(x int) int { return x % 256 })
+	}
+}
+
+func BenchmarkJoin1M(b *testing.B) {
+	q := benchQueryable(b)
+	other := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Join(q, other,
+			func(x int) int { return x }, func(x int) int { return x },
+			func(a, c int) int { return a + c })
+	}
+}
+
+func BenchmarkNoisyCount(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.NoisyCount(1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoisySum1M(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NoisySum(q, 1.0, func(x int) float64 { return float64(x % 2) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoisyMedian100k(b *testing.B) {
+	records := make([]float64, 100_000)
+	for i := range records {
+		records[i] = float64(i)
+	}
+	q, _ := NewQueryable(records, math.Inf(1), noise.NewSeededSource(3, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NoisyMedian(q, 1.0, func(x float64) float64 { return x }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBudgetAgentApply(b *testing.B) {
+	root := NewRootAgent(math.Inf(1))
+	agent := newScaleAgent(root, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := agent.Apply(0.001); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionAgentApply(b *testing.B) {
+	root := NewRootAgent(math.Inf(1))
+	p := newPartitionAgent(root, 64)
+	members := make([]Agent, 64)
+	for i := range members {
+		members[i] = p.member(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := members[i%64].Apply(0.001); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

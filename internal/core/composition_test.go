@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dptrace/internal/noise"
+)
+
+// TestSequentialCompositionProperty drives random sequences of
+// aggregations through random transformation chains and checks that
+// the root's cumulative charge equals the analytically expected total
+// — the additive sequential composition that §7's budget policies
+// rely on.
+func TestSequentialCompositionProperty(t *testing.T) {
+	type step struct {
+		// op selects the pipeline: 0 direct, 1 grouped (x2),
+		// 2 double-grouped (x4), 3 partitioned (max), 4 self-join (x2).
+		Op      uint8
+		EpsTick uint8 // epsilon = (EpsTick%10+1)/10
+	}
+	f := func(steps []step) bool {
+		records := ints(64)
+		q, root := NewQueryable(records, math.Inf(1), noise.NewSeededSource(1, 2))
+		expected := 0.0
+		for _, s := range steps {
+			eps := float64(s.EpsTick%10+1) / 10
+			switch s.Op % 5 {
+			case 0:
+				if _, err := q.NoisyCount(eps); err != nil {
+					return false
+				}
+				expected += eps
+			case 1:
+				g := GroupBy(q, func(x int) int { return x % 4 })
+				if _, err := g.NoisyCount(eps); err != nil {
+					return false
+				}
+				expected += 2 * eps
+			case 2:
+				g := GroupBy(GroupBy(q, func(x int) int { return x % 8 }),
+					func(g Group[int, int]) int { return g.Key % 2 })
+				if _, err := g.NoisyCount(eps); err != nil {
+					return false
+				}
+				expected += 4 * eps
+			case 3:
+				parts := Partition(q, []int{0, 1, 2}, func(x int) int { return x % 3 })
+				for k := 0; k < 3; k++ {
+					if _, err := parts[k].NoisyCount(eps); err != nil {
+						return false
+					}
+				}
+				expected += eps // max across equal parts
+			case 4:
+				j := Join(q, q,
+					func(x int) int { return x }, func(x int) int { return x },
+					func(a, b int) int { return a })
+				if _, err := j.NoisyCount(eps); err != nil {
+					return false
+				}
+				expected += 2 * eps // self-join charges both sides
+			}
+		}
+		return math.Abs(root.Spent()-expected) < 1e-9*float64(len(steps)+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompositionAcrossDerivedViews: spending through any number of
+// cost-free transformations (Where/Select/Distinct) must charge
+// exactly like spending on the source.
+func TestCompositionAcrossDerivedViews(t *testing.T) {
+	q, root := NewQueryable(ints(100), math.Inf(1), noise.NewSeededSource(3, 4))
+	view := Distinct(
+		Select(
+			q.Where(func(x int) bool { return x%2 == 0 }),
+			func(x int) int { return x / 2 }),
+		func(x int) int { return x })
+	for i := 0; i < 10; i++ {
+		if _, err := view.NoisyCount(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := root.Spent(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("spent %v through cost-free views, want 1.0", got)
+	}
+}
+
+// TestPartitionThenGroupByComposition: stability factors compose
+// multiplicatively through nested derivations (partition member then
+// GroupBy: the partition's max-accounting sees 2x requests).
+func TestPartitionThenGroupByComposition(t *testing.T) {
+	q, root := NewQueryable(ints(100), math.Inf(1), noise.NewSeededSource(5, 6))
+	parts := Partition(q, []int{0, 1}, func(x int) int { return x % 2 })
+	for k := 0; k < 2; k++ {
+		g := GroupBy(parts[k], func(x int) int { return x % 10 })
+		if _, err := g.NoisyCount(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each part was charged 1.0 (0.5 x 2); the partition forwards the
+	// max: 1.0.
+	if got := root.Spent(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("spent %v, want 1.0", got)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"dptrace/internal/noise"
+)
+
+// Queryable is an opaque handle to a protected dataset of records of
+// type T. Analysts never see the records; they apply transformations
+// (which return new Queryables) and aggregations (which return noisy
+// scalars and charge the privacy budget).
+//
+// The zero value is not usable; construct one with NewQueryable.
+type Queryable[T any] struct {
+	records []T
+	agent   Agent
+	src     noise.Source
+}
+
+// NewQueryable wraps records as a protected dataset with the given
+// total privacy budget. Noise is drawn from src, which is wrapped to be
+// safe for concurrent use; pass noise.NewCryptoSource() for deployments
+// and a seeded source for reproducible experiments.
+//
+// The returned RootAgent lets the data owner observe cumulative
+// privacy expenditure (it reveals nothing about the data).
+func NewQueryable[T any](records []T, budget float64, src noise.Source) (*Queryable[T], *RootAgent) {
+	root := NewRootAgent(budget)
+	return &Queryable[T]{
+		records: records,
+		agent:   root,
+		src:     noise.NewLockedSource(src),
+	}, root
+}
+
+// derive builds a child Queryable sharing this one's noise source.
+func derive[T, U any](q *Queryable[T], records []U, agent Agent) *Queryable[U] {
+	return &Queryable[U]{records: records, agent: agent, src: q.src}
+}
+
+// Where returns the subset of records satisfying pred. Filtering does
+// not amplify sensitivity (Table 1), so the result shares this
+// Queryable's agent. The predicate may inspect records arbitrarily: its
+// outputs stay behind the privacy curtain.
+func (q *Queryable[T]) Where(pred func(T) bool) *Queryable[T] {
+	out := make([]T, 0, len(q.records))
+	for _, r := range q.records {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return derive(q, out, q.agent)
+}
+
+// Concat appends other's records to this Queryable's. Each output
+// record stems from exactly one input record of one input, so neither
+// input's sensitivity increases (Table 1), but aggregations on the
+// result charge both inputs' budgets.
+func (q *Queryable[T]) Concat(other *Queryable[T]) *Queryable[T] {
+	out := make([]T, 0, len(q.records)+len(other.records))
+	out = append(out, q.records...)
+	out = append(out, other.records...)
+	return derive(q, out, newDualAgent(q.agent, other.agent))
+}
+
+// Select applies f to every record, yielding a Queryable of the mapped
+// type. One-to-one record mappings do not amplify sensitivity.
+func Select[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
+	out := make([]U, len(q.records))
+	for i, r := range q.records {
+		out[i] = f(r)
+	}
+	return derive(q, out, q.agent)
+}
+
+// SelectMany applies f to every record and flattens the results,
+// keeping at most fanout outputs per record. Because one input record
+// can influence up to fanout output records, the result's sensitivity
+// is amplified by fanout; fanout must be ≥ 1.
+func SelectMany[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable[U] {
+	if fanout < 1 {
+		panic("core: SelectMany fanout must be >= 1")
+	}
+	out := make([]U, 0, len(q.records))
+	for _, r := range q.records {
+		mapped := f(r)
+		if len(mapped) > fanout {
+			mapped = mapped[:fanout]
+		}
+		out = append(out, mapped...)
+	}
+	return derive(q, out, newScaleAgent(q.agent, float64(fanout)))
+}
+
+// Distinct keeps one record per distinct key. Removing duplicates does
+// not amplify sensitivity (Table 1): adding or removing one input
+// record changes the output by at most one record.
+func Distinct[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[T] {
+	seen := make(map[K]struct{}, len(q.records))
+	out := make([]T, 0, len(q.records))
+	for _, r := range q.records {
+		k := key(r)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return derive(q, out, q.agent)
+}
+
+// Group is one output record of GroupBy: a key and the records that
+// share it. Group contents are only ever inspected inside later
+// transformations, never revealed directly.
+type Group[K comparable, T any] struct {
+	Key   K
+	Items []T
+}
+
+// GroupBy groups records by key. One input record arriving or departing
+// changes at most one group, but that change both removes the old
+// version of the group and adds a new one — hence GroupBy "increases
+// sensitivity by two" (Table 1), which the result's agent accounts for.
+//
+// Groups are emitted in first-appearance order of their keys, so the
+// pipeline is deterministic for a fixed input ordering.
+func GroupBy[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[Group[K, T]] {
+	index := make(map[K]int, len(q.records))
+	groups := make([]Group[K, T], 0)
+	for _, r := range q.records {
+		k := key(r)
+		if i, ok := index[k]; ok {
+			groups[i].Items = append(groups[i].Items, r)
+		} else {
+			index[k] = len(groups)
+			groups = append(groups, Group[K, T]{Key: k, Items: []T{r}})
+		}
+	}
+	return derive(q, groups, newScaleAgent(q.agent, 2))
+}
+
+// Join is PINQ's bounded join. Unlike a SQL equijoin — where one record
+// can match unboundedly many partners and would destroy the privacy
+// guarantee — both inputs are grouped by key and the matched groups are
+// zipped pairwise, so each input record influences at most one output
+// record. Neither input's sensitivity increases (Table 1).
+func Join[T, U any, K comparable, R any](
+	a *Queryable[T], b *Queryable[U],
+	keyA func(T) K, keyB func(U) K,
+	result func(T, U) R,
+) *Queryable[R] {
+	groupsA := make(map[K][]T)
+	orderA := make([]K, 0)
+	for _, r := range a.records {
+		k := keyA(r)
+		if _, ok := groupsA[k]; !ok {
+			orderA = append(orderA, k)
+		}
+		groupsA[k] = append(groupsA[k], r)
+	}
+	groupsB := make(map[K][]U)
+	for _, r := range b.records {
+		groupsB[keyB(r)] = append(groupsB[keyB(r)], r)
+	}
+	out := make([]R, 0)
+	for _, k := range orderA {
+		ga := groupsA[k]
+		gb, ok := groupsB[k]
+		if !ok {
+			continue
+		}
+		n := len(ga)
+		if len(gb) < n {
+			n = len(gb)
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, result(ga[i], gb[i]))
+		}
+	}
+	return derive(a, out, newDualAgent(a.agent, b.agent))
+}
+
+// GroupJoin is the variant of the bounded join that hands the result
+// function the full pair of matched groups rather than zipped record
+// pairs, matching the paper's description that "the Join results in a
+// list of pairs of groups". Each output record corresponds to one key,
+// so each input record influences at most two output records (its
+// group's pair changes); the ×2 is folded into each input's charge.
+func GroupJoin[T, U any, K comparable, R any](
+	a *Queryable[T], b *Queryable[U],
+	keyA func(T) K, keyB func(U) K,
+	result func(K, []T, []U) R,
+) *Queryable[R] {
+	groupsA := make(map[K][]T)
+	orderA := make([]K, 0)
+	for _, r := range a.records {
+		k := keyA(r)
+		if _, ok := groupsA[k]; !ok {
+			orderA = append(orderA, k)
+		}
+		groupsA[k] = append(groupsA[k], r)
+	}
+	groupsB := make(map[K][]U)
+	for _, r := range b.records {
+		groupsB[keyB(r)] = append(groupsB[keyB(r)], r)
+	}
+	out := make([]R, 0)
+	for _, k := range orderA {
+		gb, ok := groupsB[k]
+		if !ok {
+			continue
+		}
+		out = append(out, result(k, groupsA[k], gb))
+	}
+	agent := newDualAgent(newScaleAgent(a.agent, 2), newScaleAgent(b.agent, 2))
+	return derive(a, out, agent)
+}
+
+// Intersect keeps records of q whose key also appears in other,
+// emitting each matched key's records from q once. Like Where with a
+// protected predicate; no sensitivity increase for either input.
+func Intersect[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ func(T) K, keyOther func(U) K) *Queryable[T] {
+	present := make(map[K]struct{}, len(other.records))
+	for _, r := range other.records {
+		present[keyOther(r)] = struct{}{}
+	}
+	out := make([]T, 0)
+	for _, r := range q.records {
+		if _, ok := present[keyQ(r)]; ok {
+			out = append(out, r)
+		}
+	}
+	return derive(q, out, newDualAgent(q.agent, other.agent))
+}
+
+// Except keeps records of q whose key does NOT appear in other — the
+// set-difference counterpart of Intersect. Like a Where with a
+// protected predicate: no sensitivity increase for either input, but
+// aggregations charge both budgets.
+func Except[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ func(T) K, keyOther func(U) K) *Queryable[T] {
+	present := make(map[K]struct{}, len(other.records))
+	for _, r := range other.records {
+		present[keyOther(r)] = struct{}{}
+	}
+	out := make([]T, 0)
+	for _, r := range q.records {
+		if _, ok := present[keyQ(r)]; !ok {
+			out = append(out, r)
+		}
+	}
+	return derive(q, out, newDualAgent(q.agent, other.agent))
+}
+
+// Partition splits the dataset into one part per key. The parts are
+// disjoint, so the privacy cost charged to the source is the MAXIMUM of
+// the parts' cumulative costs rather than their sum — the property the
+// paper leans on throughout (per-bucket CDFs, per-link matrices,
+// per-candidate evaluations). Records whose key is not listed are
+// dropped. The returned map has exactly the given keys; missing keys
+// map to empty parts.
+func Partition[T any, K comparable](q *Queryable[T], keys []K, keyOf func(T) K) map[K]*Queryable[T] {
+	wanted := make(map[K]int, len(keys))
+	for i, k := range keys {
+		if _, dup := wanted[k]; dup {
+			panic("core: Partition keys must be distinct")
+		}
+		wanted[k] = i
+	}
+	buckets := make([][]T, len(keys))
+	for _, r := range q.records {
+		if i, ok := wanted[keyOf(r)]; ok {
+			buckets[i] = append(buckets[i], r)
+		}
+	}
+	shared := newPartitionAgent(q.agent, len(keys))
+	parts := make(map[K]*Queryable[T], len(keys))
+	for i, k := range keys {
+		parts[k] = derive(q, buckets[i], shared.member(i))
+	}
+	return parts
+}

@@ -1,0 +1,213 @@
+// Package dpclient is the analyst's side of the mediated-analysis
+// protocol: a typed HTTP client for internal/dpserver. It wraps the
+// JSON API in Go methods, surfaces budget refusals as
+// ErrBudgetExceeded (with the remaining allowance), and carries the
+// analyst identity on every request.
+package dpclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"dptrace/internal/dpserver"
+)
+
+// ErrBudgetExceeded reports a 403 refusal from the server.
+var ErrBudgetExceeded = errors.New("dpclient: privacy budget exceeded")
+
+// Client queries one server as one analyst.
+type Client struct {
+	baseURL string
+	analyst string
+	http    *http.Client
+}
+
+// New creates a client for the server at baseURL acting as analyst.
+// httpClient may be nil (http.DefaultClient).
+func New(baseURL, analyst string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, analyst: analyst, http: httpClient}
+}
+
+// Result is a successful query's payload.
+type Result struct {
+	Values    []float64
+	Buckets   []int64
+	NoiseStd  float64
+	Spent     float64
+	Remaining float64 // -1 means unlimited
+}
+
+// Query runs one raw query (see dpserver.QueryRequest for fields);
+// the analyst field is filled in by the client.
+func (c *Client) Query(req dpserver.QueryRequest) (*Result, error) {
+	req.Analyst = c.analyst
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: encoding request: %w", err)
+	}
+	resp, err := c.http.Post(c.baseURL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var qr dpserver.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return nil, fmt.Errorf("dpclient: decoding response: %w", err)
+		}
+		return &Result{
+			Values: qr.Values, Buckets: qr.Buckets, NoiseStd: qr.NoiseStd,
+			Spent: qr.Spent, Remaining: qr.Remaining,
+		}, nil
+	case http.StatusForbidden:
+		var er struct {
+			Error     string  `json:"error"`
+			Remaining float64 `json:"remaining"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return nil, fmt.Errorf("%w: %s (remaining %.3f)", ErrBudgetExceeded, er.Error, er.Remaining)
+	default:
+		var er struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return nil, fmt.Errorf("dpclient: server returned %d: %s", resp.StatusCode, er.Error)
+	}
+}
+
+// Count returns a noisy packet count at epsilon, optionally filtered.
+func (c *Client) Count(dataset string, epsilon float64, filter *dpserver.Filter) (float64, error) {
+	r, err := c.Query(dpserver.QueryRequest{
+		Dataset: dataset, Query: "count", Epsilon: epsilon, Filter: filter,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.Values[0], nil
+}
+
+// Hosts returns the noisy number of distinct source hosts sending
+// more than minBytes bytes (the paper's §2.3 query).
+func (c *Client) Hosts(dataset string, epsilon float64, filter *dpserver.Filter, minBytes int) (float64, error) {
+	r, err := c.Query(dpserver.QueryRequest{
+		Dataset: dataset, Query: "hosts", Epsilon: epsilon,
+		Filter: filter, MinBytes: minBytes,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.Values[0], nil
+}
+
+// LengthCDF returns the packet-length CDF at the given bucket step.
+func (c *Client) LengthCDF(dataset string, epsilon float64, bucketStep int64) (*Result, error) {
+	return c.Query(dpserver.QueryRequest{
+		Dataset: dataset, Query: "lencdf", Epsilon: epsilon, BucketStep: bucketStep,
+	})
+}
+
+// RTTCDF returns the handshake-RTT CDF in milliseconds.
+func (c *Client) RTTCDF(dataset string, epsilon float64, bucketStepMs int64) (*Result, error) {
+	return c.Query(dpserver.QueryRequest{
+		Dataset: dataset, Query: "rttcdf", Epsilon: epsilon, BucketStep: bucketStepMs,
+	})
+}
+
+// Budget reports the analyst's spent and remaining allowance on a
+// dataset (remaining -1 means unlimited).
+func (c *Client) Budget(dataset string) (spent, remaining float64, err error) {
+	u := fmt.Sprintf("%s/budget?dataset=%s&analyst=%s",
+		c.baseURL, url.QueryEscape(dataset), url.QueryEscape(c.analyst))
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return 0, 0, fmt.Errorf("dpclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("dpclient: budget query returned %d", resp.StatusCode)
+	}
+	var body map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, 0, fmt.Errorf("dpclient: decoding budget: %w", err)
+	}
+	return body["spent"], body["remaining"], nil
+}
+
+// Datasets lists the server's hosted datasets.
+func (c *Client) Datasets() ([]dpserver.DatasetInfo, error) {
+	resp, err := c.http.Get(c.baseURL + "/datasets")
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dpclient: datasets query returned %d", resp.StatusCode)
+	}
+	var infos []dpserver.DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding datasets: %w", err)
+	}
+	return infos, nil
+}
+
+// LoadMatrix extracts the noisy link×bin count matrix from a hosted
+// link trace (one ε total). Data is row-major with rows = bins.
+func (c *Client) LoadMatrix(dataset string, epsilon float64) (*dpserver.MatrixResponse, error) {
+	body, err := json.Marshal(dpserver.MatrixRequest{
+		Analyst: c.analyst, Dataset: dataset, Epsilon: epsilon,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: encoding request: %w", err)
+	}
+	resp, err := c.http.Post(c.baseURL+"/query/loadmatrix", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusForbidden {
+		return nil, ErrBudgetExceeded
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dpclient: loadmatrix returned %d", resp.StatusCode)
+	}
+	var mr dpserver.MatrixResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding matrix: %w", err)
+	}
+	return &mr, nil
+}
+
+// MonitorAverages fetches per-monitor noisy average hop counts from a
+// hosted hop trace (one ε total via Partition max-accounting).
+func (c *Client) MonitorAverages(dataset string, epsilon, maxHops float64) ([]float64, error) {
+	body, err := json.Marshal(dpserver.HopAveragesRequest{
+		Analyst: c.analyst, Dataset: dataset, Epsilon: epsilon, MaxHops: maxHops,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: encoding request: %w", err)
+	}
+	resp, err := c.http.Post(c.baseURL+"/query/monitoravgs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusForbidden {
+		return nil, ErrBudgetExceeded
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dpclient: monitoravgs returned %d", resp.StatusCode)
+	}
+	var hr dpserver.HopAveragesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding averages: %w", err)
+	}
+	return hr.Averages, nil
+}

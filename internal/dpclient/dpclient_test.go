@@ -1,0 +1,146 @@
+package dpclient
+
+import (
+	"errors"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"dptrace/internal/dpserver"
+	"dptrace/internal/noise"
+	"dptrace/internal/tracegen"
+)
+
+func clientAndServer(t *testing.T, total, perAnalyst float64) *Client {
+	t.Helper()
+	cfg := tracegen.DefaultHotspotConfig()
+	cfg.Sessions = 300
+	cfg.Worms = 0
+	cfg.LowDispersionPayloads = 0
+	cfg.BackgroundStrings = 0
+	cfg.BackgroundTotal = 0
+	cfg.StonePairs = 0
+	cfg.DecoyFlows = 0
+	packets, _ := tracegen.Hotspot(cfg)
+	s := dpserver.New(noise.NewSeededSource(1, 2))
+	s.AddPacketTrace("hotspot", packets, total, perAnalyst)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return New(ts.URL, "alice", nil)
+}
+
+func TestClientCountAndBudget(t *testing.T) {
+	c := clientAndServer(t, 10, 5)
+	count, err := c.Count("hotspot", 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count < 1000 {
+		t.Errorf("implausible count %v", count)
+	}
+	spent, remaining, err := c.Budget("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(spent-1.0) > 1e-9 || math.Abs(remaining-4.0) > 1e-9 {
+		t.Errorf("budget spent %v remaining %v, want 1/4", spent, remaining)
+	}
+}
+
+func TestClientHostsQuery(t *testing.T) {
+	c := clientAndServer(t, math.Inf(1), math.Inf(1))
+	port := 80
+	hosts, err := c.Hosts("hotspot", 0.5, &dpserver.Filter{DstPort: &port}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hosts < 10 {
+		t.Errorf("implausible hosts %v", hosts)
+	}
+}
+
+func TestClientCDFs(t *testing.T) {
+	c := clientAndServer(t, math.Inf(1), math.Inf(1))
+	lens, err := c.LengthCDF("hotspot", 1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lens.Values) == 0 || len(lens.Values) != len(lens.Buckets) {
+		t.Fatalf("length CDF shape: %d/%d", len(lens.Values), len(lens.Buckets))
+	}
+	rtts, err := c.RTTCDF("hotspot", 1.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rtts.Values) == 0 {
+		t.Fatal("empty RTT CDF")
+	}
+}
+
+func TestClientBudgetRefusalTyped(t *testing.T) {
+	c := clientAndServer(t, math.Inf(1), 1.0)
+	if _, err := c.Count("hotspot", 0.9, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Count("hotspot", 0.5, nil)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestClientDatasets(t *testing.T) {
+	c := clientAndServer(t, 3, 3)
+	infos, err := c.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "hotspot" {
+		t.Fatalf("datasets %+v", infos)
+	}
+}
+
+func TestClientServerErrors(t *testing.T) {
+	c := clientAndServer(t, 1, 1)
+	if _, err := c.Count("nope", 0.1, nil); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := c.Query(dpserver.QueryRequest{Dataset: "hotspot", Query: "zap", Epsilon: 1}); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestClientLoadMatrixAndMonitorAverages(t *testing.T) {
+	isp := tracegen.IspConfig{Seed: 5, Links: 8, Bins: 12, MeanPacketsPerBin: 40, NoiseFrac: 0.05}
+	samples, _ := tracegen.IspTraffic(isp)
+	scatter := tracegen.DefaultScatterConfig()
+	scatter.IPsPerCluster = 40
+	scatter.Clusters = 3
+	scatter.Monitors = 5
+	records, _ := tracegen.IPScatter(scatter)
+
+	s := dpserver.New(noise.NewSeededSource(9, 10))
+	s.AddLinkTrace("isp", samples, isp.Links, isp.Bins, math.Inf(1), math.Inf(1))
+	s.AddHopTrace("scatter", records, scatter.Monitors, math.Inf(1), 1.5)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, "carol", nil)
+	mr, err := c.LoadMatrix("isp", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Bins != isp.Bins || mr.Links != isp.Links || len(mr.Data) != isp.Bins*isp.Links {
+		t.Fatalf("matrix shape %dx%d/%d", mr.Bins, mr.Links, len(mr.Data))
+	}
+	avgs, err := c.MonitorAverages("scatter", 1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avgs) != scatter.Monitors {
+		t.Fatalf("got %d averages", len(avgs))
+	}
+	// Second hop query exceeds the 1.5 cap.
+	if _, err := c.MonitorAverages("scatter", 1.0, 32); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-cap: %v", err)
+	}
+}

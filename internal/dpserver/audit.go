@@ -1,0 +1,94 @@
+package dpserver
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AuditEntry records one query attempt for the data owner's ledger.
+// The paper's §7 governance ("limiting the total privacy cost per
+// analyst or across all analysts") presumes the owner can see who
+// spent what; entries record request metadata and outcome — never
+// data. Refusals are logged too: a refusal consumes no budget but the
+// owner still wants the attempt visible.
+type AuditEntry struct {
+	Time    time.Time `json:"time"`
+	Analyst string    `json:"analyst"`
+	Dataset string    `json:"dataset"`
+	Query   string    `json:"query"`
+	Epsilon float64   `json:"epsilon"`
+	// Charged is the budget actually drawn (0 for refused or invalid
+	// queries). It can exceed Epsilon when the query's derivation
+	// amplifies sensitivity (GroupBy, self-joins).
+	Charged float64 `json:"charged"`
+	// Outcome is "ok", "refused", or "error".
+	Outcome string `json:"outcome"`
+}
+
+// auditLog is a bounded in-memory ledger.
+type auditLog struct {
+	mu      sync.Mutex
+	entries []AuditEntry
+	max     int
+	now     func() time.Time
+}
+
+const defaultAuditCap = 10000
+
+func newAuditLog(max int, now func() time.Time) *auditLog {
+	if max <= 0 {
+		max = defaultAuditCap
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &auditLog{max: max, now: now}
+}
+
+func (l *auditLog) add(e AuditEntry) {
+	e.Time = l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) >= l.max {
+		// Drop the oldest half to amortize copying.
+		keep := l.max / 2
+		copy(l.entries, l.entries[len(l.entries)-keep:])
+		l.entries = l.entries[:keep]
+	}
+	l.entries = append(l.entries, e)
+}
+
+func (l *auditLog) snapshot() []AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AuditEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Audit returns a copy of the query ledger, oldest first.
+func (s *Server) Audit() []AuditEntry {
+	return s.audit.snapshot()
+}
+
+// handleAudit serves GET /audit with optional ?analyst= and ?dataset=
+// filters. This endpoint is for the data owner; expose it accordingly.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	analyst := r.URL.Query().Get("analyst")
+	dataset := r.URL.Query().Get("dataset")
+	var out []AuditEntry
+	for _, e := range s.audit.snapshot() {
+		if analyst != "" && e.Analyst != analyst {
+			continue
+		}
+		if dataset != "" && e.Dataset != dataset {
+			continue
+		}
+		out = append(out, e)
+	}
+	if out == nil {
+		out = []AuditEntry{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,211 @@
+package dpserver
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+	"dptrace/internal/trace"
+)
+
+// This file extends the server to the paper's other two dataset kinds:
+// de-aggregated link traces (IspTraffic-shaped) and hop-count traces
+// (IPscatter-shaped), with the queries their analyses start from.
+
+// linkDataset hosts LinkSample records.
+type linkDataset struct {
+	samples []trace.LinkSample
+	links   int
+	bins    int
+	policy  *core.AnalystPolicy
+}
+
+// hopDataset hosts HopRecord records.
+type hopDataset struct {
+	records  []trace.HopRecord
+	monitors int
+	policy   *core.AnalystPolicy
+}
+
+// AddLinkTrace registers a de-aggregated link trace with the given
+// dimensions and budgets.
+func (s *Server) AddLinkTrace(name string, samples []trace.LinkSample, links, bins int, totalBudget, perAnalystBudget float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.linkSets[name] = &linkDataset{
+		samples: samples, links: links, bins: bins,
+		policy: core.NewAnalystPolicy(totalBudget, perAnalystBudget),
+	}
+}
+
+// AddHopTrace registers a hop-count trace.
+func (s *Server) AddHopTrace(name string, records []trace.HopRecord, monitors int, totalBudget, perAnalystBudget float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hopSets[name] = &hopDataset{
+		records: records, monitors: monitors,
+		policy: core.NewAnalystPolicy(totalBudget, perAnalystBudget),
+	}
+}
+
+// MatrixRequest is the POST /query/loadmatrix body: extract the full
+// noisy link×bin count matrix (the Fig 4 pipeline's first step). The
+// nested partition prices the whole matrix at one ε.
+type MatrixRequest struct {
+	Analyst string  `json:"analyst"`
+	Dataset string  `json:"dataset"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+// MatrixResponse carries the matrix in row-major order (rows = bins).
+type MatrixResponse struct {
+	Bins      int       `json:"bins"`
+	Links     int       `json:"links"`
+	Data      []float64 `json:"data"`
+	NoiseStd  float64   `json:"noiseStd"`
+	Spent     float64   `json:"spent"`
+	Remaining float64   `json:"remaining"`
+}
+
+func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Analyst == "" || req.Dataset == "" || req.Epsilon <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "analyst, dataset and positive epsilon required"})
+		return
+	}
+	s.mu.RLock()
+	d, ok := s.linkSets[req.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown link dataset %q", req.Dataset)})
+		return
+	}
+	q := core.NewQueryableFor(d.samples, d.policy.AgentFor(req.Analyst), s.src)
+
+	linkKeys := make([]int32, d.links)
+	for i := range linkKeys {
+		linkKeys[i] = int32(i)
+	}
+	binKeys := make([]int32, d.bins)
+	for i := range binKeys {
+		binKeys[i] = int32(i)
+	}
+	data := make([]float64, d.bins*d.links)
+	byLink := core.Partition(q, linkKeys, func(x trace.LinkSample) int32 { return x.Link })
+	for l, lk := range linkKeys {
+		byBin := core.Partition(byLink[lk], binKeys, func(x trace.LinkSample) int32 { return x.Bin })
+		for b, bk := range binKeys {
+			c, err := byBin[bk].NoisyCount(req.Epsilon)
+			if err != nil {
+				status := http.StatusBadRequest
+				outcome := "error"
+				if errors.Is(err, core.ErrBudgetExceeded) {
+					status = http.StatusForbidden
+					outcome = "refused"
+				}
+				s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
+					Query: "loadmatrix", Epsilon: req.Epsilon, Outcome: outcome})
+				writeJSON(w, status, errorResponse{
+					Error:     err.Error(),
+					Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
+				})
+				return
+			}
+			data[b*d.links+l] = c
+		}
+	}
+	s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
+		Query: "loadmatrix", Epsilon: req.Epsilon, Charged: req.Epsilon, Outcome: "ok"})
+	writeJSON(w, http.StatusOK, MatrixResponse{
+		Bins: d.bins, Links: d.links, Data: data,
+		NoiseStd:  noise.LaplaceStd(req.Epsilon),
+		Spent:     d.policy.SpentBy(req.Analyst),
+		Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
+	})
+}
+
+// HopAveragesRequest is the POST /query/monitoravgs body: per-monitor
+// noisy average hop counts (the topology analysis's imputation step).
+type HopAveragesRequest struct {
+	Analyst string  `json:"analyst"`
+	Dataset string  `json:"dataset"`
+	Epsilon float64 `json:"epsilon"`
+	MaxHops float64 `json:"maxHops"`
+}
+
+// HopAveragesResponse carries one average per monitor.
+type HopAveragesResponse struct {
+	Averages  []float64 `json:"averages"`
+	Spent     float64   `json:"spent"`
+	Remaining float64   `json:"remaining"`
+}
+
+func (s *Server) handleMonitorAverages(w http.ResponseWriter, r *http.Request) {
+	var req HopAveragesRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Analyst == "" || req.Dataset == "" || req.Epsilon <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "analyst, dataset and positive epsilon required"})
+		return
+	}
+	if req.MaxHops <= 0 {
+		req.MaxHops = 64
+	}
+	s.mu.RLock()
+	d, ok := s.hopSets[req.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown hop dataset %q", req.Dataset)})
+		return
+	}
+	q := core.NewQueryableFor(d.records, d.policy.AgentFor(req.Analyst), s.src)
+	keys := make([]int32, d.monitors)
+	for i := range keys {
+		keys[i] = int32(i)
+	}
+	parts := core.Partition(q, keys, func(rec trace.HopRecord) int32 { return rec.Monitor })
+	averages := make([]float64, d.monitors)
+	for m, key := range keys {
+		avg, err := core.NoisyAverageScaled(parts[key], req.Epsilon, req.MaxHops,
+			func(rec trace.HopRecord) float64 { return float64(rec.Hops) })
+		if err != nil {
+			status := http.StatusBadRequest
+			outcome := "error"
+			if errors.Is(err, core.ErrBudgetExceeded) {
+				status = http.StatusForbidden
+				outcome = "refused"
+			}
+			s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
+				Query: "monitoravgs", Epsilon: req.Epsilon, Outcome: outcome})
+			writeJSON(w, status, errorResponse{
+				Error:     err.Error(),
+				Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
+			})
+			return
+		}
+		averages[m] = avg
+	}
+	s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
+		Query: "monitoravgs", Epsilon: req.Epsilon, Charged: req.Epsilon, Outcome: "ok"})
+	writeJSON(w, http.StatusOK, HopAveragesResponse{
+		Averages:  averages,
+		Spent:     d.policy.SpentBy(req.Analyst),
+		Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
+	})
+}
+
+// decodeJSON decodes a strict JSON body, writing a 400 on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := jsonDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return false
+	}
+	return true
+}

@@ -1,0 +1,364 @@
+// Package dpserver implements the paper's mediated-trace-analysis
+// deployment model as an HTTP service: the data owner hosts raw
+// traces, analysts submit declarative queries over the network, and
+// only noisy aggregates ever leave — with per-analyst and total
+// privacy budgets enforced by the §7 policy machinery.
+//
+// The wire protocol is JSON over HTTP (stdlib net/http only):
+//
+//	GET  /datasets              list datasets and budget state
+//	GET  /budget?dataset=&analyst=   an analyst's remaining allowance
+//	POST /query                 run one differentially-private query
+//
+// A query names the analyst (authentication is out of scope — wire it
+// to your ingress), the dataset, the query kind, its ε, and optional
+// record filters:
+//
+//	{"analyst":"alice","dataset":"hotspot","query":"hosts",
+//	 "epsilon":0.1,"filter":{"dstPort":80},"minBytes":1024}
+//
+// Refused queries (budget exhausted) return 403 with the remaining
+// allowance; they consume nothing, and the refusal is data-independent
+// (unlike the bit-leakage schemes the paper critiques, it reveals only
+// the analyst's own spending).
+package dpserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+
+	"dptrace/internal/analyses/flowstats"
+	"dptrace/internal/analyses/packetdist"
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+	"dptrace/internal/toolkit"
+	"dptrace/internal/trace"
+)
+
+// Server hosts protected datasets behind the query API.
+type Server struct {
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+	linkSets map[string]*linkDataset
+	hopSets  map[string]*hopDataset
+	src      noise.Source
+	audit    *auditLog
+}
+
+type dataset struct {
+	packets []trace.Packet
+	policy  *core.AnalystPolicy
+}
+
+// New creates a server drawing noise from src (pass
+// noise.NewCryptoSource() in production; tests use a seeded source).
+func New(src noise.Source) *Server {
+	return &Server{
+		datasets: make(map[string]*dataset),
+		linkSets: make(map[string]*linkDataset),
+		hopSets:  make(map[string]*hopDataset),
+		src:      noise.NewLockedSource(src),
+		audit:    newAuditLog(0, nil),
+	}
+}
+
+// AddPacketTrace registers a packet trace under name with the given
+// total and per-analyst privacy budgets.
+func (s *Server) AddPacketTrace(name string, packets []trace.Packet, totalBudget, perAnalystBudget float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = &dataset{
+		packets: packets,
+		policy:  core.NewAnalystPolicy(totalBudget, perAnalystBudget),
+	}
+}
+
+// Handler returns the HTTP handler for the query API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("GET /budget", s.handleBudget)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /audit", s.handleAudit)
+	mux.HandleFunc("POST /query/loadmatrix", s.handleLoadMatrix)
+	mux.HandleFunc("POST /query/monitoravgs", s.handleMonitorAverages)
+	return mux
+}
+
+// Filter restricts the packets a query sees. Zero-valued fields are
+// inactive; ports use -1 in JSON to mean "any" but omitting them works
+// too (pointers distinguish absent from zero).
+type Filter struct {
+	DstPort *int `json:"dstPort,omitempty"`
+	SrcPort *int `json:"srcPort,omitempty"`
+	MinLen  *int `json:"minLen,omitempty"`
+	Proto   *int `json:"proto,omitempty"`
+}
+
+func (f *Filter) match(p *trace.Packet) bool {
+	if f == nil {
+		return true
+	}
+	if f.DstPort != nil && int(p.DstPort) != *f.DstPort {
+		return false
+	}
+	if f.SrcPort != nil && int(p.SrcPort) != *f.SrcPort {
+		return false
+	}
+	if f.MinLen != nil && int(p.Len) < *f.MinLen {
+		return false
+	}
+	if f.Proto != nil && int(p.Proto) != *f.Proto {
+		return false
+	}
+	return true
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	Analyst string  `json:"analyst"`
+	Dataset string  `json:"dataset"`
+	Query   string  `json:"query"` // count, hosts, lencdf, portcdf, medianlen
+	Epsilon float64 `json:"epsilon"`
+	Filter  *Filter `json:"filter,omitempty"`
+	// MinBytes applies to the hosts query (paper §2.3 threshold).
+	MinBytes int `json:"minBytes,omitempty"`
+	// BucketStep applies to the CDF queries.
+	BucketStep int64 `json:"bucketStep,omitempty"`
+}
+
+// QueryResponse is the success body.
+type QueryResponse struct {
+	Values []float64 `json:"values"`
+	// Buckets accompanies CDF queries: the upper edge of each value.
+	Buckets []int64 `json:"buckets,omitempty"`
+	// NoiseStd is the standard deviation of the added noise, public
+	// knowledge the analyst uses to judge significance.
+	NoiseStd float64 `json:"noiseStd"`
+	// Spent and Remaining describe the analyst's budget after this
+	// query. Remaining is -1 when the budget is unlimited (JSON has
+	// no infinity).
+	Spent     float64 `json:"spent"`
+	Remaining float64 `json:"remaining"`
+}
+
+// finiteOrUnlimited maps +Inf (an unlimited budget) to the JSON
+// sentinel -1.
+func finiteOrUnlimited(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return -1
+	}
+	return v
+}
+
+// errorResponse is the failure body.
+type errorResponse struct {
+	Error     string  `json:"error"`
+	Remaining float64 `json:"remaining,omitempty"`
+}
+
+// DatasetInfo describes one hosted dataset in GET /datasets.
+type DatasetInfo struct {
+	Name           string  `json:"name"`
+	TotalSpent     float64 `json:"totalSpent"`
+	TotalRemaining float64 `json:"totalRemaining"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]DatasetInfo, 0, len(s.datasets))
+	for name, d := range s.datasets {
+		infos = append(infos, DatasetInfo{
+			Name:           name,
+			TotalSpent:     d.policy.TotalSpent(),
+			TotalRemaining: finiteOrUnlimited(d.policy.TotalRemaining()),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("dataset")
+	analyst := r.URL.Query().Get("analyst")
+	if name == "" || analyst == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "dataset and analyst are required"})
+		return
+	}
+	d, ok := s.lookup(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{
+		"spent":     d.policy.SpentBy(analyst),
+		"remaining": finiteOrUnlimited(d.policy.RemainingFor(analyst)),
+	})
+}
+
+func (s *Server) lookup(name string) (*dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[name]
+	return d, ok
+}
+
+// jsonDecoder builds the strict decoder shared by the query handlers.
+func jsonDecoder(r *http.Request) *json.Decoder {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := jsonDecoder(r).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.Analyst == "" || req.Dataset == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "analyst and dataset are required"})
+		return
+	}
+	if req.Epsilon <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "epsilon must be positive"})
+		return
+	}
+	d, ok := s.lookup(req.Dataset)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", req.Dataset)})
+		return
+	}
+
+	q := core.NewQueryableFor(d.packets, d.policy.AgentFor(req.Analyst), s.src)
+	filtered := q.Where(func(p trace.Packet) bool { return req.Filter.match(&p) })
+
+	spentBefore := d.policy.SpentBy(req.Analyst)
+	entry := AuditEntry{
+		Analyst: req.Analyst, Dataset: req.Dataset,
+		Query: req.Query, Epsilon: req.Epsilon,
+	}
+	resp, err := runQuery(filtered, &req)
+	if err != nil {
+		status := http.StatusBadRequest
+		entry.Outcome = "error"
+		if errors.Is(err, core.ErrBudgetExceeded) {
+			status = http.StatusForbidden
+			entry.Outcome = "refused"
+		}
+		s.audit.add(entry)
+		writeJSON(w, status, errorResponse{
+			Error:     err.Error(),
+			Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
+		})
+		return
+	}
+	resp.Spent = d.policy.SpentBy(req.Analyst)
+	resp.Remaining = finiteOrUnlimited(d.policy.RemainingFor(req.Analyst))
+	entry.Outcome = "ok"
+	entry.Charged = resp.Spent - spentBefore
+	s.audit.add(entry)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func runQuery(filtered *core.Queryable[trace.Packet], req *QueryRequest) (*QueryResponse, error) {
+	switch req.Query {
+	case "count":
+		v, err := filtered.NoisyCount(req.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Values: []float64{v}, NoiseStd: noise.LaplaceStd(req.Epsilon)}, nil
+
+	case "hosts":
+		minBytes := req.MinBytes
+		if minBytes <= 0 {
+			minBytes = 1024
+		}
+		grouped := core.GroupBy(filtered, func(p trace.Packet) trace.IPv4 { return p.SrcIP })
+		heavy := grouped.Where(func(g core.Group[trace.IPv4, trace.Packet]) bool {
+			total := 0
+			for _, p := range g.Items {
+				total += int(p.Len)
+			}
+			return total > minBytes
+		})
+		v, err := heavy.NoisyCount(req.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Values: []float64{v}, NoiseStd: 2 * noise.LaplaceStd(req.Epsilon)}, nil
+
+	case "lencdf":
+		step := req.BucketStep
+		if step <= 0 {
+			step = 16
+		}
+		buckets := packetdist.LengthBuckets(step)
+		values, err := packetdist.PrivateLengthCDF(filtered, req.Epsilon, buckets)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Values: values, Buckets: buckets, NoiseStd: noise.LaplaceStd(req.Epsilon)}, nil
+
+	case "portcdf":
+		step := req.BucketStep
+		if step <= 0 {
+			step = 1024
+		}
+		buckets := packetdist.PortBuckets(step)
+		values, err := packetdist.PrivatePortCDF(filtered, req.Epsilon, buckets)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Values: values, Buckets: buckets, NoiseStd: noise.LaplaceStd(req.Epsilon)}, nil
+
+	case "medianlen":
+		v, err := core.NoisyMedian(filtered, req.Epsilon, func(p trace.Packet) float64 { return float64(p.Len) })
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Values: []float64{v}}, nil
+
+	case "rttcdf":
+		step := req.BucketStep
+		if step <= 0 {
+			step = 10 // ms
+		}
+		buckets := toolkit.LinearBuckets(0, step, 64)
+		values, err := flowstats.PrivateRTTCDF(filtered, req.Epsilon, buckets)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Values: values, Buckets: buckets,
+			NoiseStd: noise.LaplaceStd(req.Epsilon)}, nil
+
+	case "losscdf":
+		step := req.BucketStep
+		if step <= 0 {
+			step = 25 // permille
+		}
+		buckets := toolkit.LinearBuckets(0, step, 41)
+		values, err := flowstats.PrivateLossCDF(filtered, req.Epsilon, 10, buckets)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Values: values, Buckets: buckets,
+			NoiseStd: noise.LaplaceStd(req.Epsilon)}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown query %q (count, hosts, lencdf, portcdf, medianlen, rttcdf, losscdf)", req.Query)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

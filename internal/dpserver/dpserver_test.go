@@ -1,0 +1,494 @@
+package dpserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dptrace/internal/noise"
+	"dptrace/internal/trace"
+	"dptrace/internal/tracegen"
+)
+
+func testServer(t *testing.T, total, perAnalyst float64) *httptest.Server {
+	t.Helper()
+	cfg := tracegen.DefaultHotspotConfig()
+	cfg.Sessions = 300
+	cfg.Worms = 0
+	cfg.LowDispersionPayloads = 0
+	cfg.BackgroundStrings = 0
+	cfg.BackgroundTotal = 0
+	cfg.StonePairs = 0
+	cfg.DecoyFlows = 0
+	packets, _ := tracegen.Hotspot(cfg)
+	s := New(noise.NewSeededSource(1, 2))
+	s.AddPacketTrace("hotspot", packets, total, perAnalyst)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, req QueryRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestServerCountQuery(t *testing.T) {
+	ts := testServer(t, math.Inf(1), math.Inf(1))
+	port := 80
+	resp, body := postQuery(t, ts, QueryRequest{
+		Analyst: "alice", Dataset: "hotspot", Query: "count",
+		Epsilon: 1.0, Filter: &Filter{DstPort: &port},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Values) != 1 || qr.Values[0] < 100 {
+		t.Fatalf("implausible count response: %+v", qr)
+	}
+	if math.Abs(qr.NoiseStd-math.Sqrt2) > 1e-9 {
+		t.Errorf("noiseStd %v, want sqrt(2)", qr.NoiseStd)
+	}
+	if math.Abs(qr.Spent-1.0) > 1e-9 {
+		t.Errorf("spent %v, want 1.0", qr.Spent)
+	}
+}
+
+func TestServerHostsQuery(t *testing.T) {
+	ts := testServer(t, math.Inf(1), math.Inf(1))
+	port := 80
+	resp, body := postQuery(t, ts, QueryRequest{
+		Analyst: "alice", Dataset: "hotspot", Query: "hosts",
+		Epsilon: 0.5, Filter: &Filter{DstPort: &port}, MinBytes: 1024,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	// GroupBy doubles: 0.5 query spends 1.0.
+	if math.Abs(qr.Spent-1.0) > 1e-9 {
+		t.Errorf("spent %v, want 1.0", qr.Spent)
+	}
+}
+
+func TestServerCDFQueries(t *testing.T) {
+	ts := testServer(t, math.Inf(1), math.Inf(1))
+	for _, kind := range []string{"lencdf", "portcdf"} {
+		resp, body := postQuery(t, ts, QueryRequest{
+			Analyst: "bob", Dataset: "hotspot", Query: kind, Epsilon: 1.0,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d: %s", kind, resp.StatusCode, body)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if len(qr.Values) == 0 || len(qr.Values) != len(qr.Buckets) {
+			t.Fatalf("%s: %d values, %d buckets", kind, len(qr.Values), len(qr.Buckets))
+		}
+	}
+}
+
+func TestServerBudgetRefusal(t *testing.T) {
+	ts := testServer(t, math.Inf(1), 1.0)
+	ok, body := postQuery(t, ts, QueryRequest{
+		Analyst: "alice", Dataset: "hotspot", Query: "count", Epsilon: 0.8,
+	})
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("first query status %d: %s", ok.StatusCode, body)
+	}
+	refused, body := postQuery(t, ts, QueryRequest{
+		Analyst: "alice", Dataset: "hotspot", Query: "count", Epsilon: 0.8,
+	})
+	if refused.StatusCode != http.StatusForbidden {
+		t.Fatalf("over-budget status %d: %s", refused.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(er.Remaining-0.2) > 1e-9 {
+		t.Errorf("remaining %v, want 0.2", er.Remaining)
+	}
+	// A different analyst is unaffected.
+	other, body := postQuery(t, ts, QueryRequest{
+		Analyst: "bob", Dataset: "hotspot", Query: "count", Epsilon: 0.8,
+	})
+	if other.StatusCode != http.StatusOK {
+		t.Fatalf("bob's query status %d: %s", other.StatusCode, body)
+	}
+}
+
+func TestServerSharedTotalAcrossAnalysts(t *testing.T) {
+	ts := testServer(t, 1.0, math.Inf(1))
+	if resp, body := postQuery(t, ts, QueryRequest{
+		Analyst: "alice", Dataset: "hotspot", Query: "count", Epsilon: 0.7,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := postQuery(t, ts, QueryRequest{
+		Analyst: "bob", Dataset: "hotspot", Query: "count", Epsilon: 0.7,
+	}); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("shared total not enforced: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	ts := testServer(t, 1, 1)
+	cases := []struct {
+		req  QueryRequest
+		want int
+	}{
+		{QueryRequest{Dataset: "hotspot", Query: "count", Epsilon: 1}, http.StatusBadRequest},          // no analyst
+		{QueryRequest{Analyst: "a", Query: "count", Epsilon: 1}, http.StatusBadRequest},                // no dataset
+		{QueryRequest{Analyst: "a", Dataset: "hotspot", Query: "count"}, http.StatusBadRequest},        // no epsilon
+		{QueryRequest{Analyst: "a", Dataset: "nope", Query: "count", Epsilon: 1}, http.StatusNotFound}, // unknown dataset
+		{QueryRequest{Analyst: "a", Dataset: "hotspot", Query: "zap", Epsilon: 1}, http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		resp, body := postQuery(t, ts, c.req)
+		if resp.StatusCode != c.want {
+			t.Errorf("case %d: status %d, want %d (%s)", i, resp.StatusCode, c.want, body)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON status %d", resp.StatusCode)
+	}
+}
+
+func TestServerDatasetsAndBudgetEndpoints(t *testing.T) {
+	ts := testServer(t, 5.0, 2.0)
+	_, _ = postQuery(t, ts, QueryRequest{
+		Analyst: "alice", Dataset: "hotspot", Query: "count", Epsilon: 1.0,
+	})
+
+	resp, err := http.Get(ts.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Name != "hotspot" {
+		t.Fatalf("datasets: %+v", infos)
+	}
+	if math.Abs(infos[0].TotalSpent-1.0) > 1e-9 || math.Abs(infos[0].TotalRemaining-4.0) > 1e-9 {
+		t.Errorf("budget state: %+v", infos[0])
+	}
+
+	resp, err = http.Get(ts.URL + "/budget?dataset=hotspot&analyst=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budget map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&budget); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if math.Abs(budget["spent"]-1.0) > 1e-9 || math.Abs(budget["remaining"]-1.0) > 1e-9 {
+		t.Errorf("alice budget: %v", budget)
+	}
+}
+
+func TestServerConcurrentAnalysts(t *testing.T) {
+	ts := testServer(t, math.Inf(1), math.Inf(1))
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				body, _ := json.Marshal(QueryRequest{
+					Analyst: fmt.Sprintf("analyst-%d", id),
+					Dataset: "hotspot", Query: "count", Epsilon: 0.5,
+				})
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestFilterMatching(t *testing.T) {
+	p := trace.Packet{DstPort: 80, SrcPort: 1234, Len: 100, Proto: trace.ProtoTCP}
+	intp := func(v int) *int { return &v }
+	cases := []struct {
+		f    *Filter
+		want bool
+	}{
+		{nil, true},
+		{&Filter{}, true},
+		{&Filter{DstPort: intp(80)}, true},
+		{&Filter{DstPort: intp(443)}, false},
+		{&Filter{SrcPort: intp(1234), MinLen: intp(50)}, true},
+		{&Filter{MinLen: intp(200)}, false},
+		{&Filter{Proto: intp(trace.ProtoUDP)}, false},
+	}
+	for i, c := range cases {
+		if got := c.f.match(&p); got != c.want {
+			t.Errorf("case %d: match = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestServerFlowQueries(t *testing.T) {
+	ts := testServer(t, math.Inf(1), math.Inf(1))
+	for _, kind := range []string{"rttcdf", "losscdf"} {
+		resp, body := postQuery(t, ts, QueryRequest{
+			Analyst: "carol", Dataset: "hotspot", Query: kind, Epsilon: 1.0,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d: %s", kind, resp.StatusCode, body)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if len(qr.Values) == 0 || len(qr.Values) != len(qr.Buckets) {
+			t.Fatalf("%s: %d values, %d buckets", kind, len(qr.Values), len(qr.Buckets))
+		}
+		// The derived statistics cost 2x (self-join / GroupBy).
+		if qr.Spent < 2.0-1e-9 {
+			t.Errorf("%s: spent %v, want >= 2.0", kind, qr.Spent)
+		}
+	}
+}
+
+func TestServerMedianQuery(t *testing.T) {
+	ts := testServer(t, math.Inf(1), math.Inf(1))
+	resp, body := postQuery(t, ts, QueryRequest{
+		Analyst: "dave", Dataset: "hotspot", Query: "medianlen", Epsilon: 1.0,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Values) != 1 || qr.Values[0] < 40 || qr.Values[0] > 1500 {
+		t.Fatalf("implausible median length: %+v", qr)
+	}
+}
+
+func TestAuditLedger(t *testing.T) {
+	ts := testServer(t, math.Inf(1), 1.0)
+	// One ok query (GroupBy: charged 2x epsilon), one refusal, one error.
+	_, _ = postQuery(t, ts, QueryRequest{
+		Analyst: "alice", Dataset: "hotspot", Query: "hosts", Epsilon: 0.4,
+	})
+	_, _ = postQuery(t, ts, QueryRequest{
+		Analyst: "alice", Dataset: "hotspot", Query: "count", Epsilon: 0.9,
+	})
+	_, _ = postQuery(t, ts, QueryRequest{
+		Analyst: "bob", Dataset: "hotspot", Query: "bogus", Epsilon: 0.1,
+	})
+
+	resp, err := http.Get(ts.URL + "/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []AuditEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(entries) != 3 {
+		t.Fatalf("got %d audit entries, want 3", len(entries))
+	}
+	if entries[0].Outcome != "ok" || math.Abs(entries[0].Charged-0.8) > 1e-9 {
+		t.Errorf("first entry: %+v (want ok, charged 0.8)", entries[0])
+	}
+	if entries[1].Outcome != "refused" || entries[1].Charged != 0 {
+		t.Errorf("second entry: %+v (want refused, charged 0)", entries[1])
+	}
+	if entries[2].Outcome != "error" {
+		t.Errorf("third entry: %+v (want error)", entries[2])
+	}
+
+	// Filtered view.
+	resp, err = http.Get(ts.URL + "/audit?analyst=bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries = nil
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(entries) != 1 || entries[0].Analyst != "bob" {
+		t.Fatalf("filtered audit: %+v", entries)
+	}
+}
+
+func TestAuditLogBounded(t *testing.T) {
+	l := newAuditLog(10, nil)
+	for i := 0; i < 100; i++ {
+		l.add(AuditEntry{Analyst: "a"})
+	}
+	if got := len(l.snapshot()); got > 10 {
+		t.Fatalf("audit log grew to %d entries, cap 10", got)
+	}
+}
+
+func TestServerLinkMatrixQuery(t *testing.T) {
+	gen := tracegen.IspConfig{
+		Seed: 5, Links: 10, Bins: 20, MeanPacketsPerBin: 50, NoiseFrac: 0.05,
+	}
+	samples, truth := tracegen.IspTraffic(gen)
+	s := New(noise.NewSeededSource(1, 2))
+	s.AddLinkTrace("isp", samples, gen.Links, gen.Bins, math.Inf(1), math.Inf(1))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(MatrixRequest{Analyst: "alice", Dataset: "isp", Epsilon: 1.0})
+	resp, err := http.Post(ts.URL+"/query/loadmatrix", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var mr MatrixResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Bins != 20 || mr.Links != 10 || len(mr.Data) != 200 {
+		t.Fatalf("matrix shape: %d x %d, %d cells", mr.Bins, mr.Links, len(mr.Data))
+	}
+	// Whole matrix costs one epsilon (nested partition).
+	if math.Abs(mr.Spent-1.0) > 1e-9 {
+		t.Errorf("spent %v, want 1.0", mr.Spent)
+	}
+	// Spot-check one cell against truth.
+	want := float64(truth.Counts[3][7])
+	got := mr.Data[7*10+3]
+	if math.Abs(got-want) > 20 {
+		t.Errorf("cell (link 3, bin 7) = %v, want ~%v", got, want)
+	}
+}
+
+func TestServerMonitorAveragesQuery(t *testing.T) {
+	gen := tracegen.DefaultScatterConfig()
+	gen.IPsPerCluster = 50
+	gen.Clusters = 3
+	gen.Monitors = 6
+	records, _ := tracegen.IPScatter(gen)
+	s := New(noise.NewSeededSource(3, 4))
+	s.AddHopTrace("scatter", records, gen.Monitors, 5.0, 2.0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(HopAveragesRequest{
+		Analyst: "bob", Dataset: "scatter", Epsilon: 1.0, MaxHops: 32,
+	})
+	resp, err := http.Post(ts.URL+"/query/monitoravgs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var hr HopAveragesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if len(hr.Averages) != gen.Monitors {
+		t.Fatalf("got %d averages, want %d", len(hr.Averages), gen.Monitors)
+	}
+	for m, avg := range hr.Averages {
+		if avg < 1 || avg > 30 {
+			t.Errorf("monitor %d average %v implausible", m, avg)
+		}
+	}
+	// Partition max-accounting: one epsilon for all monitors.
+	if math.Abs(hr.Spent-1.0) > 1e-9 {
+		t.Errorf("spent %v, want 1.0", hr.Spent)
+	}
+	// A second query exceeding bob's 2.0 cap is refused.
+	body, _ = json.Marshal(HopAveragesRequest{
+		Analyst: "bob", Dataset: "scatter", Epsilon: 1.5, MaxHops: 32,
+	})
+	resp2, err := http.Post(ts.URL+"/query/monitoravgs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusForbidden {
+		t.Fatalf("over-cap status %d, want 403", resp2.StatusCode)
+	}
+}
+
+func TestServerLinkMatrixValidation(t *testing.T) {
+	s := New(noise.NewSeededSource(1, 1))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(MatrixRequest{Analyst: "a", Dataset: "nope", Epsilon: 1})
+	resp, err := http.Post(ts.URL+"/query/loadmatrix", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset status %d", resp.StatusCode)
+	}
+	body, _ = json.Marshal(MatrixRequest{Analyst: "a", Dataset: "x"})
+	resp, err = http.Post(ts.URL+"/query/loadmatrix", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing epsilon status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+func TestCommRulesFindDependency(t *testing.T) {
+	res := RunCommRules(1, 1.0)
+	if !res.DNSRuleFound {
+		t.Error("DNS-before-web dependency not mined")
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	// Private confidences track exact ones: same order of magnitude,
+	// and the private top rule must be genuinely strong in truth.
+	top := res.Rules[0]
+	if top.ExactConfidence < 0.3 {
+		t.Errorf("top private rule %d=>%d has exact confidence %v — a false discovery",
+			top.Antecedent, top.Consequent, top.ExactConfidence)
+	}
+}
+
+func TestConnectionsExtension(t *testing.T) {
+	res := RunConnections(1, 0.1)
+	// 3000 sessions at FlowReuse 0.2 open ~3750 connections.
+	if res.Connections < 3000 || res.Connections > 5000 {
+		t.Errorf("connections %d outside plausible range", res.Connections)
+	}
+	if res.ReusedFlows < 300 {
+		t.Errorf("only %d follow-up connections; FlowReuse not exercised", res.ReusedFlows)
+	}
+	if res.RMSE > 0.05 {
+		t.Errorf("per-connection CDF RMSE %v too high", res.RMSE)
+	}
+}
+
+func TestDegreesAccurate(t *testing.T) {
+	res := RunDegrees(1)
+	for _, c := range res.OutCurves {
+		if c.RMSE > 0.10 {
+			t.Errorf("out-degree RMSE at eps=%v: %v", c.Epsilon, c.RMSE)
+		}
+	}
+	for i := 1; i < len(res.InCurves); i++ {
+		if res.InCurves[i].RMSE > res.InCurves[i-1].RMSE {
+			t.Errorf("in-degree RMSE not decreasing with eps")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dptrace/internal/analyses/anomaly"
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+	"dptrace/internal/stats"
+)
+
+// Fig4Result reproduces Figure 4: the norm of anomalous traffic per
+// time bin, computed privately at three levels and without noise
+// (paper: all four curves indistinguishable; RMSE 0.17% at ε=0.1).
+type Fig4Result struct {
+	Bins       int
+	ExactNorms []float64
+	Curves     []Fig2Curve
+	// TopBinsExact/PerEps list the highest-residual time bins; the
+	// injected anomaly sits around bin 270.
+	TopBinsExact []int
+	TopBinsByEps [][]int
+}
+
+// RunFig4 extracts the load matrix privately at each ε and runs the
+// PCA residual pipeline.
+func RunFig4(seed uint64) *Fig4Result {
+	d := isp()
+	exactM := anomaly.ExactLoadMatrix(d.truth.Counts)
+	res := &Fig4Result{Bins: d.cfg.Bins}
+	res.ExactNorms = anomaly.ResidualNorms(exactM, anomalyRank)
+	res.TopBinsExact = anomaly.TopAnomalies(res.ExactNorms, 5)
+
+	for i, eps := range Epsilons {
+		q, _ := core.NewQueryable(d.samples, math.Inf(1), noise.NewSeededSource(seed, uint64(110+i)))
+		m, err := anomaly.PrivateLoadMatrix(q, d.cfg.Links, d.cfg.Bins, eps)
+		if err != nil {
+			panic(err)
+		}
+		norms := anomaly.ResidualNorms(m, anomalyRank)
+		rmse, _ := stats.RMSE(norms, res.ExactNorms)
+		res.Curves = append(res.Curves, Fig2Curve{Epsilon: eps, Values: norms, RMSE: rmse})
+		res.TopBinsByEps = append(res.TopBinsByEps, anomaly.TopAnomalies(norms, 5))
+	}
+	return res
+}
+
+// String renders the RMSE summary and flagged bins.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — PCA anomaly norms over %d time bins\n", r.Bins)
+	fmt.Fprintf(&b, "noise-free top bins: %v (anomaly injected at 268-272)\n", r.TopBinsExact)
+	for i, c := range r.Curves {
+		fmt.Fprintf(&b, "eps=%-5.1f relative RMSE vs noise-free = %.3f%%  top bins %v\n",
+			c.Epsilon, c.RMSE*100, r.TopBinsByEps[i])
+	}
+	// Peak-to-median ratio shows the anomaly "clearly standing out".
+	peak := 0.0
+	for _, v := range r.ExactNorms {
+		if v > peak {
+			peak = v
+		}
+	}
+	med := stats.Quantile(r.ExactNorms, 0.5)
+	if med > 0 {
+		fmt.Fprintf(&b, "noise-free peak/median residual: %.1fx\n", peak/med)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Series is one named x/y series for plotting.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Plotter is implemented by experiment results whose figures can be
+// regenerated from x/y series; cmd/experiments -csv writes them out.
+type Plotter interface {
+	Series() []Series
+}
+
+// WriteCSV writes series in long format (series,x,y), one row per
+// point — directly loadable by any plotting tool.
+func WriteCSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func bucketsToX(buckets []int64) []float64 {
+	out := make([]float64, len(buckets))
+	for i, b := range buckets {
+		out[i] = float64(b)
+	}
+	return out
+}
+
+func intsToX(values []int) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Series implements Plotter: Figure 1's four CDF curves.
+func (r *Fig1Result) Series() []Series {
+	x := bucketsToX(r.BucketsMs)
+	return []Series{
+		{Name: "noise-free", X: x, Y: r.Exact},
+		{Name: "cdf1", X: x, Y: r.CDF1},
+		{Name: "cdf2", X: x, Y: r.CDF2},
+		{Name: "cdf3", X: x, Y: r.CDF3},
+		{Name: "cdf3-isotonic", X: x, Y: r.CDF3Isotonic},
+	}
+}
+
+// Series implements Plotter: Figure 2's length and port CDFs.
+func (r *Fig2Result) Series() []Series {
+	out := []Series{
+		{Name: "length-noise-free", X: bucketsToX(r.LengthBuckets), Y: r.LengthExact},
+		{Name: "port-noise-free", X: bucketsToX(r.PortBuckets), Y: r.PortExact},
+	}
+	for _, c := range r.LengthCurves {
+		out = append(out, Series{
+			Name: fmt.Sprintf("length-eps=%g", c.Epsilon),
+			X:    bucketsToX(r.LengthBuckets), Y: c.Values,
+		})
+	}
+	for _, c := range r.PortCurves {
+		out = append(out, Series{
+			Name: fmt.Sprintf("port-eps=%g", c.Epsilon),
+			X:    bucketsToX(r.PortBuckets), Y: c.Values,
+		})
+	}
+	return out
+}
+
+// Series implements Plotter: Figure 3's RTT and loss-rate CDFs.
+func (r *Fig3Result) Series() []Series {
+	out := []Series{
+		{Name: "rtt-noise-free", X: bucketsToX(r.RTTBucketsMs), Y: r.RTTExact},
+		{Name: "loss-noise-free", X: bucketsToX(r.LossBuckets), Y: r.LossExact},
+	}
+	for _, c := range r.RTTCurves {
+		out = append(out, Series{
+			Name: fmt.Sprintf("rtt-eps=%g", c.Epsilon),
+			X:    bucketsToX(r.RTTBucketsMs), Y: c.Values,
+		})
+	}
+	for _, c := range r.LossCurves {
+		out = append(out, Series{
+			Name: fmt.Sprintf("loss-eps=%g", c.Epsilon),
+			X:    bucketsToX(r.LossBuckets), Y: c.Values,
+		})
+	}
+	return out
+}
+
+// Series implements Plotter: Figure 4's residual-norm curves.
+func (r *Fig4Result) Series() []Series {
+	x := make([]float64, r.Bins)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	out := []Series{{Name: "noise-free", X: x, Y: r.ExactNorms}}
+	for _, c := range r.Curves {
+		out = append(out, Series{Name: fmt.Sprintf("eps=%g", c.Epsilon), X: x, Y: c.Values})
+	}
+	return out
+}
+
+// Series implements Plotter: Figure 5's objective-vs-iteration curves.
+func (r *Fig5Result) Series() []Series {
+	var out []Series
+	for _, c := range r.Curves {
+		x := make([]float64, len(c.Objective))
+		for i := range x {
+			x[i] = float64(i)
+		}
+		out = append(out, Series{Name: c.Label, X: x, Y: c.Objective})
+	}
+	return out
+}
+
+// Series implements Plotter: the CDF scaling-law sweep.
+func (r *CDFScalingResult) Series() []Series {
+	x := intsToX(r.BucketCounts)
+	return []Series{
+		{Name: "cdf1", X: x, Y: r.RMSE[0]},
+		{Name: "cdf2", X: x, Y: r.RMSE[1]},
+		{Name: "cdf3", X: x, Y: r.RMSE[2]},
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dptrace/internal/analyses/steppingstone"
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+	"dptrace/internal/trace"
+)
+
+// Table5Level is the stepping-stone evaluation at one privacy level.
+type Table5Level struct {
+	Epsilon float64
+	// NoisyCorrMean/Std summarize the bucketed noisy correlations of
+	// the top-K pairs.
+	NoisyCorrMean, NoisyCorrStd float64
+	// ExactCorrMean/Std summarize the faithful sliding-window
+	// correlations of those same pairs.
+	ExactCorrMean, ExactCorrStd float64
+	// FalsePositives counts top-K pairs with essentially no actual
+	// correlation, out of K.
+	FalsePositives int
+	K              int
+}
+
+// Table5Result reproduces Table 5: private detection of stepping
+// stones (paper: false positives 18/20, 1/20, 2/20 at ε=0.1, 1, 10).
+type Table5Result struct {
+	// Levels evaluates the paper-scale trace (~1300 activations per
+	// flow).
+	Levels []Table5Level
+	// SparseLevels evaluates the low-signal variant (~60 activations
+	// per flow), where the mined support sits near the ε=0.1 noise
+	// floor — the regime in which the paper's strong-privacy run
+	// collapsed.
+	SparseLevels []Table5Level
+	// TruePairs is the number of planted stone pairs among the
+	// candidates.
+	TruePairs int
+}
+
+// RunTable5 evaluates the top-K candidate pairs at every privacy
+// level against the exact baseline, on both the paper-scale and the
+// low-signal traces.
+func RunTable5(seed uint64) *Table5Result {
+	res := &Table5Result{TruePairs: len(hotspot().truth.StonePairs)}
+	res.Levels = runTable5On(hotspot(), seed)
+	res.SparseLevels = runTable5On(hotspotSparse(), seed+1000)
+	return res
+}
+
+func runTable5On(h *hotspotData, seed uint64) []Table5Level {
+	// Candidate flows: the interactive flows, as the paper restricts
+	// to flows with [1200, 1400] activations. The flow universe is
+	// public; membership in the band is checked privately below.
+	var flows []trace.FlowKey
+	for _, p := range h.truth.StonePairs {
+		flows = append(flows, p[0], p[1])
+	}
+	flows = append(flows, h.truth.DecoyFlows...)
+
+	exactActs := steppingstone.ExactActivations(h.packets, steppingstone.DefaultTIdleUs)
+	var levels []Table5Level
+	const k = 20
+
+	for i, eps := range Epsilons {
+		q, _ := core.NewQueryable(h.packets, math.Inf(1), noise.NewSeededSource(seed, uint64(100+i)))
+		acts := steppingstone.Activations(q, steppingstone.DefaultTIdleUs)
+		candidates, err := steppingstone.CandidateFlows(acts, flows, eps,
+			float64(h.cfg.StoneActivations)*0.5, float64(h.cfg.StoneActivations)*2)
+		if err != nil {
+			panic(err)
+		}
+		if len(candidates) < 2 {
+			// At strong privacy the band check may reject everything;
+			// fall back to the full public candidate list, as an
+			// analyst would widen the band.
+			candidates = flows
+		}
+		// Stage 1 (the paper's approximation): frequent itemset mining
+		// over δ-bins surfaces candidate pairs; the threshold must
+		// clear the noise floor.
+		mined, err := steppingstone.DiscoverPairs(acts, candidates,
+			steppingstone.DefaultDeltaUs, eps, 20+5*noise.LaplaceStd(eps))
+		if err != nil {
+			panic(err)
+		}
+		if len(mined) > 2*k {
+			mined = mined[:2*k]
+		}
+		pairs := make([][2]trace.FlowKey, len(mined))
+		for j, m := range mined {
+			pairs[j] = [2]trace.FlowKey{m.A, m.B}
+		}
+		// Stage 2: evaluate each mined pair's bucketed correlation
+		// after Partitioning the activations by flow.
+		scores, err := steppingstone.EvaluatePairList(acts, pairs, steppingstone.DefaultDeltaUs, eps)
+		if err != nil {
+			panic(err)
+		}
+		top := scores
+		if len(top) > k {
+			top = top[:k]
+		}
+		level := Table5Level{Epsilon: eps, K: len(top)}
+		var noisy, exact []float64
+		for _, s := range top {
+			noisy = append(noisy, s.Corr)
+			e := steppingstone.ExactPairCorrelation(exactActs, s.A, s.B, steppingstone.DefaultDeltaUs)
+			exact = append(exact, e)
+			if e < 0.05 {
+				level.FalsePositives++
+			}
+		}
+		level.NoisyCorrMean, level.NoisyCorrStd = meanStd(noisy)
+		level.ExactCorrMean, level.ExactCorrStd = meanStd(exact)
+		levels = append(levels, level)
+	}
+	return levels
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - mean
+		sq += d * d
+	}
+	return mean, math.Sqrt(sq / float64(len(xs)))
+}
+
+// String renders the Table 5 rows.
+func (r *Table5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5 — private detection of stepping stones (top-%d pairs, %d true stones planted)\n",
+		20, r.TruePairs)
+	render := func(title string, levels []Table5Level) {
+		fmt.Fprintf(&b, "%s\n", title)
+		fmt.Fprintf(&b, "%6s %18s %18s %16s\n", "eps", "noisy corr", "noise-free corr", "false positives")
+		for _, l := range levels {
+			fmt.Fprintf(&b, "%6.1f %9.2f ± %5.2f %9.2f ± %5.2f %11d/%d\n",
+				l.Epsilon, l.NoisyCorrMean, l.NoisyCorrStd,
+				l.ExactCorrMean, l.ExactCorrStd, l.FalsePositives, l.K)
+		}
+	}
+	render("paper-scale signal (~1300 activations/flow):", r.Levels)
+	render("low-signal variant (~60 activations/flow):", r.SparseLevels)
+	fmt.Fprintf(&b, "(paper: 0.06±0.07/0.72±0.10/0.78±0.03 noisy; FPs 18/20, 1/20, 2/20)\n")
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dptrace/internal/analyses/wormfp"
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+)
+
+// WormLevel is the recovery result at one privacy level.
+type WormLevel struct {
+	Epsilon   float64
+	Recovered int // true fingerprints recovered
+	Total     int // noise-free fingerprints
+}
+
+// WormResult reproduces §5.1.2: the noisy suspicious-group count and
+// the fraction of true fingerprints recovered at each privacy level
+// (the paper reports 7, 24 and 29 of 29 at ε = 0.1, 1, 10).
+type WormResult struct {
+	GroupCountEpsilon float64
+	NoisyGroupCount   float64
+	TrueGroupCount    int
+	Levels            []WormLevel
+}
+
+// wormDispersion is the dispersion threshold for the experiment; the
+// generator plants worms at dispersion 60, and the paper evaluates
+// thresholds of 50.
+const wormDispersion = 50
+
+// RunWorm runs the full §5.1.2 pipeline at every privacy level.
+func RunWorm(seed uint64) *WormResult {
+	h := hotspot()
+	exact := wormfp.Exact(h.packets, prefixLen, wormDispersion, wormDispersion)
+	exactSet := make(map[string]bool, len(exact))
+	for _, e := range exact {
+		exactSet[e.Payload] = true
+	}
+
+	// The paper's first probe counts suspicious groups with thresholds
+	// at 5 (reporting 2739 ± 10); the group identities stay hidden.
+	res := &WormResult{GroupCountEpsilon: 1.0}
+	q, _ := core.NewQueryable(h.packets, math.Inf(1), noise.NewSeededSource(seed, 66))
+	gc, err := wormfp.SuspiciousGroupCount(q, res.GroupCountEpsilon, 5, 5)
+	if err != nil {
+		panic(err)
+	}
+	res.NoisyGroupCount = gc
+	res.TrueGroupCount = len(wormfp.Exact(h.packets, prefixLen, 5, 5))
+
+	for i, eps := range Epsilons {
+		q, _ := core.NewQueryable(h.packets, math.Inf(1), noise.NewSeededSource(seed, uint64(70+i)))
+		found, err := wormfp.Run(q, wormfp.Config{
+			SrcThreshold:  wormDispersion,
+			DstThreshold:  wormDispersion,
+			PayloadLength: prefixLen,
+			// The frequency threshold must clear the noise floor to
+			// avoid false-positive explosion: a few noise std above
+			// the base threshold, as an analyst aware of the public
+			// noise distribution would set it.
+			EpsilonPerRound:    eps,
+			FrequencyThreshold: 100 + 5*noise.LaplaceStd(eps),
+			EpsilonEval:        eps,
+		})
+		if err != nil {
+			panic(err)
+		}
+		recovered := 0
+		for _, fp := range found {
+			if fp.Suspicious && exactSet[string(fp.Payload)] {
+				recovered++
+			}
+		}
+		res.Levels = append(res.Levels, WormLevel{Epsilon: eps, Recovered: recovered, Total: len(exact)})
+	}
+	return res
+}
+
+// String renders the recovery progression.
+func (r *WormResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§5.1.2 — worm fingerprinting (dispersion threshold %d)\n", wormDispersion)
+	fmt.Fprintf(&b, "suspicious payload groups: noisy %.0f vs true %d (eps=%.1f)\n",
+		r.NoisyGroupCount, r.TrueGroupCount, r.GroupCountEpsilon)
+	for _, l := range r.Levels {
+		fmt.Fprintf(&b, "eps=%-5.1f recovered %d/%d fingerprints (paper: 7/24/29 of 29)\n",
+			l.Epsilon, l.Recovered, l.Total)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package linalg
+
+import (
+	"math"
+)
+
+// GaussianEMState implements spherical Gaussian mixture EM — the
+// clustering algorithm Eriksson et al. originally used for passive
+// topology discovery. The paper notes Gaussian EM is expressible under
+// differential privacy but costs more budget per iteration than
+// k-means (it must estimate means, variances, and weights), so the
+// private analysis uses k-means; this implementation provides the
+// non-private comparator and the substrate for the privacy-cost
+// ablation bench.
+type GaussianEMState struct {
+	Means     [][]float64
+	Variances []float64 // one spherical variance per component
+	Weights   []float64 // mixing proportions, sum to 1
+}
+
+// NewGaussianEMState seeds EM from k-means-style initial centers with
+// unit variances and uniform weights.
+func NewGaussianEMState(centers [][]float64) *GaussianEMState {
+	k := len(centers)
+	st := &GaussianEMState{
+		Means:     make([][]float64, k),
+		Variances: make([]float64, k),
+		Weights:   make([]float64, k),
+	}
+	for i, c := range centers {
+		cp := make([]float64, len(c))
+		copy(cp, c)
+		st.Means[i] = cp
+		st.Variances[i] = 1
+		st.Weights[i] = 1 / float64(k)
+	}
+	return st
+}
+
+// logGaussian returns the log density of a spherical Gaussian at p.
+func logGaussian(p, mean []float64, variance float64) float64 {
+	if variance <= 0 {
+		variance = 1e-9
+	}
+	d := float64(len(p))
+	return -0.5*(d*math.Log(2*math.Pi*variance)) - EuclideanDistSq(p, mean)/(2*variance)
+}
+
+// Step performs one EM iteration over points and returns the average
+// log-likelihood. Component responsibilities use the log-sum-exp trick
+// for stability.
+func (s *GaussianEMState) Step(points [][]float64) float64 {
+	k := len(s.Means)
+	if len(points) == 0 || k == 0 {
+		return 0
+	}
+	dim := len(points[0])
+	respSum := make([]float64, k)
+	weighted := make([][]float64, k)
+	sqSum := make([]float64, k)
+	for i := range weighted {
+		weighted[i] = make([]float64, dim)
+	}
+	var totalLL float64
+	logp := make([]float64, k)
+	for _, p := range points {
+		maxLog := math.Inf(-1)
+		for c := 0; c < k; c++ {
+			logp[c] = math.Log(s.Weights[c]+1e-12) + logGaussian(p, s.Means[c], s.Variances[c])
+			if logp[c] > maxLog {
+				maxLog = logp[c]
+			}
+		}
+		var denom float64
+		for c := 0; c < k; c++ {
+			denom += math.Exp(logp[c] - maxLog)
+		}
+		totalLL += maxLog + math.Log(denom)
+		for c := 0; c < k; c++ {
+			r := math.Exp(logp[c]-maxLog) / denom
+			respSum[c] += r
+			AXPY(r, p, weighted[c])
+			sqSum[c] += r * EuclideanDistSq(p, s.Means[c])
+		}
+	}
+	n := float64(len(points))
+	for c := 0; c < k; c++ {
+		if respSum[c] < 1e-9 {
+			continue // dead component keeps its parameters
+		}
+		for j := range weighted[c] {
+			weighted[c][j] /= respSum[c]
+		}
+		s.Means[c] = weighted[c]
+		s.Variances[c] = sqSum[c] / (respSum[c] * float64(dim))
+		if s.Variances[c] < 1e-6 {
+			s.Variances[c] = 1e-6
+		}
+		s.Weights[c] = respSum[c] / n
+	}
+	return totalLL / n
+}
+
+// Assign returns the most responsible component for p.
+func (s *GaussianEMState) Assign(p []float64) int {
+	best, bestLog := 0, math.Inf(-1)
+	for c := range s.Means {
+		l := math.Log(s.Weights[c]+1e-12) + logGaussian(p, s.Means[c], s.Variances[c])
+		if l > bestLog {
+			best, bestLog = c, l
+		}
+	}
+	return best
+}
+
+// Objective reports the same average nearest-mean distance as
+// KMeansState.Objective, so EM and k-means runs are directly
+// comparable on the Fig 5 axis.
+func (s *GaussianEMState) Objective(points [][]float64) float64 {
+	km := &KMeansState{Centers: s.Means}
+	return km.Objective(points)
+}

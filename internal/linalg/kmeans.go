@@ -1,0 +1,148 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// KMeansState carries the evolving centers of a k-means run. The DP
+// topology analysis drives iterations itself (each iteration costs
+// privacy budget), so the state is exposed rather than hidden behind a
+// single Fit call.
+type KMeansState struct {
+	Centers [][]float64
+}
+
+// NewKMeansState initializes k centers of the given dimension from a
+// seeded RNG, uniform over [lo, hi] per coordinate. The paper
+// initializes all privacy levels from "a common random set of
+// vectors"; passing the same seed reproduces that setup.
+func NewKMeansState(k, dim int, lo, hi float64, seed uint64) *KMeansState {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+	centers := make([][]float64, k)
+	for i := range centers {
+		c := make([]float64, dim)
+		for j := range c {
+			c[j] = lo + rng.Float64()*(hi-lo)
+		}
+		centers[i] = c
+	}
+	return &KMeansState{Centers: centers}
+}
+
+// NewKMeansStateFromPoints initializes centers by sampling k distinct
+// points (a common k-means seeding that avoids empty regions). If
+// fewer than k points exist, remaining centers are copies of sampled
+// points perturbed deterministically.
+func NewKMeansStateFromPoints(points [][]float64, k int, seed uint64) *KMeansState {
+	if len(points) == 0 || k <= 0 {
+		panic("linalg: NewKMeansStateFromPoints needs points and k >= 1")
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xA5A5A5A5))
+	perm := rng.Perm(len(points))
+	centers := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		src := points[perm[i%len(perm)]]
+		c := make([]float64, len(src))
+		copy(c, src)
+		if i >= len(perm) {
+			for j := range c {
+				c[j] += rng.Float64() - 0.5
+			}
+		}
+		centers[i] = c
+	}
+	return &KMeansState{Centers: centers}
+}
+
+// Assign returns the index of the nearest center to vec.
+func (s *KMeansState) Assign(vec []float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for i, c := range s.Centers {
+		if d := EuclideanDistSq(vec, c); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Objective returns the k-means objective the paper plots in Fig 5:
+// the average Euclidean distance from each point to its nearest
+// center (their "RMSE").
+func (s *KMeansState) Objective(points [][]float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range points {
+		best := math.Inf(1)
+		for _, c := range s.Centers {
+			if d := EuclideanDistSq(p, c); d < best {
+				best = d
+			}
+		}
+		sum += math.Sqrt(best)
+	}
+	return sum / float64(len(points))
+}
+
+// ObjectiveSq returns the mean squared distance from each point to its
+// nearest center — the quantity Lloyd iterations monotonically
+// decrease (the plotted Fig 5 objective is the non-squared average,
+// which is close but not guaranteed monotone).
+func (s *KMeansState) ObjectiveSq(points [][]float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range points {
+		best := math.Inf(1)
+		for _, c := range s.Centers {
+			if d := EuclideanDistSq(p, c); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(points))
+}
+
+// Update replaces the centers with newCenters; any nil entry keeps the
+// previous center (a cluster that received no noisy mass).
+func (s *KMeansState) Update(newCenters [][]float64) {
+	for i, c := range newCenters {
+		if c != nil {
+			s.Centers[i] = c
+		}
+	}
+}
+
+// LloydStep performs one exact (non-private) Lloyd iteration: assign
+// each point to its nearest center, recompute centers as cluster
+// means. It is the noise-free baseline for the Fig 5 comparison.
+// Empty clusters keep their previous center.
+func (s *KMeansState) LloydStep(points [][]float64) {
+	if len(points) == 0 {
+		return
+	}
+	dim := len(s.Centers[0])
+	sums := make([][]float64, len(s.Centers))
+	counts := make([]int, len(s.Centers))
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+	for _, p := range points {
+		a := s.Assign(p)
+		AXPY(1, p, sums[a])
+		counts[a]++
+	}
+	for i := range sums {
+		if counts[i] == 0 {
+			continue
+		}
+		for j := range sums[i] {
+			sums[i][j] /= float64(counts[i])
+		}
+		s.Centers[i] = sums[i]
+	}
+}

@@ -1,0 +1,341 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 1, 3)
+	if m.At(0, 2) != 2 || m.At(1, 1) != 3 {
+		t.Fatal("Set/At mismatch")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[1] != 3 {
+		t.Fatalf("Row = %v", row)
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 0) != 2 || tr.At(1, 1) != 3 {
+		t.Fatal("Transpose wrong")
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	got := m.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v, want [3 7]", got)
+	}
+	gotT := m.MulVecT([]float64{1, 1})
+	if gotT[0] != 4 || gotT[1] != 6 {
+		t.Fatalf("MulVecT = %v, want [4 6]", gotT)
+	}
+}
+
+func TestColumnMeansAndCenter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 10)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 20)
+	means := m.ColumnMeans()
+	if means[0] != 2 || means[1] != 15 {
+		t.Fatalf("ColumnMeans = %v", means)
+	}
+	m.CenterColumns()
+	if m.At(0, 0) != -1 || m.At(1, 1) != 5 {
+		t.Fatal("CenterColumns wrong")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2 wrong")
+	}
+	v := []float64{3, 4}
+	if !Normalize(v) || !almostEq(Norm2(v), 1, 1e-12) {
+		t.Fatal("Normalize wrong")
+	}
+	zero := []float64{0, 0}
+	if Normalize(zero) {
+		t.Fatal("Normalize of zero vector should return false")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatalf("AXPY = %v", y)
+	}
+	if EuclideanDistSq([]float64{0, 0}, []float64{3, 4}) != 25 {
+		t.Fatal("EuclideanDistSq wrong")
+	}
+}
+
+// TestPCARecoversDominantDirection: rows are multiples of a known
+// direction plus tiny noise; the first component must align with it.
+func TestPCARecoversDominantDirection(t *testing.T) {
+	dir := []float64{0.6, 0.8, 0}
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := NewMatrix(200, 3)
+	for i := 0; i < 200; i++ {
+		scale := rng.Float64()*10 - 5
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, scale*dir[j]+0.01*(rng.Float64()-0.5))
+		}
+	}
+	pca := ComputePCA(m, 1, 100)
+	c := pca.Components[0]
+	align := math.Abs(Dot(c, dir))
+	if align < 0.999 {
+		t.Fatalf("component alignment %v, want ~1 (component %v)", align, c)
+	}
+}
+
+func TestPCASingularValuesDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	m := NewMatrix(100, 5)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	pca := ComputePCA(m, 4, 60)
+	for i := 1; i < len(pca.SingularValues); i++ {
+		if pca.SingularValues[i] > pca.SingularValues[i-1]+1e-6 {
+			t.Fatalf("singular values not decreasing: %v", pca.SingularValues)
+		}
+	}
+}
+
+func TestPCAResidualOrthogonalToComponents(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	m := NewMatrix(50, 4)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	pca := ComputePCA(m, 2, 80)
+	vec := []float64{1, 2, 3, 4}
+	res := pca.Residual(vec)
+	for i, c := range pca.Components {
+		if d := math.Abs(Dot(res, c)); d > 1e-8 {
+			t.Fatalf("residual not orthogonal to component %d: %v", i, d)
+		}
+	}
+	// Projection + residual reconstructs the vector.
+	recon := make([]float64, 4)
+	copy(recon, res)
+	proj := pca.Project(vec)
+	for i, c := range pca.Components {
+		AXPY(proj[i], c, recon)
+	}
+	for j := range vec {
+		if !almostEq(recon[j], vec[j], 1e-8) {
+			t.Fatalf("reconstruction mismatch at %d: %v vs %v", j, recon[j], vec[j])
+		}
+	}
+}
+
+func TestPCAFullRankResidualIsZero(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	m.Set(2, 0, 1)
+	m.Set(2, 1, 1)
+	pca := ComputePCA(m, 2, 100)
+	norms := pca.ResidualNorms(m)
+	for i, n := range norms {
+		if n > 1e-6 {
+			t.Fatalf("full-rank PCA leaves residual %v at row %d", n, i)
+		}
+	}
+}
+
+func TestPCADeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	m := NewMatrix(30, 3)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	a := ComputePCA(m, 2, 50)
+	b := ComputePCA(m, 2, 50)
+	for i := range a.Components {
+		for j := range a.Components[i] {
+			if a.Components[i][j] != b.Components[i][j] {
+				t.Fatal("PCA not deterministic")
+			}
+		}
+	}
+}
+
+func TestPCAKClampedToCols(t *testing.T) {
+	m := NewMatrix(4, 2)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	pca := ComputePCA(m, 10, 30)
+	if len(pca.Components) > 2 {
+		t.Fatalf("got %d components for 2 columns", len(pca.Components))
+	}
+}
+
+func makeClusteredPoints(k, perCluster, dim int, sep, jitter float64, seed uint64) ([][]float64, [][]float64) {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	centers := make([][]float64, k)
+	for c := range centers {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = float64(c) * sep
+		}
+		centers[c] = v
+	}
+	var points [][]float64
+	for c := 0; c < k; c++ {
+		for i := 0; i < perCluster; i++ {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = centers[c][j] + (rng.Float64()-0.5)*jitter
+			}
+			points = append(points, p)
+		}
+	}
+	return points, centers
+}
+
+func TestKMeansConvergesOnSeparatedClusters(t *testing.T) {
+	// k-means is sensitive to initialization; take the best of a few
+	// seeds, as any practical pipeline would.
+	points, _ := makeClusteredPoints(3, 100, 4, 10, 1, 7)
+	best := math.Inf(1)
+	for seed := uint64(1); seed <= 5; seed++ {
+		st := NewKMeansStateFromPoints(points, 3, seed)
+		prev := st.ObjectiveSq(points)
+		for i := 0; i < 15; i++ {
+			st.LloydStep(points)
+			obj := st.ObjectiveSq(points)
+			if obj > prev+1e-9 {
+				t.Fatalf("squared objective increased: %v -> %v", prev, obj)
+			}
+			prev = obj
+		}
+		if final := st.Objective(points); final < best {
+			best = final
+		}
+	}
+	if best > 1.0 {
+		t.Fatalf("best final objective %v, want < 1 (jitter scale)", best)
+	}
+}
+
+func TestKMeansAssignNearest(t *testing.T) {
+	st := &KMeansState{Centers: [][]float64{{0, 0}, {10, 10}}}
+	if st.Assign([]float64{1, 1}) != 0 || st.Assign([]float64{9, 9}) != 1 {
+		t.Fatal("Assign picked wrong center")
+	}
+}
+
+func TestKMeansUpdateKeepsNilCenters(t *testing.T) {
+	st := &KMeansState{Centers: [][]float64{{1, 1}, {2, 2}}}
+	st.Update([][]float64{nil, {5, 5}})
+	if st.Centers[0][0] != 1 || st.Centers[1][0] != 5 {
+		t.Fatalf("Update wrong: %v", st.Centers)
+	}
+}
+
+func TestKMeansStateDeterministicInit(t *testing.T) {
+	a := NewKMeansState(3, 2, 0, 1, 42)
+	b := NewKMeansState(3, 2, 0, 1, 42)
+	for i := range a.Centers {
+		for j := range a.Centers[i] {
+			if a.Centers[i][j] != b.Centers[i][j] {
+				t.Fatal("same seed, different init")
+			}
+		}
+	}
+}
+
+func TestGaussianEMImprovesLikelihood(t *testing.T) {
+	points, _ := makeClusteredPoints(2, 150, 3, 8, 1, 21)
+	init := NewKMeansState(2, 3, 0, 10, 33)
+	em := NewGaussianEMState(init.Centers)
+	prev := math.Inf(-1)
+	for i := 0; i < 20; i++ {
+		ll := em.Step(points)
+		if i > 2 && ll < prev-1e-6 {
+			t.Fatalf("log-likelihood decreased: %v -> %v at iter %d", prev, ll, i)
+		}
+		prev = ll
+	}
+	if obj := em.Objective(points); obj > 1.5 {
+		t.Fatalf("EM objective %v, want small", obj)
+	}
+}
+
+func TestGaussianEMAssign(t *testing.T) {
+	em := NewGaussianEMState([][]float64{{0, 0}, {10, 10}})
+	if em.Assign([]float64{1, 0}) != 0 || em.Assign([]float64{10, 9}) != 1 {
+		t.Fatal("EM Assign wrong")
+	}
+}
+
+func TestGaussianEMEmptyPoints(t *testing.T) {
+	em := NewGaussianEMState([][]float64{{0}})
+	if ll := em.Step(nil); ll != 0 {
+		t.Fatalf("empty Step = %v", ll)
+	}
+}
+
+// Property: the PCA residual norm never exceeds the original norm.
+func TestPCAResidualShrinksProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 56))
+	m := NewMatrix(40, 4)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * 10
+	}
+	pca := ComputePCA(m, 2, 60)
+	f := func(a, b, c, d int8) bool {
+		vec := []float64{float64(a), float64(b), float64(c), float64(d)}
+		return Norm2(pca.Residual(vec)) <= Norm2(vec)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lloyd steps never increase the squared k-means objective
+// (the classic monotonicity guarantee; the non-squared Fig 5 axis is
+// not guaranteed monotone).
+func TestLloydMonotoneProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		points, _ := makeClusteredPoints(3, 30, 2, 6, 2, uint64(seed)+1)
+		st := NewKMeansState(3, 2, 0, 15, uint64(seed)+2)
+		prev := st.ObjectiveSq(points)
+		for i := 0; i < 5; i++ {
+			st.LloydStep(points)
+			obj := st.ObjectiveSq(points)
+			if obj > prev+1e-9 {
+				return false
+			}
+			prev = obj
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

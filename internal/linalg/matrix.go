@@ -1,0 +1,170 @@
+// Package linalg implements the small amount of dense linear algebra
+// the graph-level analyses need: matrices, principal components
+// analysis via power iteration with deflation (for Lakhina-style
+// anomaly detection), k-means clustering, and Gaussian
+// expectation-maximization (the costlier clustering alternative the
+// paper declines for privacy reasons, implemented here as the
+// comparator).
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Transpose returns a new transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MulVec computes m·v for a vector of length m.Cols.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch %d vs %d", len(v), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecT computes mᵀ·v for a vector of length m.Rows, without
+// materializing the transpose.
+func (m *Matrix) MulVecT(v []float64) []float64 {
+	if len(v) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVecT shape mismatch %d vs %d", len(v), m.Rows))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		vi := v[i]
+		for j, x := range row {
+			out[j] += x * vi
+		}
+	}
+	return out
+}
+
+// ColumnMeans returns the mean of each column.
+func (m *Matrix) ColumnMeans() []float64 {
+	means := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return means
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j, x := range m.Row(i) {
+			means[j] += x
+		}
+	}
+	for j := range means {
+		means[j] /= float64(m.Rows)
+	}
+	return means
+}
+
+// CenterColumns subtracts each column's mean in place and returns the
+// means that were removed.
+func (m *Matrix) CenterColumns() []float64 {
+	means := m.ColumnMeans()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	return means
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Normalize scales v to unit norm in place; a zero vector is left
+// unchanged and false is returned.
+func Normalize(v []float64) bool {
+	n := Norm2(v)
+	if n == 0 {
+		return false
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return true
+}
+
+// AXPY computes y += a·x in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: AXPY length mismatch")
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// EuclideanDistSq returns the squared Euclidean distance of two
+// equal-length vectors.
+func EuclideanDistSq(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: distance length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,336 @@
+package noise
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeededSourceDeterministic(t *testing.T) {
+	a := NewSeededSource(1, 2)
+	b := NewSeededSource(1, 2)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.Float64(), b.Float64()
+		if va != vb {
+			t.Fatalf("draw %d: %v != %v", i, va, vb)
+		}
+		if va < 0 || va >= 1 {
+			t.Fatalf("draw %d out of [0,1): %v", i, va)
+		}
+	}
+}
+
+func TestSeededSourceDifferentSeedsDiffer(t *testing.T) {
+	a := NewSeededSource(1, 2)
+	b := NewSeededSource(3, 4)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestCryptoSourceRange(t *testing.T) {
+	src := NewCryptoSource()
+	for i := 0; i < 1000; i++ {
+		v := src.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("crypto draw out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestLockedSourceConcurrent(t *testing.T) {
+	src := NewLockedSource(NewSeededSource(7, 7))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v := src.Float64()
+				if v < 0 || v >= 1 {
+					t.Errorf("locked draw out of range: %v", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLaplaceMomentsMatchTheory checks the empirical mean and standard
+// deviation of Laplace samples against the theory the paper quotes:
+// mean 0, std = √2·scale.
+func TestLaplaceMomentsMatchTheory(t *testing.T) {
+	src := NewSeededSource(11, 13)
+	for _, scale := range []float64{0.1, 1, 10} {
+		const n = 200000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := Laplace(src, scale)
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		std := math.Sqrt(sumSq/n - mean*mean)
+		wantStd := math.Sqrt2 * scale
+		if math.Abs(mean) > 0.03*wantStd {
+			t.Errorf("scale %v: mean %v too far from 0 (std %v)", scale, mean, wantStd)
+		}
+		if math.Abs(std-wantStd)/wantStd > 0.03 {
+			t.Errorf("scale %v: std %v, want %v", scale, std, wantStd)
+		}
+	}
+}
+
+// TestLaplaceForEpsilonStd verifies Table 1's claim: a sensitivity-1
+// query at privacy ε has noise std √2/ε.
+func TestLaplaceForEpsilonStd(t *testing.T) {
+	src := NewSeededSource(5, 9)
+	for _, eps := range []float64{0.1, 1.0, 10.0} {
+		const n = 100000
+		var sumSq float64
+		for i := 0; i < n; i++ {
+			x := LaplaceForEpsilon(src, 1, eps)
+			sumSq += x * x
+		}
+		std := math.Sqrt(sumSq / n)
+		want := LaplaceStd(eps)
+		if math.Abs(std-want)/want > 0.05 {
+			t.Errorf("eps %v: std %v, want %v", eps, std, want)
+		}
+	}
+}
+
+func TestLaplaceSymmetry(t *testing.T) {
+	src := NewSeededSource(21, 22)
+	const n = 100000
+	pos := 0
+	for i := 0; i < n; i++ {
+		if Laplace(src, 1) > 0 {
+			pos++
+		}
+	}
+	frac := float64(pos) / n
+	if frac < 0.48 || frac > 0.52 {
+		t.Errorf("positive fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestLaplaceInvalidScalePanics(t *testing.T) {
+	src := NewSeededSource(1, 1)
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Laplace(%v) did not panic", bad)
+				}
+			}()
+			Laplace(src, bad)
+		}()
+	}
+}
+
+func TestGeometricMassAtZero(t *testing.T) {
+	src := NewSeededSource(2, 4)
+	const n = 200000
+	eps := 1.0
+	zero := 0
+	for i := 0; i < n; i++ {
+		if Geometric(src, 1, eps) == 0 {
+			zero++
+		}
+	}
+	alpha := math.Exp(-eps)
+	want := (1 - alpha) / (1 + alpha)
+	got := float64(zero) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("P(0) = %v, want %v", got, want)
+	}
+}
+
+func TestGeometricSymmetryAndIntegrality(t *testing.T) {
+	src := NewSeededSource(8, 16)
+	const n = 100000
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += Geometric(src, 1, 0.5)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("geometric mean %v, want ~0", mean)
+	}
+}
+
+// TestGeometricStdMatchesLaplace: for small ε the geometric mechanism's
+// std approaches the Laplace std √2/ε.
+func TestGeometricStdMatchesLaplace(t *testing.T) {
+	src := NewSeededSource(3, 5)
+	const n = 200000
+	eps := 0.1
+	var sumSq float64
+	for i := 0; i < n; i++ {
+		x := float64(Geometric(src, 1, eps))
+		sumSq += x * x
+	}
+	std := math.Sqrt(sumSq / n)
+	want := math.Sqrt2 / eps
+	if math.Abs(std-want)/want > 0.05 {
+		t.Errorf("geometric std %v, want ≈%v", std, want)
+	}
+}
+
+func TestExponentialPrefersHighScores(t *testing.T) {
+	src := NewSeededSource(14, 15)
+	scores := []float64{0, 0, 10, 0}
+	counts := make([]int, len(scores))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[Exponential(src, scores, 1, 1.0)]++
+	}
+	if counts[2] < n*9/10 {
+		t.Errorf("high-score candidate chosen only %d/%d times", counts[2], n)
+	}
+}
+
+func TestExponentialUniformWhenScoresEqual(t *testing.T) {
+	src := NewSeededSource(31, 32)
+	scores := []float64{5, 5, 5, 5}
+	counts := make([]int, len(scores))
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[Exponential(src, scores, 1, 1.0)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.22 || frac > 0.28 {
+			t.Errorf("candidate %d frequency %v, want ~0.25", i, frac)
+		}
+	}
+}
+
+// TestExponentialDPRatio empirically bounds the probability ratio
+// between two adjacent score vectors by exp(ε), the defining property
+// of the mechanism.
+func TestExponentialDPRatio(t *testing.T) {
+	srcA := NewSeededSource(41, 42)
+	srcB := NewSeededSource(41, 42)
+	// Adjacent databases: one record moved changes each score by ≤ 1.
+	scoresA := []float64{3, 2, 1}
+	scoresB := []float64{2, 3, 1} // each coordinate changed by ≤ 1
+	const n = 400000
+	countA, countB := make([]int, 3), make([]int, 3)
+	for i := 0; i < n; i++ {
+		countA[Exponential(srcA, scoresA, 1, 1.0)]++
+		countB[Exponential(srcB, scoresB, 1, 1.0)]++
+	}
+	for i := 0; i < 3; i++ {
+		pa := float64(countA[i]) / n
+		pb := float64(countB[i]) / n
+		if pa == 0 || pb == 0 {
+			continue
+		}
+		ratio := pa / pb
+		if ratio > math.Exp(1.0)*1.1 || ratio < 1.1/math.Exp(1.0)/1.21 {
+			t.Errorf("candidate %d: ratio %v exceeds e^ε bound", i, ratio)
+		}
+	}
+}
+
+func TestExponentialSingleCandidate(t *testing.T) {
+	src := NewSeededSource(1, 2)
+	if got := Exponential(src, []float64{-3}, 1, 0.1); got != 0 {
+		t.Errorf("single candidate returned %d", got)
+	}
+}
+
+func TestExponentialEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty candidate list did not panic")
+		}
+	}()
+	Exponential(NewSeededSource(1, 1), nil, 1, 1)
+}
+
+func TestLaplaceStdFormula(t *testing.T) {
+	if got, want := LaplaceStd(1), math.Sqrt2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("LaplaceStd(1) = %v, want %v", got, want)
+	}
+	if got, want := LaplaceStd(0.1), math.Sqrt2*10; math.Abs(got-want) > 1e-9 {
+		t.Errorf("LaplaceStd(0.1) = %v, want %v", got, want)
+	}
+}
+
+// Property: Laplace samples are always finite for positive scales.
+func TestLaplaceAlwaysFinite(t *testing.T) {
+	src := NewSeededSource(99, 100)
+	f := func(raw uint8) bool {
+		scale := 0.01 + float64(raw)/8 // positive scales up to ~32
+		x := Laplace(src, scale)
+		return !math.IsNaN(x) && !math.IsInf(x, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: geometric samples scale inversely with epsilon — larger ε
+// never yields a heavier tail on average over many draws.
+func TestGeometricTailShrinksWithEpsilon(t *testing.T) {
+	src := NewSeededSource(77, 78)
+	meanAbs := func(eps float64) float64 {
+		var s float64
+		const n = 50000
+		for i := 0; i < n; i++ {
+			v := Geometric(src, 1, eps)
+			if v < 0 {
+				v = -v
+			}
+			s += float64(v)
+		}
+		return s / n
+	}
+	small, large := meanAbs(0.1), meanAbs(10)
+	if small <= large {
+		t.Errorf("mean |noise| at ε=0.1 (%v) not larger than at ε=10 (%v)", small, large)
+	}
+}
+
+// TestLaplaceQuantilesMatchTheory checks the sampled distribution's
+// shape (not just moments) at several quantiles of the Laplace CDF:
+// F(x) = 1/2 exp(x/b) for x<0, 1 - 1/2 exp(-x/b) for x>=0.
+func TestLaplaceQuantilesMatchTheory(t *testing.T) {
+	src := NewSeededSource(101, 102)
+	const n = 200000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = Laplace(src, 1)
+	}
+	// Empirical fraction below x vs theory.
+	theory := func(x float64) float64 {
+		if x < 0 {
+			return 0.5 * math.Exp(x)
+		}
+		return 1 - 0.5*math.Exp(-x)
+	}
+	for _, x := range []float64{-2, -1, -0.5, 0, 0.5, 1, 2} {
+		below := 0
+		for _, s := range samples {
+			if s < x {
+				below++
+			}
+		}
+		got := float64(below) / n
+		want := theory(x)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("F(%v): empirical %v, theory %v", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRMSEIdenticalSeriesIsZero(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	got, err := RMSE(a, a)
+	if err != nil || got != 0 {
+		t.Fatalf("RMSE(a,a) = %v, %v", got, err)
+	}
+}
+
+func TestRMSEKnownValue(t *testing.T) {
+	// private = 1.1*noiseFree everywhere -> each term (1-1.1)^2 = 0.01.
+	nf := []float64{10, 20, 30}
+	pv := []float64{11, 22, 33}
+	got, err := RMSE(pv, nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 0.1, 1e-9) {
+		t.Fatalf("RMSE = %v, want 0.1", got)
+	}
+}
+
+func TestRMSESkipsZeroBaseline(t *testing.T) {
+	nf := []float64{0, 10}
+	pv := []float64{99, 10}
+	got, err := RMSE(pv, nf)
+	if err != nil || got != 0 {
+		t.Fatalf("RMSE with zero baseline = %v, %v; want 0 (zero index skipped)", got, err)
+	}
+}
+
+func TestRMSEMismatched(t *testing.T) {
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err != ErrMismatchedLengths {
+		t.Fatalf("got %v, want ErrMismatchedLengths", err)
+	}
+}
+
+func TestAbsRMSE(t *testing.T) {
+	got, err := AbsRMSE([]float64{1, 2}, []float64{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if !almostEq(got, want, 1e-9) {
+		t.Fatalf("AbsRMSE = %v, want %v", got, want)
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEq(m, 5, 1e-9) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if s := StdDev(xs); !almostEq(s, 2, 1e-9) {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must be unchanged.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	got, err := Pearson(a, b)
+	if err != nil || !almostEq(got, 1, 1e-9) {
+		t.Fatalf("Pearson = %v, %v; want 1", got, err)
+	}
+	neg := []float64{8, 6, 4, 2}
+	got, _ = Pearson(a, neg)
+	if !almostEq(got, -1, 1e-9) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	got, err := Pearson([]float64{1, 1}, []float64{2, 3})
+	if err != nil || got != 0 {
+		t.Fatalf("Pearson with constant series = %v, %v; want 0", got, err)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	xs := []float64{0.5, 1.5, 1.7, 2.5, 3.5, -1, 10}
+	counts := Histogram(xs, []float64{0, 1, 2, 3})
+	want := []int{1, 2, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestHistogramEdgeValueGoesToRightBin(t *testing.T) {
+	counts := Histogram([]float64{1.0}, []float64{0, 1, 2})
+	if counts[0] != 0 || counts[1] != 1 {
+		t.Fatalf("edge value binned as %v, want [0 1]", counts)
+	}
+}
+
+func TestHistogramPanicsOnBadEdges(t *testing.T) {
+	for _, edges := range [][]float64{{1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("edges %v did not panic", edges)
+				}
+			}()
+			Histogram(nil, edges)
+		}()
+	}
+}
+
+func TestCumulativeCounts(t *testing.T) {
+	got := CumulativeCounts([]float64{1, 2, 3})
+	want := []float64{1, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CumulativeCounts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	got, err := MaxAbsDiff([]float64{1, 5, 3}, []float64{2, 2, 3})
+	if err != nil || got != 3 {
+		t.Fatalf("MaxAbsDiff = %v, %v; want 3", got, err)
+	}
+}
+
+// Property: CumulativeCounts of non-negative inputs is non-decreasing
+// and ends at the sum.
+func TestCumulativeCountsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		in := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			in[i] = float64(r)
+			total += float64(r)
+		}
+		out := CumulativeCounts(in)
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1] {
+				return false
+			}
+		}
+		return len(out) == 0 || out[len(out)-1] == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

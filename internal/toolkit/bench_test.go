@@ -1,0 +1,125 @@
+package toolkit
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+)
+
+// Micro-benchmarks for the toolkit primitives at realistic sizes.
+
+func benchValues(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i % 1024)
+	}
+	return out
+}
+
+func BenchmarkCDF2_1M_256buckets(b *testing.B) {
+	values := benchValues(1 << 20)
+	buckets := LinearBuckets(0, 4, 256)
+	q, _ := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(1, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CDF2(q, 1.0, func(v int64) int64 { return v }, buckets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCDF3_1M_256buckets(b *testing.B) {
+	values := benchValues(1 << 20)
+	buckets := LinearBuckets(0, 4, 256)
+	q, _ := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(3, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CDF3(q, 1.0, func(v int64) int64 { return v }, buckets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeTreeBuild_1M_1024(b *testing.B) {
+	values := benchValues(1 << 20)
+	buckets := LinearBuckets(0, 1, 1024)
+	q, _ := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(5, 6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRangeTree(q, 1.0, func(v int64) int64 { return v }, buckets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeTreeQuery(b *testing.B) {
+	values := benchValues(1 << 16)
+	buckets := LinearBuckets(0, 1, 1024)
+	q, _ := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(7, 8))
+	tree, err := NewRangeTree(q, 1.0, func(v int64) int64 { return v }, buckets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tree.Count(i%512, 512+i%512)
+	}
+}
+
+func BenchmarkFrequentStrings100k(b *testing.B) {
+	payloads := make([][]byte, 0, 100_000)
+	for i := 0; i < 100_000; i++ {
+		payloads = append(payloads, []byte(fmt.Sprintf("P%03d:xyz", i%50)))
+	}
+	q, _ := core.NewQueryable(payloads, math.Inf(1), noise.NewSeededSource(9, 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FrequentStrings(q, FrequentStringsConfig{
+			Length: 8, EpsilonPerRound: 1.0, Threshold: 500, MaxCandidates: 128,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrequentItemsets100k(b *testing.B) {
+	baskets := make([]Basket, 0, 100_000)
+	for i := 0; i < 100_000; i++ {
+		baskets = append(baskets, Basket{ID: uint64(i), Items: []int{i % 5, 5 + i%3}})
+	}
+	q, _ := core.NewQueryable(baskets, math.Inf(1), noise.NewSeededSource(11, 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FrequentItemsets(q, 8, FrequentItemsetsConfig{
+			MaxSize: 2, EpsilonPerRound: 1.0, Threshold: 1000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOnsets100k(b *testing.B) {
+	events := make([]event, 0, 100_000)
+	for i := 0; i < 100_000; i++ {
+		events = append(events, event{key: fmt.Sprintf("k%d", i%100), timeUs: int64(i) * 10_000})
+	}
+	q, _ := core.NewQueryable(events, math.Inf(1), noise.NewSeededSource(13, 14))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Onsets(q, func(e event) string { return e.key }, func(e event) int64 { return e.timeUs }, 500_000)
+	}
+}
+
+func BenchmarkIsotonicRegression10k(b *testing.B) {
+	xs := make([]float64, 10_000)
+	for i := range xs {
+		xs[i] = float64(i%100) + float64(i)/100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = IsotonicRegression(xs)
+	}
+}

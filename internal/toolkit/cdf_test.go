@@ -1,0 +1,289 @@
+package toolkit
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+)
+
+// uniformValues returns n records with values spread uniformly over
+// [0, maxVal).
+func uniformValues(n int, maxVal int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i) % maxVal
+	}
+	return out
+}
+
+func trueCDF(values []int64, buckets []int64) []float64 {
+	out := make([]float64, len(buckets))
+	for i, edge := range buckets {
+		var c float64
+		for _, v := range values {
+			if v < edge {
+				c++
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func id(v int64) int64 { return v }
+
+func TestCDF2ApproximatesTruth(t *testing.T) {
+	values := uniformValues(50000, 64)
+	buckets := LinearBuckets(0, 4, 16)
+	q, _ := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(1, 2))
+	got, err := CDF2(q, 1.0, id, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trueCDF(values, buckets)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 50 {
+			t.Errorf("bucket %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCDF3ApproximatesTruth(t *testing.T) {
+	values := uniformValues(50000, 64)
+	buckets := LinearBuckets(0, 4, 16)
+	q, _ := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(3, 4))
+	got, err := CDF3(q, 1.0, id, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(buckets) {
+		t.Fatalf("got %d values, want %d", len(got), len(buckets))
+	}
+	want := trueCDF(values, buckets)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 50 {
+			t.Errorf("bucket %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCDF1ApproximatesTruth(t *testing.T) {
+	values := uniformValues(20000, 64)
+	buckets := LinearBuckets(0, 8, 8)
+	q, _ := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(5, 6))
+	got, err := CDF1(q, 1.0, id, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trueCDF(values, buckets)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 50 {
+			t.Errorf("bucket %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCDFPrivacyCosts checks the paper's cost claims: CDF1 costs
+// |buckets|·ε, CDF2 costs ε, CDF3 costs ε·(log2|buckets|+1).
+func TestCDFPrivacyCosts(t *testing.T) {
+	values := uniformValues(1000, 64)
+	buckets := LinearBuckets(0, 4, 16)
+	eps := 0.5
+
+	q1, root1 := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(1, 1))
+	if _, err := CDF1(q1, eps, id, buckets); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := root1.Spent(), eps*16; math.Abs(got-want) > 1e-9 {
+		t.Errorf("CDF1 cost %v, want %v", got, want)
+	}
+
+	q2, root2 := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(1, 1))
+	if _, err := CDF2(q2, eps, id, buckets); err != nil {
+		t.Fatal(err)
+	}
+	if got := root2.Spent(); math.Abs(got-eps) > 1e-9 {
+		t.Errorf("CDF2 cost %v, want %v (resolution-independent)", got, eps)
+	}
+
+	q3, root3 := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(1, 1))
+	if _, err := CDF3(q3, eps, id, buckets); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := root3.Spent(), eps*(4+1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CDF3 cost %v, want %v (log2(16)+1 levels)", got, want)
+	}
+}
+
+// TestCDF2CostIndependentOfResolution doubles the bucket count and
+// checks the charge is unchanged.
+func TestCDF2CostIndependentOfResolution(t *testing.T) {
+	values := uniformValues(1000, 64)
+	for _, nb := range []int{8, 32, 64} {
+		q, root := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(2, 2))
+		if _, err := CDF2(q, 1.0, id, LinearBuckets(0, 1, nb)); err != nil {
+			t.Fatal(err)
+		}
+		if got := root.Spent(); math.Abs(got-1.0) > 1e-9 {
+			t.Errorf("%d buckets: cost %v, want 1.0", nb, got)
+		}
+	}
+}
+
+func TestCDF3RequiresPowerOfTwo(t *testing.T) {
+	q, _ := core.NewQueryable([]int64{1}, math.Inf(1), noise.NewSeededSource(1, 1))
+	if _, err := CDF3(q, 1.0, id, LinearBuckets(0, 1, 12)); !errors.Is(err, ErrBadBuckets) {
+		t.Fatalf("got %v, want ErrBadBuckets", err)
+	}
+}
+
+func TestCDFRejectsBadBuckets(t *testing.T) {
+	q, _ := core.NewQueryable([]int64{1}, math.Inf(1), noise.NewSeededSource(1, 1))
+	for _, buckets := range [][]int64{nil, {}, {5, 5}, {5, 3}} {
+		if _, err := CDF1(q, 1, id, buckets); !errors.Is(err, ErrBadBuckets) {
+			t.Errorf("CDF1(%v): %v", buckets, err)
+		}
+		if _, err := CDF2(q, 1, id, buckets); !errors.Is(err, ErrBadBuckets) {
+			t.Errorf("CDF2(%v): %v", buckets, err)
+		}
+	}
+}
+
+func TestCDFBudgetExhaustionSurfaces(t *testing.T) {
+	values := uniformValues(100, 16)
+	q, _ := core.NewQueryable(values, 0.5, noise.NewSeededSource(1, 1))
+	// CDF1 over 4 buckets needs 4*0.2 = 0.8 > 0.5.
+	if _, err := CDF1(q, 0.2, id, LinearBuckets(0, 4, 4)); !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	buckets := []int64{10, 20, 30}
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {9, 0}, {10, 1}, {19, 1}, {20, 2}, {29, 2}, {30, -1}, {99, -1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v, buckets); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLinearBuckets(t *testing.T) {
+	got := LinearBuckets(0, 5, 3)
+	want := []int64{5, 10, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad args did not panic")
+		}
+	}()
+	LinearBuckets(0, 0, 3)
+}
+
+// TestCDFValuesAboveRangeDropped ensures all three estimators treat
+// out-of-range values identically (dropped, not clamped).
+func TestCDFValuesAboveRangeDropped(t *testing.T) {
+	// 100 values in range, 50 above.
+	values := make([]int64, 0, 150)
+	for i := 0; i < 100; i++ {
+		values = append(values, int64(i%8))
+	}
+	for i := 0; i < 50; i++ {
+		values = append(values, 100)
+	}
+	buckets := LinearBuckets(0, 1, 8)
+	for name, f := range map[string]func(*core.Queryable[int64]) ([]float64, error){
+		"CDF1": func(q *core.Queryable[int64]) ([]float64, error) { return CDF1(q, 5, id, buckets) },
+		"CDF2": func(q *core.Queryable[int64]) ([]float64, error) { return CDF2(q, 5, id, buckets) },
+		"CDF3": func(q *core.Queryable[int64]) ([]float64, error) { return CDF3(q, 5, id, buckets) },
+	} {
+		q, _ := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(9, 9))
+		got, err := f(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		final := got[len(got)-1]
+		if math.Abs(final-100) > 10 {
+			t.Errorf("%s: final cumulative %v, want ~100 (out-of-range dropped)", name, final)
+		}
+	}
+}
+
+func TestIsotonicRegressionKnownExample(t *testing.T) {
+	in := []float64{1, 3, 2, 4}
+	got := IsotonicRegression(in)
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIsotonicRegressionPreservesMonotone(t *testing.T) {
+	in := []float64{1, 2, 2, 5, 9}
+	got := IsotonicRegression(in)
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("monotone input changed: %v -> %v", in, got)
+		}
+	}
+}
+
+func TestIsotonicRegressionEmpty(t *testing.T) {
+	if got := IsotonicRegression(nil); got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+}
+
+// Property: the output is non-decreasing, has the same mean as the
+// input (PAV preserves block means), and is idempotent.
+func TestIsotonicRegressionProperties(t *testing.T) {
+	f := func(raw []int8) bool {
+		in := make([]float64, len(raw))
+		var sumIn float64
+		for i, r := range raw {
+			in[i] = float64(r)
+			sumIn += float64(r)
+		}
+		out := IsotonicRegression(in)
+		if len(out) != len(in) {
+			return false
+		}
+		var sumOut float64
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1]-1e-9 {
+				return false
+			}
+		}
+		for _, v := range out {
+			sumOut += v
+		}
+		if len(in) > 0 && math.Abs(sumIn-sumOut) > 1e-6*float64(len(in)+1) {
+			return false
+		}
+		again := IsotonicRegression(out)
+		for i := range out {
+			if math.Abs(again[i]-out[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

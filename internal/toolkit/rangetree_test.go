@@ -1,0 +1,167 @@
+package toolkit
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+)
+
+func rangeTreeFixture(t *testing.T, eps float64) (*RangeTree, []int64, []int64) {
+	t.Helper()
+	values := make([]int64, 0, 64*500)
+	for i := 0; i < 64*500; i++ {
+		values = append(values, int64(i%64))
+	}
+	buckets := LinearBuckets(0, 1, 64)
+	q, _ := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(31, 32))
+	tree, err := NewRangeTree(q, eps, func(v int64) int64 { return v }, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, values, buckets
+}
+
+func TestRangeTreeCounts(t *testing.T) {
+	tree, _, _ := rangeTreeFixture(t, 2.0)
+	// 500 records per bucket.
+	cases := []struct {
+		lo, hi int
+		want   float64
+	}{
+		{0, 64, 32000},
+		{0, 1, 500},
+		{10, 20, 5000},
+		{3, 35, 16000},
+		{5, 5, 0},
+	}
+	for _, c := range cases {
+		got := tree.Count(c.lo, c.hi)
+		tol := 6 * tree.QueryStd(c.lo, c.hi)
+		if tol < 1 {
+			tol = 1
+		}
+		if math.Abs(got-c.want) > tol {
+			t.Errorf("Count(%d,%d) = %v, want %v ± %v", c.lo, c.hi, got, c.want, tol)
+		}
+	}
+}
+
+func TestRangeTreePrivacyCost(t *testing.T) {
+	values := make([]int64, 100)
+	buckets := LinearBuckets(0, 1, 16)
+	q, root := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(1, 2))
+	if _, err := NewRangeTree(q, 0.5, func(v int64) int64 { return v }, buckets); err != nil {
+		t.Fatal(err)
+	}
+	// log2(16)+1 = 5 levels, each a one-epsilon partition.
+	if got, want := root.Spent(), 2.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("tree cost %v, want %v", got, want)
+	}
+}
+
+func TestRangeTreeQueriesAreFree(t *testing.T) {
+	values := make([]int64, 100)
+	buckets := LinearBuckets(0, 1, 16)
+	q, root := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(3, 4))
+	tree, err := NewRangeTree(q, 0.5, func(v int64) int64 { return v }, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := root.Spent()
+	for lo := 0; lo < 16; lo++ {
+		for hi := lo; hi <= 16; hi++ {
+			_ = tree.Count(lo, hi)
+		}
+	}
+	_ = tree.CDF()
+	_ = tree.Total()
+	if root.Spent() != before {
+		t.Fatal("post-processing queries consumed budget")
+	}
+}
+
+func TestRangeTreeCDFMatchesDirectEstimators(t *testing.T) {
+	tree, values, buckets := rangeTreeFixture(t, 2.0)
+	cdf := tree.CDF()
+	if len(cdf) != len(buckets) {
+		t.Fatalf("CDF has %d points, want %d", len(cdf), len(buckets))
+	}
+	// Compare against truth.
+	for i := range cdf {
+		want := float64((i + 1) * 500)
+		if math.Abs(cdf[i]-want) > 6*tree.QueryStd(0, i+1) {
+			t.Errorf("CDF[%d] = %v, want %v", i, cdf[i], want)
+		}
+	}
+	_ = values
+}
+
+func TestRangeTreeDecompositionBound(t *testing.T) {
+	tree, _, _ := rangeTreeFixture(t, 1.0)
+	// Any range decomposes into at most 2*log2(n) nodes.
+	maxNodes := 0
+	for lo := 0; lo < 64; lo++ {
+		for hi := lo + 1; hi <= 64; hi++ {
+			k := tree.nodeCount(0, 0, tree.size, lo, hi)
+			if k > maxNodes {
+				maxNodes = k
+			}
+		}
+	}
+	if bound := 2 * 6; maxNodes > bound { // log2(64) = 6
+		t.Fatalf("worst decomposition %d nodes, bound %d", maxNodes, bound)
+	}
+}
+
+func TestRangeTreeRejectsBadDomain(t *testing.T) {
+	q, _ := core.NewQueryable([]int64{1}, math.Inf(1), noise.NewSeededSource(1, 1))
+	if _, err := NewRangeTree(q, 1, func(v int64) int64 { return v }, LinearBuckets(0, 1, 12)); !errors.Is(err, ErrBadBuckets) {
+		t.Fatalf("non-power-of-two accepted: %v", err)
+	}
+}
+
+func TestRangeTreeCountPanicsOnBadRange(t *testing.T) {
+	tree, _, _ := rangeTreeFixture(t, 1.0)
+	for _, c := range [][2]int{{-1, 5}, {0, 65}, {9, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v did not panic", c)
+				}
+			}()
+			tree.Count(c[0], c[1])
+		}()
+	}
+}
+
+// Property: additivity of disjoint adjacent ranges — Count(a,b) +
+// Count(b,c) equals Count(a,c) exactly, because both sides decompose
+// over the same frozen noisy nodes or sums of their children... in
+// general the decompositions differ, so require approximate agreement
+// within the combined query noise.
+func TestRangeTreeAdditivityProperty(t *testing.T) {
+	tree, _, _ := rangeTreeFixture(t, 2.0)
+	f := func(a, b, c uint8) bool {
+		lo, mid, hi := int(a)%65, int(b)%65, int(c)%65
+		if lo > mid {
+			lo, mid = mid, lo
+		}
+		if mid > hi {
+			mid, hi = hi, mid
+		}
+		if lo > mid {
+			lo, mid = mid, lo
+		}
+		split := tree.Count(lo, mid) + tree.Count(mid, hi)
+		joint := tree.Count(lo, hi)
+		tol := 6 * (tree.QueryStd(lo, mid) + tree.QueryStd(mid, hi) + tree.QueryStd(lo, hi))
+		return math.Abs(split-joint) <= tol+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package toolkit
+
+import (
+	"fmt"
+	"sort"
+
+	"dptrace/internal/core"
+)
+
+// StringCount is one discovered frequent string with its noisy count.
+type StringCount struct {
+	Value []byte
+	Count float64
+}
+
+// FrequentStringsConfig parameterizes the §4.2 search.
+type FrequentStringsConfig struct {
+	// Length is the string length B to spell out, byte by byte.
+	Length int
+	// EpsilonPerRound is the privacy spent per extension round; the
+	// total cost is Length · EpsilonPerRound (each round is a single
+	// Partition whose parts are counted once).
+	EpsilonPerRound float64
+	// Threshold is the minimum noisy count for a prefix to survive a
+	// round. Pruning aggressively both bounds the candidate set and —
+	// as the paper notes, counter-intuitively — lets the search learn
+	// more, by avoiding false-positive explosion in later rounds.
+	Threshold float64
+	// Alphabet optionally restricts the candidate bytes per position;
+	// nil means all 256 values. The paper's payloads use full bytes;
+	// analyses over printable protocols can restrict to ASCII and cut
+	// the computational (not privacy) cost.
+	Alphabet []byte
+	// MaxCandidates, if positive, caps the survivors kept per round
+	// (the highest noisy counts win). At strong privacy a threshold
+	// close to the noise scale admits a few spurious survivors per
+	// candidate, and 256-way extension turns that into exponential
+	// branching; the cap bounds the computation without affecting the
+	// privacy guarantee (it post-processes noisy counts).
+	MaxCandidates int
+}
+
+// FrequentStrings discovers strings of exactly cfg.Length bytes that
+// occur more than cfg.Threshold times, by the paper's iterative prefix
+// extension: partition records by the first byte, keep bytes whose
+// noisy count clears the threshold, extend each survivor by every
+// alphabet byte, and repeat until full length. Records shorter than
+// cfg.Length never match any candidate (their key is out of range) and
+// are dropped by the partitions.
+//
+// The privacy cost is cfg.Length rounds × cfg.EpsilonPerRound; what
+// comes back — the strings themselves and their counts — is exactly
+// what the paper's Table 4 reports for the Hotspot payloads.
+func FrequentStrings(q *core.Queryable[[]byte], cfg FrequentStringsConfig) ([]StringCount, error) {
+	if cfg.Length <= 0 {
+		return nil, fmt.Errorf("toolkit: FrequentStrings length must be positive, got %d", cfg.Length)
+	}
+	if cfg.EpsilonPerRound <= 0 {
+		return nil, core.ErrInvalidEpsilon
+	}
+	alphabet := cfg.Alphabet
+	if alphabet == nil {
+		alphabet = make([]byte, 256)
+		for i := range alphabet {
+			alphabet[i] = byte(i)
+		}
+	}
+
+	// Candidate prefixes; round r extends them to length r+1.
+	prefixes := [][]byte{{}}
+	var counts []float64
+	for round := 0; round < cfg.Length; round++ {
+		// Build all one-byte extensions of the surviving prefixes.
+		cands := make([][]byte, 0, len(prefixes)*len(alphabet))
+		for _, p := range prefixes {
+			for _, b := range alphabet {
+				ext := make([]byte, len(p)+1)
+				copy(ext, p)
+				ext[len(p)] = b
+				cands = append(cands, ext)
+			}
+		}
+		keys := make([]string, len(cands))
+		for i, c := range cands {
+			keys[i] = string(c)
+		}
+		prefixLen := round + 1
+		parts := core.Partition(q, keys, func(rec []byte) string {
+			if len(rec) < prefixLen {
+				return "" // no candidate has the empty key: dropped
+			}
+			return string(rec[:prefixLen])
+		})
+		var nextPrefixes [][]byte
+		var nextCounts []float64
+		for i, key := range keys {
+			c, err := parts[key].NoisyCount(cfg.EpsilonPerRound)
+			if err != nil {
+				return nil, fmt.Errorf("toolkit: FrequentStrings round %d: %w", round, err)
+			}
+			if c > cfg.Threshold {
+				nextPrefixes = append(nextPrefixes, cands[i])
+				nextCounts = append(nextCounts, c)
+			}
+		}
+		if cfg.MaxCandidates > 0 && len(nextPrefixes) > cfg.MaxCandidates {
+			order := make([]int, len(nextPrefixes))
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool { return nextCounts[order[a]] > nextCounts[order[b]] })
+			keepP := make([][]byte, cfg.MaxCandidates)
+			keepC := make([]float64, cfg.MaxCandidates)
+			for i := 0; i < cfg.MaxCandidates; i++ {
+				keepP[i] = nextPrefixes[order[i]]
+				keepC[i] = nextCounts[order[i]]
+			}
+			nextPrefixes, nextCounts = keepP, keepC
+		}
+		prefixes, counts = nextPrefixes, nextCounts
+		if len(prefixes) == 0 {
+			return nil, nil
+		}
+	}
+	out := make([]StringCount, len(prefixes))
+	for i := range prefixes {
+		out[i] = StringCount{Value: prefixes[i], Count: counts[i]}
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package toolkit
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+)
+
+// plantStrings builds a payload multiset: each (string, count) pair
+// contributes count copies.
+func plantStrings(pairs map[string]int) [][]byte {
+	var out [][]byte
+	for s, n := range pairs {
+		for i := 0; i < n; i++ {
+			out = append(out, []byte(s))
+		}
+	}
+	return out
+}
+
+func TestFrequentStringsFindsPlanted(t *testing.T) {
+	data := plantStrings(map[string]int{
+		"AAAA": 5000,
+		"AABB": 3000,
+		"CCCC": 2000,
+		"DDDD": 40, // below threshold
+		"EEEE": 10,
+	})
+	q, _ := core.NewQueryable(data, math.Inf(1), noise.NewSeededSource(11, 12))
+	got, err := FrequentStrings(q, FrequentStringsConfig{
+		Length:          4,
+		EpsilonPerRound: 1.0,
+		Threshold:       500,
+		Alphabet:        []byte("ABCDE"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]float64{}
+	for _, sc := range got {
+		found[string(sc.Value)] = sc.Count
+	}
+	for _, want := range []struct {
+		s string
+		n float64
+	}{{"AAAA", 5000}, {"AABB", 3000}, {"CCCC", 2000}} {
+		c, ok := found[want.s]
+		if !ok {
+			t.Errorf("missing frequent string %q (found %v)", want.s, found)
+			continue
+		}
+		if math.Abs(c-want.n) > 20 {
+			t.Errorf("%q count %v, want ~%v", want.s, c, want.n)
+		}
+	}
+	if _, ok := found["DDDD"]; ok {
+		t.Error("below-threshold string DDDD reported")
+	}
+}
+
+func TestFrequentStringsFullByteAlphabet(t *testing.T) {
+	data := plantStrings(map[string]int{
+		string([]byte{0x00, 0xFF}): 2000,
+		string([]byte{0x80, 0x01}): 1500,
+	})
+	q, _ := core.NewQueryable(data, math.Inf(1), noise.NewSeededSource(13, 14))
+	got, err := FrequentStrings(q, FrequentStringsConfig{
+		Length:          2,
+		EpsilonPerRound: 1.0,
+		Threshold:       300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d strings, want 2", len(got))
+	}
+	for _, sc := range got {
+		if !bytes.Equal(sc.Value, []byte{0x00, 0xFF}) && !bytes.Equal(sc.Value, []byte{0x80, 0x01}) {
+			t.Errorf("unexpected string %x", sc.Value)
+		}
+	}
+}
+
+func TestFrequentStringsPrivacyCost(t *testing.T) {
+	data := plantStrings(map[string]int{"ABC": 1000})
+	q, root := core.NewQueryable(data, math.Inf(1), noise.NewSeededSource(15, 16))
+	if _, err := FrequentStrings(q, FrequentStringsConfig{
+		Length: 3, EpsilonPerRound: 0.5, Threshold: 100, Alphabet: []byte("ABC"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One Partition per round, max-cost semantics: 3 rounds x 0.5.
+	if got := root.Spent(); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("privacy cost %v, want 1.5", got)
+	}
+}
+
+func TestFrequentStringsShortRecordsDropped(t *testing.T) {
+	data := plantStrings(map[string]int{"AB": 3000, "A": 3000})
+	q, _ := core.NewQueryable(data, math.Inf(1), noise.NewSeededSource(17, 18))
+	got, err := FrequentStrings(q, FrequentStringsConfig{
+		Length: 2, EpsilonPerRound: 1.0, Threshold: 500, Alphabet: []byte("AB"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Value) != "AB" {
+		t.Fatalf("got %v, want just AB", got)
+	}
+	// The 1-byte records must not inflate AB's count.
+	if math.Abs(got[0].Count-3000) > 20 {
+		t.Errorf("AB count %v, want ~3000", got[0].Count)
+	}
+}
+
+func TestFrequentStringsNothingAboveThreshold(t *testing.T) {
+	data := plantStrings(map[string]int{"XY": 5})
+	q, _ := core.NewQueryable(data, math.Inf(1), noise.NewSeededSource(19, 20))
+	got, err := FrequentStrings(q, FrequentStringsConfig{
+		Length: 2, EpsilonPerRound: 1.0, Threshold: 1000, Alphabet: []byte("XY"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v, want none", got)
+	}
+}
+
+func TestFrequentStringsInvalidConfig(t *testing.T) {
+	q, _ := core.NewQueryable([][]byte{}, math.Inf(1), noise.NewSeededSource(1, 1))
+	if _, err := FrequentStrings(q, FrequentStringsConfig{Length: 0, EpsilonPerRound: 1}); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := FrequentStrings(q, FrequentStringsConfig{Length: 2, EpsilonPerRound: 0}); !errors.Is(err, core.ErrInvalidEpsilon) {
+		t.Errorf("zero epsilon: %v", err)
+	}
+}
+
+func TestFrequentStringsBudgetExhaustion(t *testing.T) {
+	data := plantStrings(map[string]int{"AB": 1000})
+	q, _ := core.NewQueryable(data, 0.7, noise.NewSeededSource(2, 2))
+	_, err := FrequentStrings(q, FrequentStringsConfig{
+		Length: 2, EpsilonPerRound: 0.5, Threshold: 10, Alphabet: []byte("AB"),
+	})
+	if !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+}

@@ -1,0 +1,150 @@
+package toolkit
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"dptrace/internal/core"
+	"dptrace/internal/noise"
+)
+
+type event struct {
+	key    string
+	timeUs int64
+}
+
+func exactOnsets(events []event, gapUs int64) []Onset[string] {
+	byKey := make(map[string][]int64)
+	for _, e := range events {
+		byKey[e.key] = append(byKey[e.key], e.timeUs)
+	}
+	var out []Onset[string]
+	for k, times := range byKey {
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		prev := int64(-1)
+		for _, t := range times {
+			if prev < 0 || t-prev > gapUs {
+				out = append(out, Onset[string]{Key: k, TimeUs: t})
+			}
+			prev = t
+		}
+	}
+	return out
+}
+
+func TestOnsetsSimpleStream(t *testing.T) {
+	const gap = 1000
+	events := []event{
+		{"a", 0},    // onset: first
+		{"a", 500},  // within gap: no
+		{"a", 5000}, // onset
+		{"a", 5800}, // no
+		{"a", 9000}, // onset
+		{"b", 100},  // onset: first of b
+		{"b", 200},  // no
+	}
+	q, _ := core.NewQueryable(events, math.Inf(1), noise.NewSeededSource(1, 2))
+	onsets := Onsets(q,
+		func(e event) string { return e.key },
+		func(e event) int64 { return e.timeUs },
+		gap)
+	c, err := onsets.NoisyCount(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-5) > 1 {
+		t.Fatalf("onset count ~%v, want 5", c)
+	}
+}
+
+// TestOnsetsMatchExactScan compares the bucketed two-pass derivation
+// against a direct scan on a random stream with bursts.
+func TestOnsetsMatchExactScan(t *testing.T) {
+	const gap = 500_000 // 0.5s
+	rng := rand.New(rand.NewPCG(9, 10))
+	var events []event
+	keys := []string{"k0", "k1", "k2", "k3"}
+	for _, k := range keys {
+		t0 := int64(rng.IntN(1_000_000))
+		for t0 < 120_000_000 {
+			// A burst of 1-4 events within 50ms, then a long gap.
+			n := 1 + rng.IntN(4)
+			for i := 0; i < n; i++ {
+				events = append(events, event{k, t0 + int64(i)*15_000})
+			}
+			t0 += gap + 100_000 + int64(rng.IntN(3_000_000))
+		}
+	}
+	exact := exactOnsets(events, gap)
+
+	q, _ := core.NewQueryable(events, math.Inf(1), noise.NewSeededSource(3, 4))
+	onsets := Onsets(q,
+		func(e event) string { return e.key },
+		func(e event) int64 { return e.timeUs },
+		gap)
+	got, err := onsets.NoisyCount(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bucketed method is exact for bursts shorter than the gap.
+	if math.Abs(got-float64(len(exact))) > 0.05*float64(len(exact))+2 {
+		t.Fatalf("bucketed onsets ~%v, exact %d", got, len(exact))
+	}
+}
+
+func TestOnsetsPrivacyCost(t *testing.T) {
+	events := []event{{"a", 0}, {"a", 10_000_000}}
+	q, root := core.NewQueryable(events, math.Inf(1), noise.NewSeededSource(5, 6))
+	onsets := Onsets(q,
+		func(e event) string { return e.key },
+		func(e event) int64 { return e.timeUs },
+		1000)
+	if _, err := onsets.NoisyCount(0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Two Concat'ed GroupBys: 2 x 2 x 0.5.
+	if got := root.Spent(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("spent %v, want 2.0", got)
+	}
+}
+
+func TestOnsetsPanicsOnBadGap(t *testing.T) {
+	q, _ := core.NewQueryable([]event{}, 1, noise.NewSeededSource(1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("gap 0 did not panic")
+		}
+	}()
+	Onsets(q, func(e event) string { return e.key }, func(e event) int64 { return e.timeUs }, 0)
+}
+
+func TestNoisyHistogramMatchesExact(t *testing.T) {
+	values := make([]int64, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		values = append(values, int64(i%30))
+	}
+	buckets := LinearBuckets(0, 10, 3)
+	q, root := core.NewQueryable(values, math.Inf(1), noise.NewSeededSource(7, 8))
+	hist, err := NoisyHistogram(q, 1.0, func(v int64) int64 { return v }, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hist {
+		if math.Abs(h-1000) > 15 {
+			t.Errorf("bin %d: %v, want ~1000", i, h)
+		}
+	}
+	// One epsilon total regardless of bins.
+	if got := root.Spent(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("spent %v, want 1.0", got)
+	}
+}
+
+func TestNoisyHistogramBadBuckets(t *testing.T) {
+	q, _ := core.NewQueryable([]int64{1}, 1, noise.NewSeededSource(1, 1))
+	if _, err := NoisyHistogram(q, 1, func(v int64) int64 { return v }, nil); err == nil {
+		t.Error("nil buckets accepted")
+	}
+}

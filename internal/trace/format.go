@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The on-disk format is a little-endian binary container:
+//
+//	magic   [4]byte "DPTR"
+//	version uint16  (currently 1)
+//	kind    uint16  (KindPacket | KindLink | KindHop)
+//	count   uint64  number of records
+//	records ...     fixed layout per kind; packets carry a
+//	                varint-prefixed payload
+//
+// The format is deliberately trivial — the point of this repository is
+// the privacy machinery, not a pcap replacement — but it is versioned
+// and self-describing enough that the CLI tools can refuse mismatched
+// inputs with a clear error.
+
+// Record-stream kinds.
+const (
+	KindPacket uint16 = 1
+	KindLink   uint16 = 2
+	KindHop    uint16 = 3
+)
+
+const (
+	formatVersion uint16 = 1
+	// maxPayload bounds per-packet payloads, protecting readers from
+	// corrupt length prefixes.
+	maxPayload = 1 << 16
+)
+
+var magic = [4]byte{'D', 'P', 'T', 'R'}
+
+// maxPrealloc caps slice pre-allocation from the (untrusted) header
+// count: a forged count must not let a tiny file allocate gigabytes.
+// Reads beyond this grow normally via append.
+const maxPrealloc = 1 << 20
+
+// Errors returned by the readers.
+var (
+	ErrBadMagic   = errors.New("trace: bad magic (not a DPTR file)")
+	ErrBadVersion = errors.New("trace: unsupported format version")
+	ErrWrongKind  = errors.New("trace: file holds a different record kind")
+)
+
+func writeHeader(w io.Writer, kind uint16, count uint64) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], formatVersion)
+	binary.LittleEndian.PutUint16(hdr[2:4], kind)
+	binary.LittleEndian.PutUint64(hdr[4:12], count)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func readHeader(r io.Reader, wantKind uint16) (count uint64, err error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return 0, ErrBadMagic
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != formatVersion {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	if k := binary.LittleEndian.Uint16(hdr[2:4]); k != wantKind {
+		return 0, fmt.Errorf("%w: got kind %d, want %d", ErrWrongKind, k, wantKind)
+	}
+	return binary.LittleEndian.Uint64(hdr[4:12]), nil
+}
+
+// WritePackets writes a packet trace.
+func WritePackets(w io.Writer, packets []Packet) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := writeHeader(bw, KindPacket, uint64(len(packets))); err != nil {
+		return err
+	}
+	var fixed [31]byte
+	var lenBuf [binary.MaxVarintLen64]byte
+	for i := range packets {
+		p := &packets[i]
+		binary.LittleEndian.PutUint64(fixed[0:8], uint64(p.Time))
+		binary.LittleEndian.PutUint32(fixed[8:12], uint32(p.SrcIP))
+		binary.LittleEndian.PutUint32(fixed[12:16], uint32(p.DstIP))
+		binary.LittleEndian.PutUint16(fixed[16:18], p.SrcPort)
+		binary.LittleEndian.PutUint16(fixed[18:20], p.DstPort)
+		fixed[20] = p.Proto
+		fixed[21] = byte(p.Flags)
+		binary.LittleEndian.PutUint32(fixed[22:26], p.Seq)
+		binary.LittleEndian.PutUint32(fixed[26:30], p.Ack)
+		// Len is 2 bytes but offset 30 would overflow 31; write after.
+		if _, err := bw.Write(fixed[:30]); err != nil {
+			return err
+		}
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], p.Len)
+		if _, err := bw.Write(l[:]); err != nil {
+			return err
+		}
+		n := binary.PutUvarint(lenBuf[:], uint64(len(p.Payload)))
+		if _, err := bw.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(p.Payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPackets reads a packet trace written by WritePackets.
+func ReadPackets(r io.Reader) ([]Packet, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	count, err := readHeader(br, KindPacket)
+	if err != nil {
+		return nil, err
+	}
+	packets := make([]Packet, 0, min(count, maxPrealloc))
+	var fixed [32]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, fixed[:]); err != nil {
+			return nil, fmt.Errorf("trace: packet %d: %w", i, err)
+		}
+		p := Packet{
+			Time:    int64(binary.LittleEndian.Uint64(fixed[0:8])),
+			SrcIP:   IPv4(binary.LittleEndian.Uint32(fixed[8:12])),
+			DstIP:   IPv4(binary.LittleEndian.Uint32(fixed[12:16])),
+			SrcPort: binary.LittleEndian.Uint16(fixed[16:18]),
+			DstPort: binary.LittleEndian.Uint16(fixed[18:20]),
+			Proto:   fixed[20],
+			Flags:   TCPFlags(fixed[21]),
+			Seq:     binary.LittleEndian.Uint32(fixed[22:26]),
+			Ack:     binary.LittleEndian.Uint32(fixed[26:30]),
+			Len:     binary.LittleEndian.Uint16(fixed[30:32]),
+		}
+		plen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: packet %d payload length: %w", i, err)
+		}
+		if plen > maxPayload {
+			return nil, fmt.Errorf("trace: packet %d payload length %d exceeds limit", i, plen)
+		}
+		if plen > 0 {
+			p.Payload = make([]byte, plen)
+			if _, err := io.ReadFull(br, p.Payload); err != nil {
+				return nil, fmt.Errorf("trace: packet %d payload: %w", i, err)
+			}
+		}
+		packets = append(packets, p)
+	}
+	return packets, nil
+}
+
+// WriteLinkSamples writes a de-aggregated link trace.
+func WriteLinkSamples(w io.Writer, samples []LinkSample) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := writeHeader(bw, KindLink, uint64(len(samples))); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, s := range samples {
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(s.Link))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(s.Bin))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLinkSamples reads a link trace written by WriteLinkSamples.
+func ReadLinkSamples(r io.Reader) ([]LinkSample, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	count, err := readHeader(br, KindLink)
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]LinkSample, 0, min(count, maxPrealloc))
+	var buf [8]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: link sample %d: %w", i, err)
+		}
+		samples = append(samples, LinkSample{
+			Link: int32(binary.LittleEndian.Uint32(buf[0:4])),
+			Bin:  int32(binary.LittleEndian.Uint32(buf[4:8])),
+		})
+	}
+	return samples, nil
+}
+
+// WriteHopRecords writes an IPscatter-style hop-count trace.
+func WriteHopRecords(w io.Writer, records []HopRecord) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := writeHeader(bw, KindHop, uint64(len(records))); err != nil {
+		return err
+	}
+	var buf [12]byte
+	for _, rec := range records {
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(rec.Monitor))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(rec.IP))
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(rec.Hops))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHopRecords reads a hop-count trace written by WriteHopRecords.
+func ReadHopRecords(r io.Reader) ([]HopRecord, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	count, err := readHeader(br, KindHop)
+	if err != nil {
+		return nil, err
+	}
+	records := make([]HopRecord, 0, min(count, maxPrealloc))
+	var buf [12]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: hop record %d: %w", i, err)
+		}
+		records = append(records, HopRecord{
+			Monitor: int32(binary.LittleEndian.Uint32(buf[0:4])),
+			IP:      IPv4(binary.LittleEndian.Uint32(buf[4:8])),
+			Hops:    int32(binary.LittleEndian.Uint32(buf[8:12])),
+		})
+	}
+	return records, nil
+}

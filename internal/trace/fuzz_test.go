@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPackets hardens the trace reader against corrupt or
+// adversarial inputs: it must never panic or over-allocate, only
+// return errors.
+func FuzzReadPackets(f *testing.F) {
+	// Seed with a valid trace and a few corruptions of it.
+	var buf bytes.Buffer
+	if err := WritePackets(&buf, []Packet{
+		{Time: 1, SrcIP: 2, DstIP: 3, SrcPort: 4, DstPort: 5,
+			Proto: ProtoTCP, Flags: FlagSYN, Seq: 6, Ack: 7, Len: 40,
+			Payload: []byte("hello")},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("DPTR"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[20] = 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkts, err := ReadPackets(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Successful parses must round-trip identically.
+		var out bytes.Buffer
+		if err := WritePackets(&out, pkts); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ReadPackets(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(pkts) {
+			t.Fatalf("round trip changed count: %d -> %d", len(pkts), len(again))
+		}
+	})
+}
+
+// FuzzReadLinkSamples and FuzzReadHopRecords cover the fixed-layout
+// readers.
+func FuzzReadLinkSamples(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteLinkSamples(&buf, []LinkSample{{Link: 1, Bin: 2}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadLinkSamples(bytes.NewReader(data))
+	})
+}
+
+func FuzzReadHopRecords(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteHopRecords(&buf, []HopRecord{{Monitor: 1, IP: 2, Hops: 3}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadHopRecords(bytes.NewReader(data))
+	})
+}

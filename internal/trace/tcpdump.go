@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseTcpdump reads the textual output of `tcpdump -tt -n` (epoch
+// timestamps, no name resolution) and converts each parsed line into a
+// Packet — the on-ramp for running the private analyses over real
+// captures. Recognized shapes:
+//
+//	1616175417.123456 IP 10.0.0.5.52344 > 93.184.216.34.80: Flags [S], seq 1000, win 64240, length 0
+//	1616175417.150000 IP 93.184.216.34.80 > 10.0.0.5.52344: Flags [S.], seq 500, ack 1001, win 65535, length 0
+//	1616175417.150100 IP 10.0.0.5.52344 > 93.184.216.34.80: Flags [P.], seq 1001:1101, ack 501, win 501, length 100
+//	1616175417.200000 IP 10.0.0.1.53 > 10.0.0.2.5353: UDP, length 64
+//
+// Timestamps become microseconds relative to the first parsed packet.
+// Lines that do not parse (continuation lines, truncated packets,
+// non-IPv4 traffic) are skipped and counted; the caller decides
+// whether the skip count is acceptable. Seq ranges ("1001:1101") keep
+// their first number; the payload length after "length" becomes Len
+// plus a nominal 40-byte header (tcpdump reports payload length for
+// TCP), capped at 65535.
+func ParseTcpdump(r io.Reader) (packets []Packet, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var base int64 = -1
+	for sc.Scan() {
+		line := sc.Text()
+		p, ok := parseTcpdumpLine(line)
+		if !ok {
+			if strings.TrimSpace(line) != "" {
+				skipped++
+			}
+			continue
+		}
+		if base < 0 {
+			base = p.Time
+		}
+		p.Time -= base
+		packets = append(packets, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("trace: reading tcpdump output: %w", err)
+	}
+	return packets, skipped, nil
+}
+
+// parseTcpdumpLine parses one line; ok is false for unrecognized
+// shapes.
+func parseTcpdumpLine(line string) (Packet, bool) {
+	var p Packet
+	fields := strings.Fields(line)
+	if len(fields) < 5 || fields[1] != "IP" {
+		return p, false
+	}
+	ts, err := parseEpochMicros(fields[0])
+	if err != nil {
+		return p, false
+	}
+	p.Time = ts
+	srcIP, srcPort, ok := splitHostPort(fields[2])
+	if !ok {
+		return p, false
+	}
+	if fields[3] != ">" {
+		return p, false
+	}
+	dstIP, dstPort, ok := splitHostPort(strings.TrimSuffix(fields[4], ":"))
+	if !ok {
+		return p, false
+	}
+	p.SrcIP, p.SrcPort = srcIP, srcPort
+	p.DstIP, p.DstPort = dstIP, dstPort
+
+	rest := strings.Join(fields[5:], " ")
+	switch {
+	case strings.HasPrefix(rest, "Flags ["):
+		p.Proto = ProtoTCP
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return p, false
+		}
+		for _, c := range rest[len("Flags ["):end] {
+			switch c {
+			case 'S':
+				p.Flags |= FlagSYN
+			case 'F':
+				p.Flags |= FlagFIN
+			case 'R':
+				p.Flags |= FlagRST
+			case 'P':
+				p.Flags |= FlagPSH
+			case '.':
+				p.Flags |= FlagACK
+			}
+		}
+		if v, ok := numberAfter(rest, "seq "); ok {
+			p.Seq = uint32(v)
+		}
+		if v, ok := numberAfter(rest, "ack "); ok {
+			p.Ack = uint32(v)
+		}
+	case strings.HasPrefix(rest, "UDP,"):
+		p.Proto = ProtoUDP
+	case strings.HasPrefix(rest, "ICMP"):
+		p.Proto = ProtoICMP
+	default:
+		return p, false
+	}
+	if v, ok := numberAfter(rest, "length "); ok {
+		ln := v + 40 // tcpdump reports payload length; add a nominal header
+		if ln > 65535 {
+			ln = 65535
+		}
+		p.Len = uint16(ln)
+	} else {
+		return p, false
+	}
+	return p, true
+}
+
+// parseEpochMicros parses "1616175417.123456" into microseconds.
+func parseEpochMicros(s string) (int64, error) {
+	sec, frac, _ := strings.Cut(s, ".")
+	secs, err := strconv.ParseInt(sec, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	us := int64(0)
+	if frac != "" {
+		// Right-pad/truncate the fraction to 6 digits.
+		if len(frac) > 6 {
+			frac = frac[:6]
+		}
+		for len(frac) < 6 {
+			frac += "0"
+		}
+		us, err = strconv.ParseInt(frac, 10, 64)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return secs*1_000_000 + us, nil
+}
+
+// splitHostPort parses "a.b.c.d.port" into an IPv4 and a port.
+func splitHostPort(s string) (IPv4, uint16, bool) {
+	lastDot := strings.LastIndexByte(s, '.')
+	if lastDot < 0 {
+		return 0, 0, false
+	}
+	port, err := strconv.ParseUint(s[lastDot+1:], 10, 16)
+	if err != nil {
+		return 0, 0, false
+	}
+	var octets [4]int
+	parts := strings.Split(s[:lastDot], ".")
+	if len(parts) != 4 {
+		return 0, 0, false
+	}
+	for i, part := range parts {
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 || v > 255 {
+			return 0, 0, false
+		}
+		octets[i] = v
+	}
+	return MakeIPv4(byte(octets[0]), byte(octets[1]), byte(octets[2]), byte(octets[3])),
+		uint16(port), true
+}
+
+// numberAfter extracts the integer following the first occurrence of
+// marker (stopping at the first non-digit; "seq 1001:1101" yields
+// 1001).
+func numberAfter(s, marker string) (int64, bool) {
+	i := strings.Index(s, marker)
+	if i < 0 {
+		return 0, false
+	}
+	j := i + len(marker)
+	k := j
+	for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+		k++
+	}
+	if k == j {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(s[j:k], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

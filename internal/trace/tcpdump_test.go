@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTcpdump = `1616175417.100000 IP 10.0.0.5.52344 > 93.184.216.34.80: Flags [S], seq 1000, win 64240, options [mss 1460], length 0
+1616175417.150000 IP 93.184.216.34.80 > 10.0.0.5.52344: Flags [S.], seq 500, ack 1001, win 65535, length 0
+1616175417.150100 IP 10.0.0.5.52344 > 93.184.216.34.80: Flags [P.], seq 1001:1101, ack 501, win 501, length 100
+1616175417.200000 IP 10.0.0.1.53 > 10.0.0.2.5353: UDP, length 64
+garbage line that should be skipped
+1616175417.300000 IP6 fe80::1.546 > ff02::2.547: dhcp6 solicit
+1616175417.400000 IP 10.0.0.5.52344 > 93.184.216.34.80: Flags [F.], seq 1101, ack 501, win 501, length 0
+`
+
+func TestParseTcpdumpSample(t *testing.T) {
+	packets, skipped, err := ParseTcpdump(strings.NewReader(sampleTcpdump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packets) != 5 {
+		t.Fatalf("parsed %d packets, want 5", len(packets))
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped %d lines, want 2 (garbage + IPv6)", skipped)
+	}
+
+	syn := packets[0]
+	if syn.Time != 0 {
+		t.Errorf("first packet time %d, want 0 (relative)", syn.Time)
+	}
+	if !syn.IsSYN() || syn.Seq != 1000 || syn.SrcPort != 52344 || syn.DstPort != 80 {
+		t.Errorf("SYN parsed wrong: %+v", syn)
+	}
+	if syn.SrcIP.String() != "10.0.0.5" || syn.DstIP.String() != "93.184.216.34" {
+		t.Errorf("addresses parsed wrong: %s > %s", syn.SrcIP, syn.DstIP)
+	}
+	if syn.Len != 40 {
+		t.Errorf("SYN length %d, want 40 (0 payload + header)", syn.Len)
+	}
+
+	synack := packets[1]
+	if !synack.IsSYNACK() || synack.Ack != 1001 {
+		t.Errorf("SYN-ACK parsed wrong: %+v", synack)
+	}
+	if synack.Time != 50_000 {
+		t.Errorf("SYN-ACK time %d, want 50000 us", synack.Time)
+	}
+
+	data := packets[2]
+	if !data.Flags.Has(FlagPSH | FlagACK) {
+		t.Errorf("data flags %v", data.Flags)
+	}
+	if data.Seq != 1001 {
+		t.Errorf("range seq %d, want 1001", data.Seq)
+	}
+	if data.Len != 140 {
+		t.Errorf("data length %d, want 140", data.Len)
+	}
+
+	udp := packets[3]
+	if udp.Proto != ProtoUDP || udp.SrcPort != 53 {
+		t.Errorf("UDP parsed wrong: %+v", udp)
+	}
+
+	fin := packets[4]
+	if !fin.Flags.Has(FlagFIN | FlagACK) {
+		t.Errorf("FIN flags %v", fin.Flags)
+	}
+}
+
+// TestParseTcpdumpHandshakePairs: parsed real-format output must feed
+// the analyses — a SYN and its SYN-ACK join on ack = seq+1.
+func TestParseTcpdumpHandshakePairs(t *testing.T) {
+	packets, _, err := ParseTcpdump(strings.NewReader(sampleTcpdump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, synack := packets[0], packets[1]
+	if synack.Ack != syn.Seq+1 {
+		t.Fatalf("handshake arithmetic broken: ack %d vs seq %d", synack.Ack, syn.Seq)
+	}
+	if syn.Flow().Reverse() != synack.Flow() {
+		t.Fatal("flow reversal broken across parsed directions")
+	}
+}
+
+func TestParseTcpdumpEmptyAndGarbage(t *testing.T) {
+	packets, skipped, err := ParseTcpdump(strings.NewReader(""))
+	if err != nil || len(packets) != 0 || skipped != 0 {
+		t.Fatalf("empty input: %d packets, %d skipped, %v", len(packets), skipped, err)
+	}
+	packets, skipped, err = ParseTcpdump(strings.NewReader("not tcpdump\nat all\n"))
+	if err != nil || len(packets) != 0 || skipped != 2 {
+		t.Fatalf("garbage input: %d packets, %d skipped, %v", len(packets), skipped, err)
+	}
+}
+
+func TestParseTcpdumpMalformedVariants(t *testing.T) {
+	cases := []string{
+		"1616175417.1 IP 10.0.0.5.52344 > : Flags [S], seq 1, length 0",         // no dest
+		"xxxx IP 10.0.0.5.1 > 10.0.0.6.2: Flags [S], seq 1, length 0",           // bad timestamp
+		"1616175417.1 IP 10.0.0.5.1 > 10.0.0.6.2: Flags [S, seq 1, length 0",    // unclosed flags
+		"1616175417.1 IP 10.0.0.999.1 > 10.0.0.6.2: Flags [S], seq 1, length 0", // bad octet
+		"1616175417.1 IP 10.0.0.5.1 > 10.0.0.6.2: Flags [S], seq 1",             // no length
+		"1616175417.1 IP 10.0.0.5.1 > 10.0.0.6.2: SCTP, length 10",              // unknown proto
+	}
+	for _, line := range cases {
+		if _, ok := parseTcpdumpLine(line); ok {
+			t.Errorf("malformed line parsed: %q", line)
+		}
+	}
+}
+
+func TestParseEpochMicros(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"1.5", 1_500_000},
+		{"1.000001", 1_000_001},
+		{"10", 10_000_000},
+		{"1.1234567", 1_123_456}, // truncated to 6 digits
+	}
+	for _, c := range cases {
+		got, err := parseEpochMicros(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseEpochMicros(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	if _, err := parseEpochMicros("abc.def"); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+}

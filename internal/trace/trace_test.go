@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPv4String(t *testing.T) {
+	ip := MakeIPv4(192, 168, 1, 200)
+	if got := ip.String(); got != "192.168.1.200" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := ip.Addr().String(); got != "192.168.1.200" {
+		t.Fatalf("Addr = %q", got)
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 100, DstPort: 200, Proto: ProtoTCP}
+	r := k.Reverse()
+	if r.SrcIP != 2 || r.DstIP != 1 || r.SrcPort != 200 || r.DstPort != 100 {
+		t.Fatalf("Reverse = %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("double reverse should be identity")
+	}
+}
+
+func TestTCPFlagHelpers(t *testing.T) {
+	syn := Packet{Proto: ProtoTCP, Flags: FlagSYN}
+	synack := Packet{Proto: ProtoTCP, Flags: FlagSYN | FlagACK}
+	data := Packet{Proto: ProtoTCP, Flags: FlagACK}
+	udp := Packet{Proto: ProtoUDP, Flags: FlagSYN}
+	if !syn.IsSYN() || syn.IsSYNACK() {
+		t.Error("SYN misclassified")
+	}
+	if synack.IsSYN() || !synack.IsSYNACK() {
+		t.Error("SYN-ACK misclassified")
+	}
+	if data.IsSYN() || data.IsSYNACK() {
+		t.Error("data packet misclassified")
+	}
+	if udp.IsSYN() {
+		t.Error("UDP packet classified as SYN")
+	}
+}
+
+func samplePackets() []Packet {
+	return []Packet{
+		{Time: 0, SrcIP: MakeIPv4(10, 0, 0, 1), DstIP: MakeIPv4(10, 0, 0, 2),
+			SrcPort: 12345, DstPort: 80, Proto: ProtoTCP, Flags: FlagSYN,
+			Seq: 1000, Len: 40},
+		{Time: 1500, SrcIP: MakeIPv4(10, 0, 0, 2), DstIP: MakeIPv4(10, 0, 0, 1),
+			SrcPort: 80, DstPort: 12345, Proto: ProtoTCP, Flags: FlagSYN | FlagACK,
+			Seq: 555, Ack: 1001, Len: 40},
+		{Time: 3000, SrcIP: MakeIPv4(10, 0, 0, 1), DstIP: MakeIPv4(10, 0, 0, 2),
+			SrcPort: 12345, DstPort: 80, Proto: ProtoTCP, Flags: FlagACK | FlagPSH,
+			Seq: 1001, Ack: 556, Len: 1492, Payload: []byte("GET / HTTP/1.1\r\n")},
+		{Time: 4000, SrcIP: MakeIPv4(8, 8, 8, 8), DstIP: MakeIPv4(10, 0, 0, 1),
+			SrcPort: 53, DstPort: 5353, Proto: ProtoUDP, Len: 120, Payload: []byte{0, 1, 2}},
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	want := samplePackets()
+	var buf bytes.Buffer
+	if err := WritePackets(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPackets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Time != g.Time || w.SrcIP != g.SrcIP || w.DstIP != g.DstIP ||
+			w.SrcPort != g.SrcPort || w.DstPort != g.DstPort ||
+			w.Proto != g.Proto || w.Flags != g.Flags ||
+			w.Seq != g.Seq || w.Ack != g.Ack || w.Len != g.Len ||
+			!bytes.Equal(w.Payload, g.Payload) {
+			t.Fatalf("packet %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+func TestEmptyPacketTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePackets(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPackets(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestLinkSampleRoundTrip(t *testing.T) {
+	want := []LinkSample{{Link: 0, Bin: 0}, {Link: 399, Bin: 671}, {Link: 7, Bin: 100}}
+	var buf bytes.Buffer
+	if err := WriteLinkSamples(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLinkSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHopRecordRoundTrip(t *testing.T) {
+	want := []HopRecord{
+		{Monitor: 0, IP: MakeIPv4(1, 2, 3, 4), Hops: 12},
+		{Monitor: 37, IP: MakeIPv4(200, 201, 202, 203), Hops: 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteHopRecords(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHopRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := ReadPackets(bytes.NewReader([]byte("NOPE0123456789ab"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestWrongKindRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLinkSamples(&buf, []LinkSample{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPackets(&buf); !errors.Is(err, ErrWrongKind) {
+		t.Fatalf("got %v, want ErrWrongKind", err)
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePackets(&buf, samplePackets()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadPackets(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if _, err := ReadPackets(bytes.NewReader(raw[:10])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestCorruptPayloadLengthRejected(t *testing.T) {
+	// Craft a header claiming one packet, then a fixed part and an
+	// absurd varint payload length.
+	var buf bytes.Buffer
+	if err := WritePackets(&buf, []Packet{{Payload: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The varint length byte sits right after header (16) + fixed (32).
+	raw[16+32] = 0xFF
+	raw = append(raw[:16+32+1], 0xFF, 0xFF, 0x7F) // ~34M payload claim
+	if _, err := ReadPackets(bytes.NewReader(raw)); err == nil {
+		t.Fatal("oversized payload length accepted")
+	}
+}
+
+// Property: arbitrary packets survive a round trip bit-exactly.
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(tm int64, src, dst uint32, sp, dp uint16, proto, flags uint8, seq, ack uint32, ln uint16, payload []byte) bool {
+		if len(payload) > maxPayload {
+			payload = payload[:maxPayload]
+		}
+		p := Packet{Time: tm, SrcIP: IPv4(src), DstIP: IPv4(dst), SrcPort: sp,
+			DstPort: dp, Proto: proto, Flags: TCPFlags(flags), Seq: seq, Ack: ack,
+			Len: ln, Payload: payload}
+		var buf bytes.Buffer
+		if err := WritePackets(&buf, []Packet{p}); err != nil {
+			return false
+		}
+		got, err := ReadPackets(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		return g.Time == p.Time && g.SrcIP == p.SrcIP && g.DstIP == p.DstIP &&
+			g.SrcPort == p.SrcPort && g.DstPort == p.DstPort && g.Proto == p.Proto &&
+			g.Flags == p.Flags && g.Seq == p.Seq && g.Ack == p.Ack && g.Len == p.Len &&
+			bytes.Equal(g.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Ensure readers don't over-read past the declared records.
+func TestReaderStopsAtCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePackets(&buf, samplePackets()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("trailing garbage")
+	got, err := ReadPackets(io.LimitReader(&buf, int64(buf.Len())))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %d packets, err %v", len(got), err)
+	}
+}

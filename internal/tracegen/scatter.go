@@ -1,0 +1,93 @@
+package tracegen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dptrace/internal/trace"
+)
+
+// ScatterConfig parameterizes the IPscatter substitute: hop-count
+// observations from Monitors vantage points to IP addresses that live
+// in Clusters latent topological clusters — the structure the passive
+// topology-mapping analysis (paper §5.3.2) recovers by k-means.
+type ScatterConfig struct {
+	Seed uint64
+	// Monitors is the number of vantage points; the paper's dataset
+	// had 38 PlanetLab sites.
+	Monitors int
+	// Clusters is the number of latent topological clusters; the
+	// paper's Fig 5 clusters with nine centers.
+	Clusters int
+	// IPsPerCluster is the number of addresses per cluster.
+	IPsPerCluster int
+	// Jitter is the ± range of per-observation hop-count noise.
+	Jitter int
+	// MissingFrac is the probability that an (IP, monitor) reading is
+	// absent, exercising the analysis's noisy-average imputation.
+	MissingFrac float64
+	// MinHops/MaxHops bound the latent hop distances.
+	MinHops, MaxHops int
+}
+
+// DefaultScatterConfig mirrors the paper's shape: 38 monitors, nine
+// latent clusters, and a realistic hop range.
+func DefaultScatterConfig() ScatterConfig {
+	return ScatterConfig{
+		Seed:          3,
+		Monitors:      38,
+		Clusters:      9,
+		IPsPerCluster: 900,
+		Jitter:        1,
+		MissingFrac:   0.15,
+		MinHops:       3,
+		MaxHops:       26,
+	}
+}
+
+// ScatterTruth is the generator's ground truth.
+type ScatterTruth struct {
+	// Centers[c][m] is cluster c's latent hop count to monitor m.
+	Centers [][]float64
+	// ClusterOf maps each generated IP to its latent cluster.
+	ClusterOf map[trace.IPv4]int
+}
+
+// IPScatter generates hop-count records and ground truth. Each present
+// (IP, monitor) pair yields one record; records are grouped by IP.
+func IPScatter(cfg ScatterConfig) ([]trace.HopRecord, *ScatterTruth) {
+	if cfg.Monitors <= 0 || cfg.Clusters <= 0 || cfg.IPsPerCluster <= 0 || cfg.MaxHops <= cfg.MinHops {
+		panic(fmt.Sprintf("tracegen: invalid scatter config %+v", cfg))
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBEEFCAFE))
+	truth := &ScatterTruth{ClusterOf: make(map[trace.IPv4]int)}
+	for c := 0; c < cfg.Clusters; c++ {
+		center := make([]float64, cfg.Monitors)
+		for m := range center {
+			center[m] = float64(cfg.MinHops + rng.IntN(cfg.MaxHops-cfg.MinHops))
+		}
+		truth.Centers = append(truth.Centers, center)
+	}
+	var records []trace.HopRecord
+	ipCounter := 0
+	for c := 0; c < cfg.Clusters; c++ {
+		for i := 0; i < cfg.IPsPerCluster; i++ {
+			ip := trace.MakeIPv4(100+byte(c), byte(ipCounter>>16), byte(ipCounter>>8), byte(ipCounter))
+			ipCounter++
+			truth.ClusterOf[ip] = c
+			for m := 0; m < cfg.Monitors; m++ {
+				if rng.Float64() < cfg.MissingFrac {
+					continue
+				}
+				hops := int(truth.Centers[c][m]) + rng.IntN(2*cfg.Jitter+1) - cfg.Jitter
+				if hops < 1 {
+					hops = 1
+				}
+				records = append(records, trace.HopRecord{
+					Monitor: int32(m), IP: ip, Hops: int32(hops),
+				})
+			}
+		}
+	}
+	return records, truth
+}

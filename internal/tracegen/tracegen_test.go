@@ -1,0 +1,390 @@
+package tracegen
+
+import (
+	"math"
+	"testing"
+
+	"dptrace/internal/trace"
+)
+
+// smallHotspot returns a config sized for fast unit tests.
+func smallHotspot() HotspotConfig {
+	cfg := DefaultHotspotConfig()
+	cfg.Sessions = 400
+	cfg.Hosts = 120
+	cfg.Servers = 40
+	cfg.Worms = 8
+	cfg.WormDispersion = 20
+	cfg.LowDispersionPayloads = 3
+	cfg.BackgroundStrings = 50
+	cfg.BackgroundTotal = 5000
+	cfg.StonePairs = 4
+	cfg.DecoyFlows = 6
+	cfg.StoneActivations = 200
+	cfg.Duration = 600
+	return cfg
+}
+
+func TestHotspotDeterministic(t *testing.T) {
+	a, _ := Hotspot(smallHotspot())
+	b, _ := Hotspot(smallHotspot())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time || a[i].SrcIP != b[i].SrcIP || a[i].Seq != b[i].Seq {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestHotspotSortedByTime(t *testing.T) {
+	pkts, _ := Hotspot(smallHotspot())
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Time < pkts[i-1].Time {
+			t.Fatalf("packets out of order at %d", i)
+		}
+	}
+}
+
+func TestHotspotLengthSpikes(t *testing.T) {
+	pkts, _ := Hotspot(smallHotspot())
+	var n40, n1492 int
+	for _, p := range pkts {
+		switch p.Len {
+		case 40:
+			n40++
+		case 1492:
+			n1492++
+		}
+	}
+	if frac := float64(n40) / float64(len(pkts)); frac < 0.10 {
+		t.Errorf("40-byte spike only %.2f of packets", frac)
+	}
+	if frac := float64(n1492) / float64(len(pkts)); frac < 0.05 {
+		t.Errorf("1492-byte spike only %.2f of packets", frac)
+	}
+}
+
+func TestHotspotHandshakesWellFormed(t *testing.T) {
+	pkts, _ := Hotspot(smallHotspot())
+	// Index SYN-ACKs by (dst, src, ack) and check each matches a SYN.
+	syns := make(map[[3]uint64]int64) // key: src,dst,seq -> time
+	for _, p := range pkts {
+		if p.IsSYN() {
+			syns[[3]uint64{uint64(p.SrcIP), uint64(p.DstIP), uint64(p.Seq)}] = p.Time
+		}
+	}
+	matched := 0
+	for _, p := range pkts {
+		if !p.IsSYNACK() {
+			continue
+		}
+		key := [3]uint64{uint64(p.DstIP), uint64(p.SrcIP), uint64(p.Ack - 1)}
+		if tSyn, ok := syns[key]; ok {
+			matched++
+			rttUs := p.Time - tSyn
+			if rttUs <= 0 || rttUs > 2_000_000 {
+				t.Fatalf("implausible RTT %d us", rttUs)
+			}
+		}
+	}
+	if matched < 300 {
+		t.Fatalf("only %d matched handshakes, want most of 400 sessions", matched)
+	}
+}
+
+func TestHotspotRetransmissions(t *testing.T) {
+	pkts, _ := Hotspot(smallHotspot())
+	type key struct {
+		flow trace.FlowKey
+		seq  uint32
+	}
+	first := make(map[key]int64)
+	retx := 0
+	for _, p := range pkts {
+		if p.Proto != trace.ProtoTCP || p.Flags.Has(trace.FlagSYN) {
+			continue
+		}
+		k := key{p.Flow(), p.Seq}
+		if t0, seen := first[k]; seen {
+			diff := p.Time - t0
+			if diff > 0 && diff <= 260_000 {
+				retx++
+			}
+		} else {
+			first[k] = p.Time
+		}
+	}
+	if retx < 30 {
+		t.Fatalf("only %d retransmissions found; loss injection broken?", retx)
+	}
+}
+
+func TestHotspotWormDispersion(t *testing.T) {
+	cfg := smallHotspot()
+	_, truth := Hotspot(cfg)
+	worms, lows := 0, 0
+	for _, pt := range truth.Payloads {
+		if pt.IsWorm {
+			worms++
+			if pt.SrcCount < cfg.WormDispersion || pt.DstCount < cfg.WormDispersion {
+				t.Errorf("worm %q dispersion %d/%d below %d",
+					pt.Payload, pt.SrcCount, pt.DstCount, cfg.WormDispersion)
+			}
+		} else if pt.SrcCount == 1 && pt.Count > cfg.WormDispersion {
+			lows++
+		}
+	}
+	if worms != cfg.Worms {
+		t.Errorf("got %d worm payloads, want %d", worms, cfg.Worms)
+	}
+	if lows < cfg.LowDispersionPayloads {
+		t.Errorf("got %d low-dispersion decoys, want >= %d", lows, cfg.LowDispersionPayloads)
+	}
+}
+
+func TestHotspotBackgroundHeavyTail(t *testing.T) {
+	_, truth := Hotspot(smallHotspot())
+	// Truth is sorted by decreasing count; the head should dominate.
+	if len(truth.Payloads) < 10 {
+		t.Fatalf("only %d payloads", len(truth.Payloads))
+	}
+	top, tenth := truth.Payloads[0].Count, truth.Payloads[9].Count
+	if top < 2*tenth {
+		t.Errorf("top count %d not >> 10th count %d", top, tenth)
+	}
+	for i := 1; i < len(truth.Payloads); i++ {
+		if truth.Payloads[i].Count > truth.Payloads[i-1].Count {
+			t.Fatal("truth payloads not sorted by count")
+		}
+	}
+}
+
+func TestHotspotStoneFlowsPresent(t *testing.T) {
+	cfg := smallHotspot()
+	pkts, truth := Hotspot(cfg)
+	if len(truth.StonePairs) != cfg.StonePairs {
+		t.Fatalf("got %d stone pairs, want %d", len(truth.StonePairs), cfg.StonePairs)
+	}
+	counts := make(map[trace.FlowKey]int)
+	for _, p := range pkts {
+		counts[p.Flow()]++
+	}
+	for _, pair := range truth.StonePairs {
+		if counts[pair[0]] < cfg.StoneActivations/2 || counts[pair[1]] < cfg.StoneActivations/2 {
+			t.Errorf("stone pair %v has too few packets: %d/%d",
+				pair, counts[pair[0]], counts[pair[1]])
+		}
+	}
+	for _, f := range truth.DecoyFlows {
+		if counts[f] < cfg.StoneActivations/2 {
+			t.Errorf("decoy flow %v has too few packets: %d", f, counts[f])
+		}
+	}
+}
+
+func TestHotspotStonePairsCorrelated(t *testing.T) {
+	cfg := smallHotspot()
+	pkts, truth := Hotspot(cfg)
+	// Bucket packet times per flow at 40ms; correlated pairs should
+	// share most buckets.
+	buckets := make(map[trace.FlowKey]map[int64]bool)
+	for _, p := range pkts {
+		f := p.Flow()
+		if buckets[f] == nil {
+			buckets[f] = make(map[int64]bool)
+		}
+		buckets[f][p.Time/40_000] = true
+	}
+	overlap := func(a, b trace.FlowKey) float64 {
+		shared := 0
+		for t := range buckets[a] {
+			if buckets[b][t] || buckets[b][t+1] {
+				shared++
+			}
+		}
+		return float64(shared) / float64(len(buckets[a]))
+	}
+	for _, pair := range truth.StonePairs {
+		if o := overlap(pair[0], pair[1]); o < 0.5 {
+			t.Errorf("stone pair overlap %.2f, want > 0.5", o)
+		}
+	}
+	// A stone flow and an unrelated decoy should overlap much less.
+	if o := overlap(truth.StonePairs[0][0], truth.DecoyFlows[0]); o > 0.35 {
+		t.Errorf("unrelated flows overlap %.2f, want small", o)
+	}
+}
+
+func TestHotspotPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	Hotspot(HotspotConfig{Sessions: 1, Hosts: 0, Servers: 1})
+}
+
+func smallIsp() IspConfig {
+	return IspConfig{
+		Seed: 7, Links: 40, Bins: 100, MeanPacketsPerBin: 8, NoiseFrac: 0.05,
+		Anomalies: []AnomalySpec{{StartBin: 50, Duration: 4, Links: []int{3, 4}, Factor: 6}},
+	}
+}
+
+func TestIspCountsMatchSamples(t *testing.T) {
+	samples, truth := IspTraffic(smallIsp())
+	total := 0
+	for _, row := range truth.Counts {
+		for _, c := range row {
+			total += c
+		}
+	}
+	if total != len(samples) {
+		t.Fatalf("truth total %d != %d samples", total, len(samples))
+	}
+	// Cross-check one cell.
+	var cell int
+	for _, s := range samples {
+		if s.Link == 3 && s.Bin == 50 {
+			cell++
+		}
+	}
+	if cell != truth.Counts[3][50] {
+		t.Fatalf("cell (3,50): %d samples vs truth %d", cell, truth.Counts[3][50])
+	}
+}
+
+func TestIspAnomalyVisible(t *testing.T) {
+	_, truth := IspTraffic(smallIsp())
+	// Link 3's count in the anomaly window should greatly exceed its
+	// neighbors outside the window.
+	var inside, outside, nIn, nOut float64
+	for b := 0; b < 100; b++ {
+		c := float64(truth.Counts[3][b])
+		if b >= 50 && b < 54 {
+			inside += c
+			nIn++
+		} else if b >= 40 && b < 50 {
+			outside += c
+			nOut++
+		}
+	}
+	if inside/nIn < 3*(outside/nOut) {
+		t.Errorf("anomaly not visible: inside mean %.1f, outside mean %.1f",
+			inside/nIn, outside/nOut)
+	}
+}
+
+func TestIspDeterministic(t *testing.T) {
+	a, _ := IspTraffic(smallIsp())
+	b, _ := IspTraffic(smallIsp())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestIspDiurnalVariation(t *testing.T) {
+	cfg := smallIsp()
+	cfg.Anomalies = nil
+	cfg.Bins = 96 // one day
+	_, truth := IspTraffic(cfg)
+	// Sum across links per bin; max and min bins should differ clearly.
+	sums := make([]float64, cfg.Bins)
+	for _, row := range truth.Counts {
+		for b, c := range row {
+			sums[b] += float64(c)
+		}
+	}
+	min, max := math.Inf(1), 0.0
+	for _, s := range sums {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max < 1.1*min {
+		t.Errorf("no diurnal variation: min %.0f, max %.0f", min, max)
+	}
+}
+
+func smallScatter() ScatterConfig {
+	cfg := DefaultScatterConfig()
+	cfg.IPsPerCluster = 60
+	cfg.Clusters = 4
+	cfg.Monitors = 10
+	return cfg
+}
+
+func TestScatterRecordCounts(t *testing.T) {
+	cfg := smallScatter()
+	records, truth := IPScatter(cfg)
+	wantIPs := cfg.Clusters * cfg.IPsPerCluster
+	if len(truth.ClusterOf) != wantIPs {
+		t.Fatalf("got %d IPs, want %d", len(truth.ClusterOf), wantIPs)
+	}
+	maxRecords := wantIPs * cfg.Monitors
+	expected := float64(maxRecords) * (1 - cfg.MissingFrac)
+	if math.Abs(float64(len(records))-expected) > 0.1*float64(maxRecords) {
+		t.Fatalf("got %d records, expected ~%.0f", len(records), expected)
+	}
+}
+
+func TestScatterHopsNearCenters(t *testing.T) {
+	cfg := smallScatter()
+	records, truth := IPScatter(cfg)
+	for _, r := range records {
+		c := truth.ClusterOf[r.IP]
+		center := truth.Centers[c][r.Monitor]
+		if d := math.Abs(float64(r.Hops) - center); d > float64(cfg.Jitter)+0.01 && r.Hops != 1 {
+			t.Fatalf("record %+v deviates %v from center %v", r, d, center)
+		}
+	}
+}
+
+func TestScatterClustersSeparated(t *testing.T) {
+	_, truth := IPScatter(smallScatter())
+	// Any two latent centers should differ in several coordinates.
+	for i := 0; i < len(truth.Centers); i++ {
+		for j := i + 1; j < len(truth.Centers); j++ {
+			var distSq float64
+			for m := range truth.Centers[i] {
+				d := truth.Centers[i][m] - truth.Centers[j][m]
+				distSq += d * d
+			}
+			if math.Sqrt(distSq) < 5 {
+				t.Errorf("clusters %d and %d too close: %.1f", i, j, math.Sqrt(distSq))
+			}
+		}
+	}
+}
+
+func TestScatterDeterministic(t *testing.T) {
+	a, _ := IPScatter(smallScatter())
+	b, _ := IPScatter(smallScatter())
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestScatterPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	IPScatter(ScatterConfig{Monitors: 0})
+}
