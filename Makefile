@@ -1,0 +1,14 @@
+.PHONY: check build test bench
+
+# The tier-1 gate (see ROADMAP.md): build + vet + tests under -race.
+check:
+	./check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...

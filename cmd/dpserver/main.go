@@ -8,6 +8,11 @@
 //
 // Multiple -trace flags host multiple datasets. Noise is drawn from
 // crypto/rand unless -seed is given (for reproducible demos only).
+//
+// The server self-instruments: GET /metrics (Prometheus text),
+// GET /healthz, and GET /debug/traces are always on; -pprof
+// additionally mounts net/http/pprof under /debug/pprof/. These are
+// owner-side endpoints — shield them at your ingress.
 package main
 
 import (
@@ -38,6 +43,7 @@ func main() {
 	total := flag.Float64("total", 10.0, "total privacy budget per dataset")
 	perAnalyst := flag.Float64("per-analyst", 1.0, "per-analyst privacy budget")
 	seed := flag.Uint64("seed", 0, "noise seed; 0 uses crypto randomness")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if len(traces) == 0 {
@@ -68,13 +74,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		srv.AddPacketTrace(name, packets, *total, *perAnalyst)
+		if err := srv.AddPacketTrace(name, packets, *total, *perAnalyst); err != nil {
+			fatal(err)
+		}
 		fmt.Printf("hosting %s: %d packets, total budget %.2f, per-analyst %.2f\n",
 			name, len(packets), *total, *perAnalyst)
 	}
 
-	fmt.Printf("listening on %s\n", *listen)
-	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+	var opts []dpserver.HandlerOption
+	if *pprofFlag {
+		opts = append(opts, dpserver.WithPprof())
+		fmt.Println("pprof enabled at /debug/pprof/")
+	}
+	fmt.Printf("listening on %s (metrics at /metrics, health at /healthz, traces at /debug/traces)\n", *listen)
+	if err := http.ListenAndServe(*listen, srv.Handler(opts...)); err != nil {
 		fatal(err)
 	}
 }

@@ -6,9 +6,13 @@
 //	experiments -run fig4       # one experiment
 //	experiments -seed 7         # change the noise seed
 //	experiments -list           # list experiment names
+//	experiments -metrics        # append the run's engine metrics snapshot
 //
 // Results go to stdout; EXPERIMENTS.md records a reference run side by
-// side with the paper's numbers.
+// side with the paper's numbers. With -metrics, every engine pipeline
+// in the run reports to an obs registry (per-operator timings,
+// records in/out, aggregation outcomes, ε spend) and the JSON snapshot
+// is printed after the tables.
 package main
 
 import (
@@ -19,7 +23,9 @@ import (
 	"strings"
 	"time"
 
+	"dptrace/internal/core"
 	"dptrace/internal/experiments"
+	"dptrace/internal/obs"
 )
 
 type experiment struct {
@@ -74,7 +80,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "noise seed for reproducible runs")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "also write plottable series to <dir>/<name>.csv")
+	metrics := flag.Bool("metrics", false, "dump the run's engine metrics snapshot (JSON) after the tables")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		core.SetDefaultRecorder(obs.NewMetricsRecorder(reg))
+		defer core.SetDefaultRecorder(nil)
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -121,5 +135,13 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runName)
 		os.Exit(2)
+	}
+	if reg != nil {
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Println("engine metrics snapshot")
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

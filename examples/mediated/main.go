@@ -25,7 +25,7 @@ func main() {
 	cfg := tracegen.DefaultHotspotConfig()
 	packets, _ := tracegen.Hotspot(cfg)
 	owner := dpserver.New(noise.NewCryptoSource())
-	owner.AddPacketTrace("hotspot", packets, 2.0 /* total */, 0.5 /* per analyst */)
+	must(owner.AddPacketTrace("hotspot", packets, 2.0 /* total */, 0.5 /* per analyst */))
 	ts := httptest.NewServer(owner.Handler())
 	defer ts.Close()
 	fmt.Printf("data owner hosting %d packets at %s\n", len(packets), ts.URL)
@@ -69,6 +69,10 @@ func main() {
 	for _, info := range infos {
 		fmt.Printf("dataset %s: total spent %.2f, remaining %.2f\n",
 			info.Name, info.TotalSpent, info.TotalRemaining)
+		for _, u := range info.Analysts {
+			fmt.Printf("  %-6s %d queries, requested ε %.2f, charged %.2f\n",
+				u.Analyst, u.Queries, u.Requested, u.Charged)
+		}
 	}
 }
 

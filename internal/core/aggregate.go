@@ -22,26 +22,36 @@ func clamp(v, bound float64) float64 {
 // of scale 1/ε (standard deviation √2/ε, Table 1), charging ε —
 // amplified by any accumulated sensitivity scaling — to the budget.
 func (q *Queryable[T]) NoisyCount(epsilon float64) (float64, error) {
+	start := opStart(q.rec)
 	if err := validEpsilon(epsilon); err != nil {
+		aggDone(q.rec, "count", start, epsilon, err)
 		return 0, err
 	}
 	if err := q.agent.Apply(epsilon); err != nil {
+		aggDone(q.rec, "count", start, epsilon, err)
 		return 0, err
 	}
-	return float64(len(q.records)) + noise.LaplaceForEpsilon(q.src, 1, epsilon), nil
+	v := float64(len(q.records)) + noise.LaplaceForEpsilon(q.src, 1, epsilon)
+	aggDone(q.rec, "count", start, epsilon, nil)
+	return v, nil
 }
 
 // NoisyCountInt is NoisyCount with the geometric (discrete Laplace)
 // mechanism, for analyses that need an integral count. The noise
 // magnitude is essentially that of NoisyCount.
 func (q *Queryable[T]) NoisyCountInt(epsilon float64) (int64, error) {
+	start := opStart(q.rec)
 	if err := validEpsilon(epsilon); err != nil {
+		aggDone(q.rec, "countint", start, epsilon, err)
 		return 0, err
 	}
 	if err := q.agent.Apply(epsilon); err != nil {
+		aggDone(q.rec, "countint", start, epsilon, err)
 		return 0, err
 	}
-	return int64(len(q.records)) + noise.Geometric(q.src, 1, epsilon), nil
+	v := int64(len(q.records)) + noise.Geometric(q.src, 1, epsilon)
+	aggDone(q.rec, "countint", start, epsilon, nil)
+	return v, nil
 }
 
 // NoisySum sums f over the records after clamping each value to
@@ -57,20 +67,26 @@ func NoisySum[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float
 // the wider clamp trades more noise for less truncation bias, a choice
 // the analyst makes from public knowledge of the value range.
 func NoisySumScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (float64, error) {
+	start := opStart(q.rec)
 	if err := validEpsilon(epsilon); err != nil {
+		aggDone(q.rec, "sum", start, epsilon, err)
 		return 0, err
 	}
 	if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+		aggDone(q.rec, "sum", start, epsilon, ErrInvalidEpsilon)
 		return 0, ErrInvalidEpsilon
 	}
 	if err := q.agent.Apply(epsilon); err != nil {
+		aggDone(q.rec, "sum", start, epsilon, err)
 		return 0, err
 	}
 	sum := 0.0
 	for _, r := range q.records {
 		sum += clamp(f(r), bound)
 	}
-	return sum + noise.LaplaceForEpsilon(q.src, bound, epsilon), nil
+	v := sum + noise.LaplaceForEpsilon(q.src, bound, epsilon)
+	aggDone(q.rec, "sum", start, epsilon, nil)
+	return v, nil
 }
 
 // NoisyAverage returns the mean of f over the records, clamped to
@@ -79,21 +95,7 @@ func NoisySumScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) fl
 // changes, so the Laplace scale is 2/(εn). An empty dataset yields 0
 // plus noise at the n=1 scale.
 func NoisyAverage[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float64, error) {
-	if err := validEpsilon(epsilon); err != nil {
-		return 0, err
-	}
-	if err := q.agent.Apply(epsilon); err != nil {
-		return 0, err
-	}
-	n := len(q.records)
-	if n == 0 {
-		return noise.LaplaceForEpsilon(q.src, 2, epsilon), nil
-	}
-	sum := 0.0
-	for _, r := range q.records {
-		sum += clamp(f(r), 1)
-	}
-	return sum/float64(n) + noise.LaplaceForEpsilon(q.src, 2/float64(n), epsilon), nil
+	return NoisyAverageScaled(q, epsilon, 1, f)
 }
 
 // NoisyAverageScaled is NoisyAverage with values clamped to
@@ -102,24 +104,32 @@ func NoisyAverage[T any](q *Queryable[T], epsilon float64, f func(T) float64) (f
 // knowledge of the value range (e.g. hop counts ≤ 32); it does not
 // depend on the data.
 func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (float64, error) {
+	start := opStart(q.rec)
 	if err := validEpsilon(epsilon); err != nil {
+		aggDone(q.rec, "average", start, epsilon, err)
 		return 0, err
 	}
 	if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+		aggDone(q.rec, "average", start, epsilon, ErrInvalidEpsilon)
 		return 0, ErrInvalidEpsilon
 	}
 	if err := q.agent.Apply(epsilon); err != nil {
+		aggDone(q.rec, "average", start, epsilon, err)
 		return 0, err
 	}
 	n := len(q.records)
 	if n == 0 {
-		return noise.LaplaceForEpsilon(q.src, 2*bound, epsilon), nil
+		v := noise.LaplaceForEpsilon(q.src, 2*bound, epsilon)
+		aggDone(q.rec, "average", start, epsilon, nil)
+		return v, nil
 	}
 	sum := 0.0
 	for _, r := range q.records {
 		sum += clamp(f(r), bound)
 	}
-	return sum/float64(n) + noise.LaplaceForEpsilon(q.src, 2*bound/float64(n), epsilon), nil
+	v := sum/float64(n) + noise.LaplaceForEpsilon(q.src, 2*bound/float64(n), epsilon)
+	aggDone(q.rec, "average", start, epsilon, nil)
+	return v, nil
 }
 
 // NoisyMedian selects a record value via the exponential mechanism with
@@ -129,13 +139,17 @@ func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T
 // the data; the mechanism's randomization is what protects each
 // record's presence.
 func NoisyMedian[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float64, error) {
+	start := opStart(q.rec)
 	if err := validEpsilon(epsilon); err != nil {
+		aggDone(q.rec, "median", start, epsilon, err)
 		return 0, err
 	}
 	if err := q.agent.Apply(epsilon); err != nil {
+		aggDone(q.rec, "median", start, epsilon, err)
 		return 0, err
 	}
 	if len(q.records) == 0 {
+		aggDone(q.rec, "median", start, epsilon, nil)
 		return 0, nil
 	}
 	values := make([]float64, len(q.records))
@@ -165,6 +179,7 @@ func NoisyMedian[T any](q *Queryable[T], epsilon float64, f func(T) float64) (fl
 	}
 	// Moving one record changes each |below-above| by at most 1.
 	idx := noise.Exponential(q.src, scores, 1, epsilon)
+	aggDone(q.rec, "median", start, epsilon, nil)
 	return cands[idx].value, nil
 }
 
@@ -172,16 +187,21 @@ func NoisyMedian[T any](q *Queryable[T], epsilon float64, f func(T) float64) (fl
 // fraction in [0, 1] (0.5 recovers the median). Useful for the noisy
 // quantiles that several trace analyses report.
 func NoisyOrderStatistic[T any](q *Queryable[T], epsilon, fraction float64, f func(T) float64) (float64, error) {
+	start := opStart(q.rec)
 	if err := validEpsilon(epsilon); err != nil {
+		aggDone(q.rec, "orderstat", start, epsilon, err)
 		return 0, err
 	}
 	if fraction < 0 || fraction > 1 || math.IsNaN(fraction) {
+		aggDone(q.rec, "orderstat", start, epsilon, ErrInvalidEpsilon)
 		return 0, ErrInvalidEpsilon
 	}
 	if err := q.agent.Apply(epsilon); err != nil {
+		aggDone(q.rec, "orderstat", start, epsilon, err)
 		return 0, err
 	}
 	if len(q.records) == 0 {
+		aggDone(q.rec, "orderstat", start, epsilon, nil)
 		return 0, nil
 	}
 	values := make([]float64, len(q.records))
@@ -209,6 +229,7 @@ func NoisyOrderStatistic[T any](q *Queryable[T], epsilon, fraction float64, f fu
 		scores[i] = -math.Abs(c.rank - target)
 	}
 	idx := noise.Exponential(q.src, scores, 1, epsilon)
+	aggDone(q.rec, "orderstat", start, epsilon, nil)
 	return cands[idx].value, nil
 }
 

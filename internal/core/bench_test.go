@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dptrace/internal/noise"
+	"dptrace/internal/obs"
 )
 
 // Micro-benchmarks for the engine's operations, sized at 1M records to
@@ -75,6 +76,28 @@ func BenchmarkJoin1M(b *testing.B) {
 		_ = Join(q, other,
 			func(x int) int { return x }, func(x int) int { return x },
 			func(a, c int) int { return a + c })
+	}
+}
+
+// BenchmarkWhere1MRecorded measures the instrumented path (metrics
+// recorder attached, WhereRecorded entry point); compare against
+// BenchmarkWhere1M for the telemetry overhead. Plain Where carries no
+// hooks at all — see the inlining note in instrument.go.
+func BenchmarkWhere1MRecorded(b *testing.B) {
+	q := benchQueryable(b).WithRecorder(obs.NewMetricsRecorder(obs.NewRegistry()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = WhereRecorded(q, func(x int) bool { return x%2 == 0 })
+	}
+}
+
+func BenchmarkNoisyCountRecorded(b *testing.B) {
+	q := benchQueryable(b).WithRecorder(obs.NewMetricsRecorder(obs.NewRegistry()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.NoisyCount(1.0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -20,7 +20,12 @@ import (
 // policy layers that manage agents themselves (e.g. AnalystPolicy).
 // Most callers want NewQueryable.
 func NewQueryableFor[T any](records []T, agent Agent, src noise.Source) *Queryable[T] {
-	return &Queryable[T]{records: records, agent: agent, src: noise.NewLockedSource(src)}
+	return &Queryable[T]{
+		records: records,
+		agent:   agent,
+		src:     noise.NewLockedSource(src),
+		rec:     DefaultRecorder(),
+	}
 }
 
 // AnalystPolicy enforces two simultaneous bounds over one dataset: a

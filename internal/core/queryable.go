@@ -2,6 +2,7 @@ package core
 
 import (
 	"dptrace/internal/noise"
+	"dptrace/internal/obs"
 )
 
 // Queryable is an opaque handle to a protected dataset of records of
@@ -14,6 +15,7 @@ type Queryable[T any] struct {
 	records []T
 	agent   Agent
 	src     noise.Source
+	rec     obs.Recorder // nil (the default) disables telemetry
 }
 
 // NewQueryable wraps records as a protected dataset with the given
@@ -29,18 +31,25 @@ func NewQueryable[T any](records []T, budget float64, src noise.Source) (*Querya
 		records: records,
 		agent:   root,
 		src:     noise.NewLockedSource(src),
+		rec:     DefaultRecorder(),
 	}, root
 }
 
-// derive builds a child Queryable sharing this one's noise source.
+// derive builds a child Queryable sharing this one's noise source and
+// recorder.
 func derive[T, U any](q *Queryable[T], records []U, agent Agent) *Queryable[U] {
-	return &Queryable[U]{records: records, agent: agent, src: q.src}
+	return &Queryable[U]{records: records, agent: agent, src: q.src, rec: q.rec}
 }
 
 // Where returns the subset of records satisfying pred. Filtering does
 // not amplify sensitivity (Table 1), so the result shares this
 // Queryable's agent. The predicate may inspect records arbitrarily: its
 // outputs stay behind the privacy curtain.
+//
+// Where carries no recorder hooks: its body must stay within the
+// compiler's inlining budget so the predicate devirtualizes in the
+// hot loop (hooks cost 2x on a 1M-record scan). Instrumented
+// pipelines use WhereRecorded instead.
 func (q *Queryable[T]) Where(pred func(T) bool) *Queryable[T] {
 	out := make([]T, 0, len(q.records))
 	for _, r := range q.records {
@@ -56,14 +65,22 @@ func (q *Queryable[T]) Where(pred func(T) bool) *Queryable[T] {
 // input's sensitivity increases (Table 1), but aggregations on the
 // result charge both inputs' budgets.
 func (q *Queryable[T]) Concat(other *Queryable[T]) *Queryable[T] {
+	rec := combineRec(q.rec, other.rec)
+	start := opStart(rec)
 	out := make([]T, 0, len(q.records)+len(other.records))
 	out = append(out, q.records...)
 	out = append(out, other.records...)
-	return derive(q, out, newDualAgent(q.agent, other.agent))
+	opDone(rec, "concat", start, len(q.records)+len(other.records), len(out))
+	res := derive(q, out, newDualAgent(q.agent, other.agent))
+	res.rec = rec
+	return res
 }
 
 // Select applies f to every record, yielding a Queryable of the mapped
 // type. One-to-one record mappings do not amplify sensitivity.
+//
+// Like Where, Select is hook-free to keep its trivial loop inlinable;
+// instrumented pipelines use SelectRecorded.
 func Select[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
 	out := make([]U, len(q.records))
 	for i, r := range q.records {
@@ -80,6 +97,7 @@ func SelectMany[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable
 	if fanout < 1 {
 		panic("core: SelectMany fanout must be >= 1")
 	}
+	start := opStart(q.rec)
 	out := make([]U, 0, len(q.records))
 	for _, r := range q.records {
 		mapped := f(r)
@@ -88,6 +106,7 @@ func SelectMany[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable
 		}
 		out = append(out, mapped...)
 	}
+	opDone(q.rec, "selectmany", start, len(q.records), len(out))
 	return derive(q, out, newScaleAgent(q.agent, float64(fanout)))
 }
 
@@ -95,6 +114,7 @@ func SelectMany[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable
 // not amplify sensitivity (Table 1): adding or removing one input
 // record changes the output by at most one record.
 func Distinct[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[T] {
+	start := opStart(q.rec)
 	seen := make(map[K]struct{}, len(q.records))
 	out := make([]T, 0, len(q.records))
 	for _, r := range q.records {
@@ -105,6 +125,7 @@ func Distinct[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[T]
 		seen[k] = struct{}{}
 		out = append(out, r)
 	}
+	opDone(q.rec, "distinct", start, len(q.records), len(out))
 	return derive(q, out, q.agent)
 }
 
@@ -124,6 +145,7 @@ type Group[K comparable, T any] struct {
 // Groups are emitted in first-appearance order of their keys, so the
 // pipeline is deterministic for a fixed input ordering.
 func GroupBy[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[Group[K, T]] {
+	start := opStart(q.rec)
 	index := make(map[K]int, len(q.records))
 	groups := make([]Group[K, T], 0)
 	for _, r := range q.records {
@@ -135,6 +157,7 @@ func GroupBy[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[Gro
 			groups = append(groups, Group[K, T]{Key: k, Items: []T{r}})
 		}
 	}
+	opDone(q.rec, "groupby", start, len(q.records), len(groups))
 	return derive(q, groups, newScaleAgent(q.agent, 2))
 }
 
@@ -148,6 +171,8 @@ func Join[T, U any, K comparable, R any](
 	keyA func(T) K, keyB func(U) K,
 	result func(T, U) R,
 ) *Queryable[R] {
+	rec := combineRec(a.rec, b.rec)
+	start := opStart(rec)
 	groupsA := make(map[K][]T)
 	orderA := make([]K, 0)
 	for _, r := range a.records {
@@ -176,7 +201,10 @@ func Join[T, U any, K comparable, R any](
 			out = append(out, result(ga[i], gb[i]))
 		}
 	}
-	return derive(a, out, newDualAgent(a.agent, b.agent))
+	opDone(rec, "join", start, len(a.records)+len(b.records), len(out))
+	res := derive(a, out, newDualAgent(a.agent, b.agent))
+	res.rec = rec
+	return res
 }
 
 // GroupJoin is the variant of the bounded join that hands the result
@@ -190,6 +218,8 @@ func GroupJoin[T, U any, K comparable, R any](
 	keyA func(T) K, keyB func(U) K,
 	result func(K, []T, []U) R,
 ) *Queryable[R] {
+	rec := combineRec(a.rec, b.rec)
+	start := opStart(rec)
 	groupsA := make(map[K][]T)
 	orderA := make([]K, 0)
 	for _, r := range a.records {
@@ -211,14 +241,19 @@ func GroupJoin[T, U any, K comparable, R any](
 		}
 		out = append(out, result(k, groupsA[k], gb))
 	}
+	opDone(rec, "groupjoin", start, len(a.records)+len(b.records), len(out))
 	agent := newDualAgent(newScaleAgent(a.agent, 2), newScaleAgent(b.agent, 2))
-	return derive(a, out, agent)
+	res := derive(a, out, agent)
+	res.rec = rec
+	return res
 }
 
 // Intersect keeps records of q whose key also appears in other,
 // emitting each matched key's records from q once. Like Where with a
 // protected predicate; no sensitivity increase for either input.
 func Intersect[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ func(T) K, keyOther func(U) K) *Queryable[T] {
+	rec := combineRec(q.rec, other.rec)
+	start := opStart(rec)
 	present := make(map[K]struct{}, len(other.records))
 	for _, r := range other.records {
 		present[keyOther(r)] = struct{}{}
@@ -229,7 +264,10 @@ func Intersect[T, U any, K comparable](q *Queryable[T], other *Queryable[U], key
 			out = append(out, r)
 		}
 	}
-	return derive(q, out, newDualAgent(q.agent, other.agent))
+	opDone(rec, "intersect", start, len(q.records)+len(other.records), len(out))
+	res := derive(q, out, newDualAgent(q.agent, other.agent))
+	res.rec = rec
+	return res
 }
 
 // Except keeps records of q whose key does NOT appear in other — the
@@ -237,6 +275,8 @@ func Intersect[T, U any, K comparable](q *Queryable[T], other *Queryable[U], key
 // protected predicate: no sensitivity increase for either input, but
 // aggregations charge both budgets.
 func Except[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ func(T) K, keyOther func(U) K) *Queryable[T] {
+	rec := combineRec(q.rec, other.rec)
+	start := opStart(rec)
 	present := make(map[K]struct{}, len(other.records))
 	for _, r := range other.records {
 		present[keyOther(r)] = struct{}{}
@@ -247,7 +287,10 @@ func Except[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ f
 			out = append(out, r)
 		}
 	}
-	return derive(q, out, newDualAgent(q.agent, other.agent))
+	opDone(rec, "except", start, len(q.records)+len(other.records), len(out))
+	res := derive(q, out, newDualAgent(q.agent, other.agent))
+	res.rec = rec
+	return res
 }
 
 // Partition splits the dataset into one part per key. The parts are
@@ -258,6 +301,7 @@ func Except[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ f
 // dropped. The returned map has exactly the given keys; missing keys
 // map to empty parts.
 func Partition[T any, K comparable](q *Queryable[T], keys []K, keyOf func(T) K) map[K]*Queryable[T] {
+	start := opStart(q.rec)
 	wanted := make(map[K]int, len(keys))
 	for i, k := range keys {
 		if _, dup := wanted[k]; dup {
@@ -266,9 +310,11 @@ func Partition[T any, K comparable](q *Queryable[T], keys []K, keyOf func(T) K) 
 		wanted[k] = i
 	}
 	buckets := make([][]T, len(keys))
+	matched := 0
 	for _, r := range q.records {
 		if i, ok := wanted[keyOf(r)]; ok {
 			buckets[i] = append(buckets[i], r)
+			matched++
 		}
 	}
 	shared := newPartitionAgent(q.agent, len(keys))
@@ -276,5 +322,6 @@ func Partition[T any, K comparable](q *Queryable[T], keys []K, keyOf func(T) K) 
 	for i, k := range keys {
 		parts[k] = derive(q, buckets[i], shared.member(i))
 	}
+	opDone(q.rec, "partition", start, len(q.records), matched)
 	return parts
 }

@@ -10,10 +10,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 
 	"dptrace/internal/dpserver"
+	"dptrace/internal/obs"
 )
 
 // ErrBudgetExceeded reports a 403 refusal from the server.
@@ -42,6 +44,9 @@ type Result struct {
 	NoiseStd  float64
 	Spent     float64
 	Remaining float64 // -1 means unlimited
+	// Trace is the server-side span tree of the executed pipeline,
+	// present when the request set Trace: true.
+	Trace *obs.Span
 }
 
 // Query runs one raw query (see dpserver.QueryRequest for fields);
@@ -65,7 +70,7 @@ func (c *Client) Query(req dpserver.QueryRequest) (*Result, error) {
 		}
 		return &Result{
 			Values: qr.Values, Buckets: qr.Buckets, NoiseStd: qr.NoiseStd,
-			Spent: qr.Spent, Remaining: qr.Remaining,
+			Spent: qr.Spent, Remaining: qr.Remaining, Trace: qr.Trace,
 		}, nil
 	case http.StatusForbidden:
 		var er struct {
@@ -156,6 +161,63 @@ func (c *Client) Datasets() ([]dpserver.DatasetInfo, error) {
 		return nil, fmt.Errorf("dpclient: decoding datasets: %w", err)
 	}
 	return infos, nil
+}
+
+// Health fetches the server's GET /healthz status.
+func (c *Client) Health() (*dpserver.HealthStatus, error) {
+	resp, err := c.http.Get(c.baseURL + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dpclient: healthz returned %d", resp.StatusCode)
+	}
+	var hs dpserver.HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding healthz: %w", err)
+	}
+	return &hs, nil
+}
+
+// RecentTraces fetches the server's ring of recent query traces
+// (newest first); n ≤ 0 fetches everything the server holds. This is
+// an owner-side surface — see the dpserver package docs.
+func (c *Client) RecentTraces(n int) ([]*obs.Span, error) {
+	u := c.baseURL + "/debug/traces"
+	if n > 0 {
+		u += "?n=" + url.QueryEscape(fmt.Sprint(n))
+	}
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dpclient: debug/traces returned %d", resp.StatusCode)
+	}
+	var spans []*obs.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding traces: %w", err)
+	}
+	return spans, nil
+}
+
+// MetricsText fetches the server's Prometheus text exposition.
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.http.Get(c.baseURL + "/metrics")
+	if err != nil {
+		return "", fmt.Errorf("dpclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("dpclient: metrics returned %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("dpclient: reading metrics: %w", err)
+	}
+	return string(body), nil
 }
 
 // LoadMatrix extracts the noisy link×bin count matrix from a hosted

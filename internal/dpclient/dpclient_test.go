@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"dptrace/internal/dpserver"
@@ -142,5 +143,64 @@ func TestClientLoadMatrixAndMonitorAverages(t *testing.T) {
 	// Second hop query exceeds the 1.5 cap.
 	if _, err := c.MonitorAverages("scatter", 1.0, 32); !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("over-cap: %v", err)
+	}
+}
+
+func TestClientObservability(t *testing.T) {
+	c := clientAndServer(t, 10, 5)
+
+	// A traced query carries the span tree through the client.
+	r, err := c.Query(dpserver.QueryRequest{
+		Dataset: "hotspot", Query: "count", Epsilon: 0.5, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace == nil || r.Trace.Name != "query:count" {
+		t.Fatalf("traced query returned trace %+v", r.Trace)
+	}
+	if len(r.Trace.Children) == 0 || r.Trace.Children[0].Name != "where" {
+		t.Errorf("trace children %+v, want a where span first", r.Trace.Children)
+	}
+
+	// Untraced queries do not.
+	r, err = c.Query(dpserver.QueryRequest{
+		Dataset: "hotspot", Query: "count", Epsilon: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace != nil {
+		t.Error("untraced query returned a trace")
+	}
+
+	hs, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Status != "ok" || hs.Datasets != 1 || hs.RecentTraces != 2 {
+		t.Errorf("health %+v", hs)
+	}
+
+	spans, err := c.RecentTraces(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "query:count" {
+		t.Errorf("recent traces %+v", spans)
+	}
+
+	text, err := c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`dpserver_requests_total{code="200",endpoint="/query"} 2`,
+		`dp_agg_total{agg="count",outcome="ok"} 2`,
+		`dp_budget_spent{dataset="hotspot"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics text missing %q", want)
+		}
 	}
 }

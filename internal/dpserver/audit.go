@@ -2,6 +2,7 @@ package dpserver
 
 import (
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -67,17 +68,36 @@ func (l *auditLog) snapshot() []AuditEntry {
 	return out
 }
 
+// len reports the current ledger depth (exported to the owner as the
+// dpserver_audit_entries gauge).
+func (l *auditLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
 // Audit returns a copy of the query ledger, oldest first.
 func (s *Server) Audit() []AuditEntry {
 	return s.audit.snapshot()
 }
 
-// handleAudit serves GET /audit with optional ?analyst= and ?dataset=
-// filters. This endpoint is for the data owner; expose it accordingly.
+// handleAudit serves GET /audit with optional ?analyst=, ?dataset=,
+// and ?outcome= filters; ?limit=N keeps only the N most recent
+// matches. This endpoint is for the data owner; expose it accordingly.
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	analyst := r.URL.Query().Get("analyst")
 	dataset := r.URL.Query().Get("dataset")
-	var out []AuditEntry
+	outcome := r.URL.Query().Get("outcome")
+	limit := -1
+	if lStr := r.URL.Query().Get("limit"); lStr != "" {
+		l, err := strconv.Atoi(lStr)
+		if err != nil || l < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "limit must be a non-negative integer"})
+			return
+		}
+		limit = l
+	}
+	out := []AuditEntry{}
 	for _, e := range s.audit.snapshot() {
 		if analyst != "" && e.Analyst != analyst {
 			continue
@@ -85,10 +105,13 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		if dataset != "" && e.Dataset != dataset {
 			continue
 		}
+		if outcome != "" && e.Outcome != outcome {
+			continue
+		}
 		out = append(out, e)
 	}
-	if out == nil {
-		out = []AuditEntry{}
+	if limit >= 0 && len(out) > limit {
+		out = out[len(out)-limit:]
 	}
 	writeJSON(w, http.StatusOK, out)
 }

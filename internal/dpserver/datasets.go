@@ -30,24 +30,39 @@ type hopDataset struct {
 }
 
 // AddLinkTrace registers a de-aggregated link trace with the given
-// dimensions and budgets.
-func (s *Server) AddLinkTrace(name string, samples []trace.LinkSample, links, bins int, totalBudget, perAnalystBudget float64) {
+// dimensions and budgets. Like AddPacketTrace, it refuses name
+// collisions (ErrDatasetExists) rather than discard a spent-budget
+// ledger.
+func (s *Server) AddLinkTrace(name string, samples []trace.LinkSample, links, bins int, totalBudget, perAnalystBudget float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.linkSets[name] = &linkDataset{
+	if s.nameTaken(name) {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	d := &linkDataset{
 		samples: samples, links: links, bins: bins,
 		policy: core.NewAnalystPolicy(totalBudget, perAnalystBudget),
 	}
+	s.linkSets[name] = d
+	d.policy.RegisterGauges(s.metrics, "dataset", name)
+	return nil
 }
 
-// AddHopTrace registers a hop-count trace.
-func (s *Server) AddHopTrace(name string, records []trace.HopRecord, monitors int, totalBudget, perAnalystBudget float64) {
+// AddHopTrace registers a hop-count trace, refusing name collisions
+// (ErrDatasetExists).
+func (s *Server) AddHopTrace(name string, records []trace.HopRecord, monitors int, totalBudget, perAnalystBudget float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.hopSets[name] = &hopDataset{
+	if s.nameTaken(name) {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	d := &hopDataset{
 		records: records, monitors: monitors,
 		policy: core.NewAnalystPolicy(totalBudget, perAnalystBudget),
 	}
+	s.hopSets[name] = d
+	d.policy.RegisterGauges(s.metrics, "dataset", name)
+	return nil
 }
 
 // MatrixRequest is the POST /query/loadmatrix body: extract the full
@@ -85,7 +100,8 @@ func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown link dataset %q", req.Dataset)})
 		return
 	}
-	q := core.NewQueryableFor(d.samples, d.policy.AgentFor(req.Analyst), s.src)
+	q := core.NewQueryableFor(d.samples, d.policy.AgentFor(req.Analyst), s.src).
+		WithRecorder(s.engineRec)
 
 	linkKeys := make([]int32, d.links)
 	for i := range linkKeys {
@@ -164,7 +180,8 @@ func (s *Server) handleMonitorAverages(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown hop dataset %q", req.Dataset)})
 		return
 	}
-	q := core.NewQueryableFor(d.records, d.policy.AgentFor(req.Analyst), s.src)
+	q := core.NewQueryableFor(d.records, d.policy.AgentFor(req.Analyst), s.src).
+		WithRecorder(s.engineRec)
 	keys := make([]int32, d.monitors)
 	for i := range keys {
 		keys[i] = int32(i)

@@ -6,9 +6,10 @@
 //
 // The wire protocol is JSON over HTTP (stdlib net/http only):
 //
-//	GET  /datasets              list datasets and budget state
+//	GET  /datasets              list datasets, budget state, per-analyst usage
 //	GET  /budget?dataset=&analyst=   an analyst's remaining allowance
 //	POST /query                 run one differentially-private query
+//	GET  /audit?analyst=&dataset=&outcome=&limit=   the owner's query ledger
 //
 // A query names the analyst (authentication is out of scope — wire it
 // to your ingress), the dataset, the query kind, its ε, and optional
@@ -21,6 +22,24 @@
 // allowance; they consume nothing, and the refusal is data-independent
 // (unlike the bit-leakage schemes the paper critiques, it reveals only
 // the analyst's own spending).
+//
+// The server also instruments itself (see internal/obs) for the data
+// owner operating it as a long-lived service:
+//
+//	GET  /metrics        Prometheus text exposition (?format=json for a
+//	                     JSON snapshot): per-endpoint request counts and
+//	                     latency histograms, per-dataset budget
+//	                     total/spent/remaining gauges, per-operator
+//	                     engine timings, aggregation outcome counters
+//	GET  /healthz        liveness: uptime, dataset count, goroutines
+//	GET  /debug/traces   ring buffer of recent query traces (?n= limit)
+//	/debug/pprof/*       optional; mount with Handler(WithPprof())
+//
+// Setting "trace":true on POST /query returns the executed pipeline as
+// a span tree in the response's "trace" field. None of these surfaces
+// expose record data — only operational metadata and the budget ledger
+// the owner already governs by — but /audit, /debug/*, and /metrics
+// are owner-side endpoints; expose them accordingly.
 package dpserver
 
 import (
@@ -31,11 +50,13 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"dptrace/internal/analyses/flowstats"
 	"dptrace/internal/analyses/packetdist"
 	"dptrace/internal/core"
 	"dptrace/internal/noise"
+	"dptrace/internal/obs"
 	"dptrace/internal/toolkit"
 	"dptrace/internal/trace"
 )
@@ -48,6 +69,11 @@ type Server struct {
 	hopSets  map[string]*hopDataset
 	src      noise.Source
 	audit    *auditLog
+
+	start     time.Time
+	metrics   *obs.Registry
+	engineRec obs.Recorder // aggregates engine telemetry into metrics
+	traces    *obs.TraceBuffer
 }
 
 type dataset struct {
@@ -58,35 +84,82 @@ type dataset struct {
 // New creates a server drawing noise from src (pass
 // noise.NewCryptoSource() in production; tests use a seeded source).
 func New(src noise.Source) *Server {
-	return &Server{
+	s := &Server{
 		datasets: make(map[string]*dataset),
 		linkSets: make(map[string]*linkDataset),
 		hopSets:  make(map[string]*hopDataset),
 		src:      noise.NewLockedSource(src),
 		audit:    newAuditLog(0, nil),
+		start:    time.Now(),
+		metrics:  obs.NewRegistry(),
+		traces:   obs.NewTraceBuffer(0),
 	}
+	s.engineRec = obs.NewMetricsRecorder(s.metrics)
+	s.metrics.GaugeFunc("dpserver_audit_entries", func() float64 {
+		return float64(s.audit.len())
+	})
+	return s
+}
+
+// ErrDatasetExists is returned when registering a dataset under a name
+// that is already taken. Silently replacing would discard the old
+// dataset's spent-budget ledger — exactly the state the privacy
+// guarantee depends on — so collisions are refused.
+var ErrDatasetExists = errors.New("dpserver: dataset already exists")
+
+// nameTaken reports whether any dataset kind holds name; callers hold
+// s.mu.
+func (s *Server) nameTaken(name string) bool {
+	if _, ok := s.datasets[name]; ok {
+		return true
+	}
+	if _, ok := s.linkSets[name]; ok {
+		return true
+	}
+	_, ok := s.hopSets[name]
+	return ok
 }
 
 // AddPacketTrace registers a packet trace under name with the given
-// total and per-analyst privacy budgets.
-func (s *Server) AddPacketTrace(name string, packets []trace.Packet, totalBudget, perAnalystBudget float64) {
+// total and per-analyst privacy budgets. It refuses (ErrDatasetExists)
+// if the name is taken by any dataset kind: replacement would reset
+// the spent-budget ledger and let analysts re-spend against the same
+// records.
+func (s *Server) AddPacketTrace(name string, packets []trace.Packet, totalBudget, perAnalystBudget float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.datasets[name] = &dataset{
+	if s.nameTaken(name) {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	d := &dataset{
 		packets: packets,
 		policy:  core.NewAnalystPolicy(totalBudget, perAnalystBudget),
 	}
+	s.datasets[name] = d
+	d.policy.RegisterGauges(s.metrics, "dataset", name)
+	return nil
 }
 
-// Handler returns the HTTP handler for the query API.
-func (s *Server) Handler() http.Handler {
+// Handler returns the HTTP handler for the query API. Every endpoint
+// reports request counts and latency to the server's metrics registry.
+func (s *Server) Handler(opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /datasets", s.handleDatasets)
-	mux.HandleFunc("GET /budget", s.handleBudget)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("GET /audit", s.handleAudit)
-	mux.HandleFunc("POST /query/loadmatrix", s.handleLoadMatrix)
-	mux.HandleFunc("POST /query/monitoravgs", s.handleMonitorAverages)
+	mux.HandleFunc("GET /datasets", s.instrument("/datasets", s.handleDatasets))
+	mux.HandleFunc("GET /budget", s.instrument("/budget", s.handleBudget))
+	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("GET /audit", s.instrument("/audit", s.handleAudit))
+	mux.HandleFunc("POST /query/loadmatrix", s.instrument("/query/loadmatrix", s.handleLoadMatrix))
+	mux.HandleFunc("POST /query/monitoravgs", s.instrument("/query/monitoravgs", s.handleMonitorAverages))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /debug/traces", s.instrument("/debug/traces", s.handleDebugTraces))
+	if cfg.pprof {
+		attachPprof(mux)
+	}
 	return mux
 }
 
@@ -130,6 +203,9 @@ type QueryRequest struct {
 	MinBytes int `json:"minBytes,omitempty"`
 	// BucketStep applies to the CDF queries.
 	BucketStep int64 `json:"bucketStep,omitempty"`
+	// Trace asks the server to return the executed pipeline as a span
+	// tree in the response (operational metadata only, no record data).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is the success body.
@@ -145,6 +221,9 @@ type QueryResponse struct {
 	// no infinity).
 	Spent     float64 `json:"spent"`
 	Remaining float64 `json:"remaining"`
+	// Trace is the executed pipeline's span tree, present when the
+	// request set "trace":true.
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 // finiteOrUnlimited maps +Inf (an unlimited budget) to the JSON
@@ -162,22 +241,63 @@ type errorResponse struct {
 	Remaining float64 `json:"remaining,omitempty"`
 }
 
+// AnalystUsage summarizes one analyst's activity on one dataset, so
+// the owner's ledger is queryable rather than dump-only. Requested is
+// the sum of ε values analysts asked for; Charged is what the ledger
+// actually drew (higher when derivations amplify sensitivity, zero
+// for refusals); Spent is the policy's own ground truth, which equals
+// the ledger's Charged sum unless audit entries have been evicted.
+type AnalystUsage struct {
+	Analyst   string  `json:"analyst"`
+	Queries   int     `json:"queries"`
+	Requested float64 `json:"requested"`
+	Charged   float64 `json:"charged"`
+	Spent     float64 `json:"spent"`
+}
+
 // DatasetInfo describes one hosted dataset in GET /datasets.
 type DatasetInfo struct {
-	Name           string  `json:"name"`
-	TotalSpent     float64 `json:"totalSpent"`
-	TotalRemaining float64 `json:"totalRemaining"`
+	Name           string         `json:"name"`
+	TotalSpent     float64        `json:"totalSpent"`
+	TotalRemaining float64        `json:"totalRemaining"`
+	Analysts       []AnalystUsage `json:"analysts,omitempty"`
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	// Ledger-side totals per dataset+analyst, folded into the listing.
+	type ledgerKey struct{ dataset, analyst string }
+	ledger := make(map[ledgerKey]*AnalystUsage)
+	for _, e := range s.audit.snapshot() {
+		k := ledgerKey{e.Dataset, e.Analyst}
+		u := ledger[k]
+		if u == nil {
+			u = &AnalystUsage{Analyst: e.Analyst}
+			ledger[k] = u
+		}
+		u.Queries++
+		u.Requested += e.Epsilon
+		u.Charged += e.Charged
+	}
+
 	s.mu.RLock()
 	infos := make([]DatasetInfo, 0, len(s.datasets))
 	for name, d := range s.datasets {
-		infos = append(infos, DatasetInfo{
+		info := DatasetInfo{
 			Name:           name,
 			TotalSpent:     d.policy.TotalSpent(),
 			TotalRemaining: finiteOrUnlimited(d.policy.TotalRemaining()),
+		}
+		for analyst, spent := range d.policy.PerAnalystSpent() {
+			u := AnalystUsage{Analyst: analyst, Spent: spent}
+			if l := ledger[ledgerKey{name, analyst}]; l != nil {
+				u.Queries, u.Requested, u.Charged = l.Queries, l.Requested, l.Charged
+			}
+			info.Analysts = append(info.Analysts, u)
+		}
+		sort.Slice(info.Analysts, func(i, j int) bool {
+			return info.Analysts[i].Analyst < info.Analysts[j].Analyst
 		})
+		infos = append(infos, info)
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
@@ -236,8 +356,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	q := core.NewQueryableFor(d.packets, d.policy.AgentFor(req.Analyst), s.src)
-	filtered := q.Where(func(p trace.Packet) bool { return req.Filter.match(&p) })
+	// Every query executes under a trace recorder (feeding the
+	// /debug/traces ring) plus the server's metrics recorder.
+	tr := obs.NewTraceRecorder("query:" + req.Query)
+	tr.SetLabel("analyst", req.Analyst)
+	tr.SetLabel("dataset", req.Dataset)
+	rec := obs.Multi(s.engineRec, tr)
+
+	q := core.NewQueryableFor(d.packets, d.policy.AgentFor(req.Analyst), s.src).WithRecorder(rec)
+	filtered := core.WhereRecorded(q, func(p trace.Packet) bool { return req.Filter.match(&p) })
 
 	spentBefore := d.policy.SpentBy(req.Analyst)
 	entry := AuditEntry{
@@ -253,6 +380,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			entry.Outcome = "refused"
 		}
 		s.audit.add(entry)
+		tr.SetLabel("outcome", entry.Outcome)
+		s.traces.Add(tr.Finish())
 		writeJSON(w, status, errorResponse{
 			Error:     err.Error(),
 			Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
@@ -264,6 +393,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	entry.Outcome = "ok"
 	entry.Charged = resp.Spent - spentBefore
 	s.audit.add(entry)
+	tr.SetLabel("outcome", entry.Outcome)
+	span := tr.Finish()
+	s.traces.Add(span)
+	if req.Trace {
+		resp.Trace = span
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -282,7 +417,7 @@ func runQuery(filtered *core.Queryable[trace.Packet], req *QueryRequest) (*Query
 			minBytes = 1024
 		}
 		grouped := core.GroupBy(filtered, func(p trace.Packet) trace.IPv4 { return p.SrcIP })
-		heavy := grouped.Where(func(g core.Group[trace.IPv4, trace.Packet]) bool {
+		heavy := core.WhereRecorded(grouped, func(g core.Group[trace.IPv4, trace.Packet]) bool {
 			total := 0
 			for _, p := range g.Items {
 				total += int(p.Len)

@@ -1,0 +1,129 @@
+package dpserver
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	"dptrace/internal/obs"
+)
+
+// This file is the server's observability surface: per-endpoint
+// request metrics, the Prometheus/JSON scrape endpoint, a health
+// probe, and the flight recorder of recent query traces. None of it
+// exposes record data — only operational metadata and the budget
+// ledger the data owner already governs by.
+
+// Metrics returns the server's metrics registry, for embedding
+// servers that want to add their own series or scrape in-process.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Traces returns the ring buffer of recent query traces.
+func (s *Server) Traces() *obs.TraceBuffer { return s.traces }
+
+// HandlerOption configures Handler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	pprof bool
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Profiles can
+// reveal operational detail (goroutine stacks, allocation sites), so
+// it is opt-in; enable it behind the same owner-only ingress as
+// /audit.
+func WithPprof() HandlerOption {
+	return func(c *handlerConfig) { c.pprof = true }
+}
+
+// statusWriter captures the response code for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one endpoint with a request counter and a latency
+// histogram, labeled by endpoint and response code:
+//
+//	dpserver_requests_total{endpoint="/query",code="200"}
+//	dpserver_request_seconds{endpoint="/query"}
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.Counter("dpserver_requests_total",
+			"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
+		s.metrics.Histogram("dpserver_request_seconds", obs.DurationBuckets(),
+			"endpoint", endpoint).Observe(time.Since(start).Seconds())
+	}
+}
+
+// handleMetrics serves the registry in the Prometheus text format, or
+// as a JSON snapshot with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.metrics.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}
+
+// HealthStatus is the GET /healthz body.
+type HealthStatus struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Datasets      int     `json:"datasets"`
+	Goroutines    int     `json:"goroutines"`
+	AuditEntries  int     `json:"auditEntries"`
+	RecentTraces  int     `json:"recentTraces"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.datasets) + len(s.linkSets) + len(s.hopSets)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, HealthStatus{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Datasets:      n,
+		Goroutines:    runtime.NumGoroutine(),
+		AuditEntries:  s.audit.len(),
+		RecentTraces:  s.traces.Len(),
+	})
+}
+
+// handleDebugTraces serves the most recent query traces, newest
+// first; ?n= limits the count.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	spans := s.traces.Snapshot()
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "n must be a non-negative integer"})
+			return
+		}
+		if n < len(spans) {
+			spans = spans[:n]
+		}
+	}
+	writeJSON(w, http.StatusOK, spans)
+}
+
+// attachPprof mounts the standard profiling handlers.
+func attachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

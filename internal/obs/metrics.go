@@ -1,0 +1,505 @@
+// Package obs is the system's self-instrumentation layer: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms) with JSON and Prometheus-text exposition, a lightweight
+// span abstraction for per-query traces, and the Recorder interface
+// the DP engine reports through.
+//
+// The paper's deployment model (§7) has a data owner mediating analyst
+// queries against a shared privacy budget; operating that service
+// requires watching who is spending ε, which operators dominate query
+// latency, and whether the process is healthy. Everything here is
+// stdlib-only and safe for concurrent use; the engine's default
+// recorder is nil/no-op, so library users who never ask for telemetry
+// pay nothing on the hot paths.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a lock-free float64 cell (CAS on the bit pattern).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Set(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by v; negative deltas are ignored so the
+// counter stays monotone.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.v.Add(v)
+}
+
+// Value reports the current total.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a value that can move both ways.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.v.Set(v) }
+
+// Add shifts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets (cumulative "le"
+// semantics on export, like Prometheus). Bounds are upper edges in
+// ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// DurationBuckets are the default latency bounds in seconds, spanning
+// 100µs..10s: wide enough for both sub-millisecond counts and
+// full-matrix extractions.
+func DurationBuckets() []float64 {
+	return []float64{1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+		2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// metricKey identifies one metric instance: a base name plus a
+// canonical (sorted) label rendering.
+type metricKey struct {
+	name   string
+	labels string // `k="v",k2="v2"` sorted by key, "" if none
+}
+
+func makeKey(name string, labels []string) metricKey {
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	if len(labels) == 0 {
+		return metricKey{name: name}
+	}
+	pairs := make([]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", labels[i], escapeLabel(labels[i+1])))
+	}
+	sort.Strings(pairs)
+	return metricKey{name: name, labels: strings.Join(pairs, ",")}
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func (k metricKey) String() string {
+	if k.labels == "" {
+		return k.name
+	}
+	return k.name + "{" + k.labels + "}"
+}
+
+// labelMap re-parses the canonical label string for JSON snapshots.
+func (k metricKey) labelMap() map[string]string {
+	if k.labels == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	for _, pair := range splitLabelPairs(k.labels) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			continue
+		}
+		val := pair[eq+1:]
+		if s, err := unquoteLabel(val); err == nil {
+			val = s
+		}
+		out[pair[:eq]] = val
+	}
+	return out
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func unquoteLabel(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return s, fmt.Errorf("obs: not quoted")
+	}
+	s = s[1 : len(s)-1]
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	s = strings.ReplaceAll(s, `\\`, `\`)
+	return s, nil
+}
+
+// Registry holds a process- or server-scoped set of metrics. Lookups
+// create on first use, so call sites just name what they record:
+//
+//	reg.Counter("dpserver_requests_total", "endpoint", "/query").Inc()
+//
+// Labels are alternating key/value strings; the same name+labels
+// always returns the same instance.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[metricKey]*Counter
+	gauges     map[metricKey]*Gauge
+	gaugeFuncs map[metricKey]func() float64
+	hists      map[metricKey]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[metricKey]*Counter),
+		gauges:     make(map[metricKey]*Gauge),
+		gaugeFuncs: make(map[metricKey]func() float64),
+		hists:      make(map[metricKey]*Histogram),
+	}
+}
+
+// Counter returns the counter for name+labels, creating it if needed.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	k := makeKey(name, labels)
+	r.mu.RLock()
+	c, ok := r.counters[k]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[k]; !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for name+labels, creating it if needed.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	k := makeKey(name, labels)
+	r.mu.RLock()
+	g, ok := r.gauges[k]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[k]; !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a live gauge whose value is read at snapshot
+// time — the natural shape for budget totals that already live behind
+// a policy's mutex. Re-registering the same name+labels replaces f.
+func (r *Registry) GaugeFunc(name string, f func() float64, labels ...string) {
+	k := makeKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[k] = f
+}
+
+// Histogram returns the histogram for name+labels, creating it with
+// the given bucket bounds if needed (bounds are ignored on later
+// lookups of an existing histogram).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	k := makeKey(name, labels)
+	r.mu.RLock()
+	h, ok := r.hists[k]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[k]; !ok {
+		if !sort.Float64sAreSorted(bounds) {
+			panic("obs: histogram bounds must be ascending")
+		}
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// MetricPoint is one scalar metric in a Snapshot.
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramPoint is one histogram in a Snapshot. Bucket counts are
+// cumulative (Prometheus "le" semantics); the final count covers +Inf.
+type HistogramPoint struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Bounds  []float64         `json:"bounds"`
+	Buckets []uint64          `json:"buckets"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every metric, ordered by name
+// for stable output.
+type Snapshot struct {
+	Counters   []MetricPoint    `json:"counters"`
+	Gauges     []MetricPoint    `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counterKeys := sortedKeys(r.counters)
+	gaugeKeys := sortedKeys(r.gauges)
+	funcKeys := sortedKeys(r.gaugeFuncs)
+	histKeys := sortedKeys(r.hists)
+
+	var snap Snapshot
+	for _, k := range counterKeys {
+		snap.Counters = append(snap.Counters, MetricPoint{
+			Name: k.name, Labels: k.labelMap(), Value: r.counters[k].Value(),
+		})
+	}
+	for _, k := range gaugeKeys {
+		snap.Gauges = append(snap.Gauges, MetricPoint{
+			Name: k.name, Labels: k.labelMap(), Value: r.gauges[k].Value(),
+		})
+	}
+	funcs := make([]func() float64, len(funcKeys))
+	for i, k := range funcKeys {
+		funcs[i] = r.gaugeFuncs[k]
+	}
+	for _, k := range histKeys {
+		h := r.hists[k]
+		hp := HistogramPoint{
+			Name: k.name, Labels: k.labelMap(),
+			Bounds: append([]float64(nil), h.bounds...),
+			Count:  h.Count(), Sum: h.Sum(),
+		}
+		cum := uint64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			hp.Buckets = append(hp.Buckets, cum)
+		}
+		snap.Histograms = append(snap.Histograms, hp)
+	}
+	r.mu.RUnlock()
+
+	// Live gauges are read outside the registry lock: their closures
+	// may take other locks (budget policies) and must not deadlock
+	// against concurrent registrations.
+	for i, k := range funcKeys {
+		snap.Gauges = append(snap.Gauges, MetricPoint{
+			Name: k.name, Labels: k.labelMap(), Value: funcs[i](),
+		})
+	}
+	sort.Slice(snap.Gauges, func(i, j int) bool {
+		if snap.Gauges[i].Name != snap.Gauges[j].Name {
+			return snap.Gauges[i].Name < snap.Gauges[j].Name
+		}
+		return fmt.Sprint(snap.Gauges[i].Labels) < fmt.Sprint(snap.Gauges[j].Labels)
+	})
+	return snap
+}
+
+func sortedKeys[V any](m map[metricKey]V) []metricKey {
+	keys := make([]metricKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].labels < keys[j].labels
+	})
+	return keys
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): one # TYPE line per metric
+// family, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counterKeys := sortedKeys(r.counters)
+	gaugeKeys := sortedKeys(r.gauges)
+	funcKeys := sortedKeys(r.gaugeFuncs)
+	histKeys := sortedKeys(r.hists)
+	counters := make([]float64, len(counterKeys))
+	for i, k := range counterKeys {
+		counters[i] = r.counters[k].Value()
+	}
+	gauges := make([]float64, len(gaugeKeys))
+	for i, k := range gaugeKeys {
+		gauges[i] = r.gauges[k].Value()
+	}
+	funcs := make([]func() float64, len(funcKeys))
+	for i, k := range funcKeys {
+		funcs[i] = r.gaugeFuncs[k]
+	}
+	type histCopy struct {
+		bounds  []float64
+		buckets []uint64 // cumulative
+		count   uint64
+		sum     float64
+	}
+	hists := make([]histCopy, len(histKeys))
+	for i, k := range histKeys {
+		h := r.hists[k]
+		hc := histCopy{bounds: h.bounds, count: h.Count(), sum: h.Sum()}
+		cum := uint64(0)
+		for j := range h.counts {
+			cum += h.counts[j].Load()
+			hc.buckets = append(hc.buckets, cum)
+		}
+		hists[i] = hc
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	writeFamily := func(keys []metricKey, typ string, value func(int) float64) {
+		lastName := ""
+		for i, k := range keys {
+			if k.name != lastName {
+				fmt.Fprintf(&b, "# TYPE %s %s\n", k.name, typ)
+				lastName = k.name
+			}
+			fmt.Fprintf(&b, "%s %s\n", k.String(), formatValue(value(i)))
+		}
+	}
+	writeFamily(counterKeys, "counter", func(i int) float64 { return counters[i] })
+	writeFamily(gaugeKeys, "gauge", func(i int) float64 { return gauges[i] })
+	// Live gauges read outside the lock, same reason as Snapshot.
+	lastName := ""
+	for i, k := range funcKeys {
+		if k.name != lastName {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", k.name)
+			lastName = k.name
+		}
+		fmt.Fprintf(&b, "%s %s\n", k.String(), formatValue(funcs[i]()))
+	}
+	lastName = ""
+	for i, k := range histKeys {
+		if k.name != lastName {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", k.name)
+			lastName = k.name
+		}
+		hc := hists[i]
+		for j, bound := range hc.bounds {
+			fmt.Fprintf(&b, "%s %d\n", bucketKey(k, formatValue(bound)), hc.buckets[j])
+		}
+		fmt.Fprintf(&b, "%s %d\n", bucketKey(k, "+Inf"), hc.buckets[len(hc.buckets)-1])
+		fmt.Fprintf(&b, "%s_sum%s %s\n", k.name, labelSuffix(k), formatValue(hc.sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", k.name, labelSuffix(k), hc.count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func bucketKey(k metricKey, le string) string {
+	if k.labels == "" {
+		return fmt.Sprintf(`%s_bucket{le=%q}`, k.name, le)
+	}
+	return fmt.Sprintf(`%s_bucket{%s,le=%q}`, k.name, k.labels, le)
+}
+
+func labelSuffix(k metricKey) string {
+	if k.labels == "" {
+		return ""
+	}
+	return "{" + k.labels + "}"
+}
+
+// formatValue renders a float the way Prometheus expects (+Inf/-Inf
+// spelled out, no exponent for integral values).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
