@@ -1,4 +1,4 @@
-.PHONY: check build test bench
+.PHONY: check build test bench bench-all
 
 # The tier-1 gate (see ROADMAP.md): build + vet + tests under -race.
 check:
@@ -10,5 +10,14 @@ build:
 test:
 	go test ./...
 
+# Engine benchmarks, parsed into BENCH_core.json (cmd/benchjson) so
+# every PR leaves a perf trajectory. Sequential and Parallel variants
+# of each operator land side by side; run with e.g.
+# `make bench BENCHFLAGS='-cpu 1,4'` to add scaling points.
 bench:
+	go test -bench=. -benchmem -count=5 $(BENCHFLAGS) ./internal/core/... | go run ./cmd/benchjson > BENCH_core.json
+	@echo "wrote BENCH_core.json"
+
+# The original whole-repo benchmark sweep.
+bench-all:
 	go test -bench=. -benchmem ./...

@@ -1,0 +1,192 @@
+// Command benchjson parses `go test -bench` text output from stdin
+// into a JSON document on stdout, so benchmark runs can be checked in
+// (BENCH_core.json) and diffed across PRs:
+//
+//	go test -bench=. -benchmem -count=5 ./internal/core/ | go run ./cmd/benchjson > BENCH_core.json
+//
+// Repeated runs of one benchmark (-count=N) are aggregated into
+// min/mean/max ns/op; alloc stats and custom ReportMetric values
+// (e.g. records/op) ride along. Environment lines (goos, goarch, cpu)
+// are captured into the header so numbers are interpretable later.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark line.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	iterations  int64
+	metrics     map[string]float64
+}
+
+// Result aggregates all samples of one benchmark name (including the
+// -procs suffix, so seq and -cpu variants stay distinct).
+type Result struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Runs        int                `json:"runs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOpMin  float64            `json:"nsPerOpMin"`
+	NsPerOpMean float64            `json:"nsPerOpMean"`
+	NsPerOpMax  float64            `json:"nsPerOpMax"`
+	BytesPerOp  float64            `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64            `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the output document.
+type Doc struct {
+	GoVersion  string            `json:"goVersion"`
+	NumCPU     int               `json:"numCPU"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Env        map[string]string `json:"env,omitempty"`
+	Note       string            `json:"note,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+func main() {
+	order := []string{}
+	samples := map[string][]sample{}
+	env := map[string]string{}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			name, s, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			if _, seen := samples[name]; !seen {
+				order = append(order, name)
+			}
+			samples[name] = append(samples[name], s)
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"), strings.HasPrefix(line, "pkg:"):
+			k, v, _ := strings.Cut(line, ":")
+			env[k] = strings.TrimSpace(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	doc := Doc{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:        env,
+	}
+	if runtime.NumCPU() < 2 {
+		doc.Note = "single-CPU host: parallel variants cannot show wall-clock speedup here; they document overhead bounds and are expected to win at NumCPU >= 2"
+	}
+	for _, name := range order {
+		doc.Benchmarks = append(doc.Benchmarks, aggregate(name, samples[name]))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkWhere1M-4  	 100	  11077197 ns/op	 8388614 B/op	 2 allocs/op	 1048576 records/op
+func parseBenchLine(line string) (string, sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", sample{}, false
+	}
+	name := fields[0]
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", sample{}, false
+	}
+	s := sample{iterations: iters, metrics: map[string]float64{}}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			s.nsPerOp = v
+		case "B/op":
+			s.bytesPerOp = v
+		case "allocs/op":
+			s.allocsPerOp = v
+		default:
+			s.metrics[unit] = v
+		}
+	}
+	return name, s, true
+}
+
+// aggregate folds repeated runs (-count=N) of one benchmark.
+func aggregate(name string, ss []sample) Result {
+	base, procs := splitProcs(name)
+	r := Result{Name: base, Procs: procs, Runs: len(ss), NsPerOpMin: ss[0].nsPerOp, NsPerOpMax: ss[0].nsPerOp}
+	var sum float64
+	metricSums := map[string]float64{}
+	for _, s := range ss {
+		sum += s.nsPerOp
+		if s.nsPerOp < r.NsPerOpMin {
+			r.NsPerOpMin = s.nsPerOp
+		}
+		if s.nsPerOp > r.NsPerOpMax {
+			r.NsPerOpMax = s.nsPerOp
+		}
+		r.Iterations += s.iterations
+		r.BytesPerOp += s.bytesPerOp
+		r.AllocsPerOp += s.allocsPerOp
+		for k, v := range s.metrics {
+			metricSums[k] += v
+		}
+	}
+	n := float64(len(ss))
+	r.NsPerOpMean = sum / n
+	r.BytesPerOp /= n
+	r.AllocsPerOp /= n
+	if len(metricSums) > 0 {
+		r.Metrics = map[string]float64{}
+		keys := make([]string, 0, len(metricSums))
+		for k := range metricSums {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			r.Metrics[k] = metricSums[k] / n
+		}
+	}
+	return r
+}
+
+// splitProcs splits the -N GOMAXPROCS suffix the bench runner appends.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return name, 1
+	}
+	return name[:i], procs
+}

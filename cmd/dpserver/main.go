@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"dptrace/internal/core"
 	"dptrace/internal/dpserver"
 	"dptrace/internal/noise"
 	"dptrace/internal/trace"
@@ -44,6 +45,7 @@ func main() {
 	perAnalyst := flag.Float64("per-analyst", 1.0, "per-analyst privacy budget")
 	seed := flag.Uint64("seed", 0, "noise seed; 0 uses crypto randomness")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	parallel := flag.Int("parallel", 0, "worker count for data-parallel query execution on every hosted dataset (0 = sequential)")
 	flag.Parse()
 
 	if len(traces) == 0 {
@@ -77,8 +79,17 @@ func main() {
 		if err := srv.AddPacketTrace(name, packets, *total, *perAnalyst); err != nil {
 			fatal(err)
 		}
+		if *parallel > 1 {
+			if err := srv.SetParallelism(name, *parallel); err != nil {
+				fatal(err)
+			}
+		}
 		fmt.Printf("hosting %s: %d packets, total budget %.2f, per-analyst %.2f\n",
 			name, len(packets), *total, *perAnalyst)
+	}
+	if *parallel > 1 {
+		fmt.Printf("data-parallel execution: %d workers above %d records (results identical to sequential)\n",
+			*parallel, core.DefaultParallelThreshold)
 	}
 
 	var opts []dpserver.HandlerOption

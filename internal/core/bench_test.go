@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"dptrace/internal/noise"
@@ -9,7 +10,12 @@ import (
 )
 
 // Micro-benchmarks for the engine's operations, sized at 1M records to
-// expose per-record costs and allocation behaviour (-benchmem).
+// expose per-record costs and allocation behaviour (-benchmem). Every
+// transformation benchmark has a sequential and a parallel variant
+// (suffix "Parallel", workers = GOMAXPROCS, threshold forced low), so
+// `go test -bench . -cpu 1,4` reports the execution engine's scaling.
+// `make bench` parses the output into BENCH_core.json for the perf
+// trajectory across PRs.
 
 const benchRecords = 1 << 20
 
@@ -23,13 +29,35 @@ func benchQueryable(b *testing.B) *Queryable[int] {
 	return q
 }
 
+// benchParallel configures q for parallel execution at the benchmark's
+// GOMAXPROCS (so -cpu controls the worker count) with the size gate
+// disabled.
+func benchParallel(q *Queryable[int]) *Queryable[int] {
+	return q.WithExecOptions(ExecOptions{Workers: runtime.GOMAXPROCS(0), Threshold: 1})
+}
+
+// reportRecords attaches the per-op record count so ns/op is
+// convertible to records/s across benches with different input sizes.
+func reportRecords(b *testing.B, n int) {
+	b.ReportMetric(float64(n), "records/op")
+}
+
 func BenchmarkWhere1M(b *testing.B) {
 	q := benchQueryable(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = q.Where(func(x int) bool { return x%2 == 0 })
 	}
-	b.ReportMetric(float64(benchRecords), "records")
+	reportRecords(b, benchRecords)
+}
+
+func BenchmarkWhere1MParallel(b *testing.B) {
+	q := benchParallel(benchQueryable(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = WhereRecorded(q, func(x int) bool { return x%2 == 0 })
+	}
+	reportRecords(b, benchRecords)
 }
 
 func BenchmarkSelect1M(b *testing.B) {
@@ -38,6 +66,16 @@ func BenchmarkSelect1M(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = Select(q, func(x int) int { return x * 2 })
 	}
+	reportRecords(b, benchRecords)
+}
+
+func BenchmarkSelect1MParallel(b *testing.B) {
+	q := benchParallel(benchQueryable(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SelectRecorded(q, func(x int) int { return x * 2 })
+	}
+	reportRecords(b, benchRecords)
 }
 
 func BenchmarkGroupBy1M(b *testing.B) {
@@ -46,6 +84,16 @@ func BenchmarkGroupBy1M(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = GroupBy(q, func(x int) int { return x % 1024 })
 	}
+	reportRecords(b, benchRecords)
+}
+
+func BenchmarkGroupBy1MParallel(b *testing.B) {
+	q := benchParallel(benchQueryable(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GroupBy(q, func(x int) int { return x % 1024 })
+	}
+	reportRecords(b, benchRecords)
 }
 
 func BenchmarkDistinct1M(b *testing.B) {
@@ -54,18 +102,44 @@ func BenchmarkDistinct1M(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = Distinct(q, func(x int) int { return x % 4096 })
 	}
+	reportRecords(b, benchRecords)
 }
 
-func BenchmarkPartition1M(b *testing.B) {
-	q := benchQueryable(b)
+func BenchmarkDistinct1MParallel(b *testing.B) {
+	q := benchParallel(benchQueryable(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Distinct(q, func(x int) int { return x % 4096 })
+	}
+	reportRecords(b, benchRecords)
+}
+
+func benchPartitionKeys() []int {
 	keys := make([]int, 256)
 	for i := range keys {
 		keys[i] = i
 	}
+	return keys
+}
+
+func BenchmarkPartition1M(b *testing.B) {
+	q := benchQueryable(b)
+	keys := benchPartitionKeys()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Partition(q, keys, func(x int) int { return x % 256 })
 	}
+	reportRecords(b, benchRecords)
+}
+
+func BenchmarkPartition1MParallel(b *testing.B) {
+	q := benchParallel(benchQueryable(b))
+	keys := benchPartitionKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Partition(q, keys, func(x int) int { return x % 256 })
+	}
+	reportRecords(b, benchRecords)
 }
 
 func BenchmarkJoin1M(b *testing.B) {
@@ -77,6 +151,19 @@ func BenchmarkJoin1M(b *testing.B) {
 			func(x int) int { return x }, func(x int) int { return x },
 			func(a, c int) int { return a + c })
 	}
+	reportRecords(b, 2*benchRecords)
+}
+
+func BenchmarkJoin1MParallel(b *testing.B) {
+	q := benchParallel(benchQueryable(b))
+	other := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Join(q, other,
+			func(x int) int { return x }, func(x int) int { return x },
+			func(a, c int) int { return a + c })
+	}
+	reportRecords(b, 2*benchRecords)
 }
 
 // BenchmarkWhere1MRecorded measures the instrumented path (metrics
@@ -89,6 +176,7 @@ func BenchmarkWhere1MRecorded(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = WhereRecorded(q, func(x int) bool { return x%2 == 0 })
 	}
+	reportRecords(b, benchRecords)
 }
 
 func BenchmarkNoisyCountRecorded(b *testing.B) {
@@ -119,6 +207,7 @@ func BenchmarkNoisySum1M(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportRecords(b, benchRecords)
 }
 
 func BenchmarkNoisyMedian100k(b *testing.B) {
@@ -133,6 +222,7 @@ func BenchmarkNoisyMedian100k(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportRecords(b, 100_000)
 }
 
 func BenchmarkBudgetAgentApply(b *testing.B) {

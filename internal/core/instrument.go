@@ -17,7 +17,7 @@ import (
 // so library users who never ask for telemetry pay nothing.
 //
 // Two operators are the exception: Where and Select have bodies small
-// enough (inline cost 63 and 62 of the 80 budget) that the compiler
+// enough (inline cost ~66 of the 80 budget) that the compiler
 // inlines them into callers and devirtualizes their per-record
 // closures. Any in-method hook — even a guarded call — costs at least
 // 57 budget units and breaks that, doubling 1M-record scan times for
@@ -26,6 +26,13 @@ import (
 // instrumented pipelines call instead. All other operators do enough
 // work per call (maps, sorts, multi-slice merges) that they were never
 // inline candidates, and keep their dynamic hooks.
+//
+// The same budget arithmetic applies to the execution engine's
+// parallel dispatch (exec.go): a strategy branch inside Where or
+// Select would cost an out-of-line call and break the same inlining.
+// The twins therefore also carry the parallel dispatch — they are the
+// parallel-capable spellings of Where and Select — while every other
+// operator dispatches in its plain form.
 
 // defaultRecorder is the process-wide recorder picked up by
 // NewQueryable/NewQueryableFor at construction time. It exists for
@@ -61,21 +68,33 @@ func (q *Queryable[T]) WithRecorder(rec obs.Recorder) *Queryable[T] {
 	return &out
 }
 
-// WhereRecorded is Where plus recorder instrumentation: the filter's
-// duration and records in/out reach the pipeline's recorder. Semantics
+// WhereRecorded is Where plus recorder instrumentation and parallel
+// dispatch: the filter's duration and records in/out reach the
+// pipeline's recorder, and Queryables configured with WithParallelism
+// filter with the chunked worker pool. Semantics, output ordering,
 // and budget accounting are identical to Where.
 func WhereRecorded[T any](q *Queryable[T], pred func(T) bool) *Queryable[T] {
 	start := opStart(q.rec)
-	out := q.Where(pred)
+	var out *Queryable[T]
+	if q.exec.active(len(q.records)) {
+		out = whereParallel(q, pred)
+	} else {
+		out = q.Where(pred)
+	}
 	opDone(q.rec, "where", start, len(q.records), len(out.records))
 	return out
 }
 
-// SelectRecorded is Select plus recorder instrumentation (see
-// WhereRecorded).
+// SelectRecorded is Select plus recorder instrumentation and parallel
+// dispatch (see WhereRecorded).
 func SelectRecorded[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
 	start := opStart(q.rec)
-	out := Select(q, f)
+	var out *Queryable[U]
+	if q.exec.active(len(q.records)) {
+		out = selectParallel(q, f)
+	} else {
+		out = Select(q, f)
+	}
 	opDone(q.rec, "select", start, len(q.records), len(out.records))
 	return out
 }

@@ -1,0 +1,491 @@
+package core
+
+import (
+	"hash/maphash"
+	"sort"
+)
+
+// This file holds the data-parallel execution strategies selected by
+// ExecOptions (see exec.go). Two families:
+//
+//   - Chunked worker-pool execution for the embarrassingly-parallel
+//     operators (Where/Select/SelectMany/Distinct/Partition): the
+//     input is split into one contiguous chunk per worker, each worker
+//     processes its chunk independently into private storage, and the
+//     results are merged in chunk order. Because chunks cover the
+//     input in order and the merge concatenates in chunk order, the
+//     output is byte-identical to the sequential single-pass loop.
+//
+//   - Sharded-hash execution for the keyed operators (GroupBy/Join/
+//     GroupJoin/Intersect/Except): keys are hash-partitioned across
+//     one shard per worker, each worker builds its shard's map
+//     concurrently (a key's records all land in exactly one shard, so
+//     no locks), and the shards are merged by each key's global
+//     first-appearance index — restoring the documented
+//     first-appearance order exactly.
+//
+// Key functions are user code of unknown cost, so both families
+// evaluate them inside the parallel phase (once per record — the
+// sequential paths hold the same single-evaluation contract).
+//
+// The shard hash (hash/maphash.Comparable) is seeded randomly per
+// process. That randomness never reaches the output: shard assignment
+// only decides WHICH worker builds a key's group, while the merge
+// order comes from first-appearance indexes, which are a pure function
+// of the input ordering.
+
+// shardSeed seeds the hash that partitions keys across shards.
+var shardSeed = maphash.MakeSeed()
+
+// shardOf assigns key k to one of w shards.
+func shardOf[K comparable](k K, w int) int {
+	return int(maphash.Comparable(shardSeed, k) % uint64(w))
+}
+
+// mergeChunks concatenates per-worker output slices in chunk order.
+// The result is non-nil even when empty, matching the sequential
+// paths' make([]T, 0, …) outputs.
+func mergeChunks[T any](parts [][]T) []T {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// whereParallel is the chunked strategy behind WhereRecorded; see the
+// sequential Where for the semantics.
+func whereParallel[T any](q *Queryable[T], pred func(T) bool) *Queryable[T] {
+	n := len(q.records)
+	w := q.exec.width(n)
+	parts := make([][]T, w)
+	runWorkers(w, func(i int) {
+		lo, hi := chunk(n, w, i)
+		out := make([]T, 0, hi-lo)
+		for _, r := range q.records[lo:hi] {
+			if pred(r) {
+				out = append(out, r)
+			}
+		}
+		parts[i] = out
+	})
+	parallelExecs.Add(1)
+	return derive(q, mergeChunks(parts), q.agent)
+}
+
+// selectParallel is the chunked strategy behind SelectRecorded:
+// workers write disjoint ranges of a pre-sized output slice.
+func selectParallel[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
+	n := len(q.records)
+	w := q.exec.width(n)
+	out := make([]U, n)
+	runWorkers(w, func(i int) {
+		lo, hi := chunk(n, w, i)
+		for j := lo; j < hi; j++ {
+			out[j] = f(q.records[j])
+		}
+	})
+	parallelExecs.Add(1)
+	return derive(q, out, q.agent)
+}
+
+// selectManyParallel is the chunked strategy for SelectMany.
+func selectManyParallel[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable[U] {
+	n := len(q.records)
+	w := q.exec.width(n)
+	parts := make([][]U, w)
+	runWorkers(w, func(i int) {
+		lo, hi := chunk(n, w, i)
+		out := make([]U, 0, hi-lo)
+		for _, r := range q.records[lo:hi] {
+			mapped := f(r)
+			if len(mapped) > fanout {
+				mapped = mapped[:fanout]
+			}
+			out = append(out, mapped...)
+		}
+		parts[i] = out
+	})
+	parallelExecs.Add(1)
+	return derive(q, mergeChunks(parts), newScaleAgent(q.agent, float64(fanout)))
+}
+
+// distinctParallel parallelizes the key computation and per-chunk
+// dedup; a sequential pass over the (much smaller) per-chunk survivors
+// restores the global first-appearance order.
+func distinctParallel[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[T] {
+	n := len(q.records)
+	w := q.exec.width(n)
+	recParts := make([][]T, w)
+	keyParts := make([][]K, w)
+	runWorkers(w, func(i int) {
+		lo, hi := chunk(n, w, i)
+		seen := make(map[K]struct{}, hi-lo)
+		recs := make([]T, 0, hi-lo)
+		keys := make([]K, 0, hi-lo)
+		for _, r := range q.records[lo:hi] {
+			k := key(r)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			recs = append(recs, r)
+			keys = append(keys, k)
+		}
+		recParts[i] = recs
+		keyParts[i] = keys
+	})
+	// Cross-chunk dedup: chunks are scanned in input order and each
+	// chunk preserved its local first appearances, so the global first
+	// appearance of every key survives.
+	total := 0
+	for _, p := range recParts {
+		total += len(p)
+	}
+	seen := make(map[K]struct{}, total)
+	out := make([]T, 0, total)
+	for ci, recs := range recParts {
+		for j, r := range recs {
+			k := keyParts[ci][j]
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, r)
+		}
+	}
+	parallelExecs.Add(1)
+	return derive(q, out, q.agent)
+}
+
+// keyedGroup is one key's records plus the global index of the key's
+// first appearance, the merge ordinal that restores sequential order.
+type keyedGroup[K comparable, T any] struct {
+	first int
+	key   K
+	items []T
+}
+
+// buildShards hash-partitions records by key across w shards and
+// builds each shard's groups concurrently. Within a shard, groups are
+// naturally ordered by first appearance (records are scanned in input
+// order). The returned maps index each shard's groups for lookups.
+func buildShards[T any, K comparable](records []T, keyFn func(T) K, w int) (groups [][]keyedGroup[K, T], index []map[K]int) {
+	n := len(records)
+	// Phase 1 (chunked): evaluate the key function once per record and
+	// tag each record with its shard.
+	keys := make([]K, n)
+	shards := make([]uint32, n)
+	cw := w
+	if cw > n {
+		cw = n
+	}
+	runWorkers(cw, func(i int) {
+		lo, hi := chunk(n, cw, i)
+		for j := lo; j < hi; j++ {
+			k := keyFn(records[j])
+			keys[j] = k
+			shards[j] = uint32(shardOf(k, w))
+		}
+	})
+	// Phase 2 (sharded): each worker owns one shard and scans the tag
+	// array for its records. A key's records all carry the same tag, so
+	// shard maps never race.
+	groups = make([][]keyedGroup[K, T], w)
+	index = make([]map[K]int, w)
+	runWorkers(w, func(s int) {
+		idx := make(map[K]int)
+		var gs []keyedGroup[K, T]
+		for j := 0; j < n; j++ {
+			if shards[j] != uint32(s) {
+				continue
+			}
+			k := keys[j]
+			if gi, ok := idx[k]; ok {
+				gs[gi].items = append(gs[gi].items, records[j])
+			} else {
+				idx[k] = len(gs)
+				gs = append(gs, keyedGroup[K, T]{first: j, key: k, items: []T{records[j]}})
+			}
+		}
+		groups[s] = gs
+		index[s] = idx
+	})
+	return groups, index
+}
+
+// mergeByFirst flattens per-shard groups into global first-appearance
+// order.
+func mergeByFirst[K comparable, T any](shards [][]keyedGroup[K, T]) []keyedGroup[K, T] {
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	all := make([]keyedGroup[K, T], 0, total)
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].first < all[j].first })
+	return all
+}
+
+// shardLookup finds key k's records in sharded groups built with the
+// same width.
+func shardLookup[K comparable, T any](groups [][]keyedGroup[K, T], index []map[K]int, k K) ([]T, bool) {
+	s := shardOf(k, len(groups))
+	gi, ok := index[s][k]
+	if !ok {
+		return nil, false
+	}
+	return groups[s][gi].items, true
+}
+
+// groupByParallel is the sharded-hash strategy for GroupBy.
+func groupByParallel[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[Group[K, T]] {
+	start := opStart(q.rec)
+	n := len(q.records)
+	w := q.exec.width(n)
+	shards, _ := buildShards(q.records, key, w)
+	ordered := mergeByFirst(shards)
+	groups := make([]Group[K, T], len(ordered))
+	for i, g := range ordered {
+		groups[i] = Group[K, T]{Key: g.key, Items: g.items}
+	}
+	parallelExecs.Add(1)
+	opDone(q.rec, "groupby", start, n, len(groups))
+	return derive(q, groups, newScaleAgent(q.agent, 2))
+}
+
+// joinParallel is the sharded-hash strategy for Join: both sides'
+// groups build concurrently, then the zip phase is chunked over the
+// left side's first-appearance key order.
+func joinParallel[T, U any, K comparable, R any](
+	a *Queryable[T], b *Queryable[U],
+	keyA func(T) K, keyB func(U) K,
+	result func(T, U) R,
+) *Queryable[R] {
+	rec := combineRec(a.rec, b.rec)
+	start := opStart(rec)
+	w := a.exec.width(len(a.records) + len(b.records))
+	var shardsA [][]keyedGroup[K, T]
+	var shardsB [][]keyedGroup[K, U]
+	var indexB []map[K]int
+	runWorkers(2, func(side int) {
+		if side == 0 {
+			shardsA, _ = buildShards(a.records, keyA, w)
+		} else {
+			shardsB, indexB = buildShards(b.records, keyB, w)
+		}
+	})
+	orderA := mergeByFirst(shardsA)
+
+	nk := len(orderA)
+	cw := w
+	if cw > nk {
+		cw = nk
+	}
+	if cw < 1 {
+		cw = 1
+	}
+	parts := make([][]R, cw)
+	runWorkers(cw, func(i int) {
+		lo, hi := chunk(nk, cw, i)
+		out := make([]R, 0, hi-lo)
+		for _, g := range orderA[lo:hi] {
+			gb, ok := shardLookup(shardsB, indexB, g.key)
+			if !ok {
+				continue
+			}
+			ga := g.items
+			n := len(ga)
+			if len(gb) < n {
+				n = len(gb)
+			}
+			for j := 0; j < n; j++ {
+				out = append(out, result(ga[j], gb[j]))
+			}
+		}
+		parts[i] = out
+	})
+	out := mergeChunks(parts)
+	parallelExecs.Add(1)
+	opDone(rec, "join", start, len(a.records)+len(b.records), len(out))
+	res := derive(a, out, newDualAgent(a.agent, b.agent))
+	res.rec = rec
+	return res
+}
+
+// groupJoinParallel is the sharded-hash strategy for GroupJoin.
+func groupJoinParallel[T, U any, K comparable, R any](
+	a *Queryable[T], b *Queryable[U],
+	keyA func(T) K, keyB func(U) K,
+	result func(K, []T, []U) R,
+) *Queryable[R] {
+	rec := combineRec(a.rec, b.rec)
+	start := opStart(rec)
+	w := a.exec.width(len(a.records) + len(b.records))
+	var shardsA [][]keyedGroup[K, T]
+	var shardsB [][]keyedGroup[K, U]
+	var indexB []map[K]int
+	runWorkers(2, func(side int) {
+		if side == 0 {
+			shardsA, _ = buildShards(a.records, keyA, w)
+		} else {
+			shardsB, indexB = buildShards(b.records, keyB, w)
+		}
+	})
+	orderA := mergeByFirst(shardsA)
+
+	nk := len(orderA)
+	cw := w
+	if cw > nk {
+		cw = nk
+	}
+	if cw < 1 {
+		cw = 1
+	}
+	parts := make([][]R, cw)
+	runWorkers(cw, func(i int) {
+		lo, hi := chunk(nk, cw, i)
+		out := make([]R, 0, hi-lo)
+		for _, g := range orderA[lo:hi] {
+			gb, ok := shardLookup(shardsB, indexB, g.key)
+			if !ok {
+				continue
+			}
+			out = append(out, result(g.key, g.items, gb))
+		}
+		parts[i] = out
+	})
+	out := mergeChunks(parts)
+	parallelExecs.Add(1)
+	opDone(rec, "groupjoin", start, len(a.records)+len(b.records), len(out))
+	agent := newDualAgent(newScaleAgent(a.agent, 2), newScaleAgent(b.agent, 2))
+	res := derive(a, out, agent)
+	res.rec = rec
+	return res
+}
+
+// buildKeySet hash-partitions other-side keys across w shard sets,
+// building them concurrently.
+func buildKeySet[U any, K comparable](records []U, keyFn func(U) K, w int) []map[K]struct{} {
+	n := len(records)
+	keys := make([]K, n)
+	shards := make([]uint32, n)
+	cw := w
+	if cw > n {
+		cw = n
+	}
+	if cw < 1 {
+		cw = 1
+	}
+	runWorkers(cw, func(i int) {
+		lo, hi := chunk(n, cw, i)
+		for j := lo; j < hi; j++ {
+			k := keyFn(records[j])
+			keys[j] = k
+			shards[j] = uint32(shardOf(k, w))
+		}
+	})
+	sets := make([]map[K]struct{}, w)
+	runWorkers(w, func(s int) {
+		set := make(map[K]struct{})
+		for j := 0; j < n; j++ {
+			if shards[j] == uint32(s) {
+				set[keys[j]] = struct{}{}
+			}
+		}
+		sets[s] = set
+	})
+	return sets
+}
+
+// semiJoinParallel implements Intersect (keep=true) and Except
+// (keep=false): a sharded set build over other, then a chunked filter
+// of q's records against it.
+func semiJoinParallel[T, U any, K comparable](
+	q *Queryable[T], other *Queryable[U],
+	keyQ func(T) K, keyOther func(U) K,
+	keep bool, op string,
+) *Queryable[T] {
+	rec := combineRec(q.rec, other.rec)
+	start := opStart(rec)
+	n := len(q.records)
+	w := q.exec.width(n + len(other.records))
+	present := buildKeySet(other.records, keyOther, w)
+
+	cw := w
+	if cw > n {
+		cw = n
+	}
+	if cw < 1 {
+		cw = 1
+	}
+	parts := make([][]T, cw)
+	runWorkers(cw, func(i int) {
+		lo, hi := chunk(n, cw, i)
+		out := make([]T, 0, hi-lo)
+		for _, r := range q.records[lo:hi] {
+			k := keyQ(r)
+			_, ok := present[shardOf(k, w)][k]
+			if ok == keep {
+				out = append(out, r)
+			}
+		}
+		parts[i] = out
+	})
+	out := mergeChunks(parts)
+	parallelExecs.Add(1)
+	opDone(rec, op, start, n+len(other.records), len(out))
+	res := derive(q, out, newDualAgent(q.agent, other.agent))
+	res.rec = rec
+	return res
+}
+
+// partitionParallel is the chunked strategy for Partition: each worker
+// fills private buckets for its chunk, merged bucket-wise in chunk
+// order.
+func partitionParallel[T any, K comparable](q *Queryable[T], keys []K, keyOf func(T) K, wanted map[K]int) map[K]*Queryable[T] {
+	start := opStart(q.rec)
+	n := len(q.records)
+	w := q.exec.width(n)
+	localBuckets := make([][][]T, w)
+	localMatched := make([]int, w)
+	runWorkers(w, func(i int) {
+		lo, hi := chunk(n, w, i)
+		buckets := make([][]T, len(keys))
+		matched := 0
+		for _, r := range q.records[lo:hi] {
+			if bi, ok := wanted[keyOf(r)]; ok {
+				buckets[bi] = append(buckets[bi], r)
+				matched++
+			}
+		}
+		localBuckets[i] = buckets
+		localMatched[i] = matched
+	})
+	matched := 0
+	for _, m := range localMatched {
+		matched += m
+	}
+	// Merge per-key in chunk order. Buckets with no records stay nil,
+	// matching the sequential path.
+	buckets := make([][]T, len(keys))
+	for bi := range keys {
+		for ci := 0; ci < w; ci++ {
+			buckets[bi] = append(buckets[bi], localBuckets[ci][bi]...)
+		}
+	}
+	shared := newPartitionAgent(q.agent, len(keys))
+	parts := make(map[K]*Queryable[T], len(keys))
+	for i, k := range keys {
+		parts[k] = derive(q, buckets[i], shared.member(i))
+	}
+	parallelExecs.Add(1)
+	opDone(q.rec, "partition", start, n, matched)
+	return parts
+}

@@ -16,6 +16,7 @@ type Queryable[T any] struct {
 	agent   Agent
 	src     noise.Source
 	rec     obs.Recorder // nil (the default) disables telemetry
+	exec    ExecOptions  // zero value (the default) = sequential execution
 }
 
 // NewQueryable wraps records as a protected dataset with the given
@@ -32,13 +33,14 @@ func NewQueryable[T any](records []T, budget float64, src noise.Source) (*Querya
 		agent:   root,
 		src:     noise.NewLockedSource(src),
 		rec:     DefaultRecorder(),
+		exec:    DefaultExecOptions(),
 	}, root
 }
 
-// derive builds a child Queryable sharing this one's noise source and
-// recorder.
+// derive builds a child Queryable sharing this one's noise source,
+// recorder, and execution configuration.
 func derive[T, U any](q *Queryable[T], records []U, agent Agent) *Queryable[U] {
-	return &Queryable[U]{records: records, agent: agent, src: q.src, rec: q.rec}
+	return &Queryable[U]{records: records, agent: agent, src: q.src, rec: q.rec, exec: q.exec}
 }
 
 // Where returns the subset of records satisfying pred. Filtering does
@@ -46,10 +48,11 @@ func derive[T, U any](q *Queryable[T], records []U, agent Agent) *Queryable[U] {
 // Queryable's agent. The predicate may inspect records arbitrarily: its
 // outputs stay behind the privacy curtain.
 //
-// Where carries no recorder hooks: its body must stay within the
-// compiler's inlining budget so the predicate devirtualizes in the
-// hot loop (hooks cost 2x on a 1M-record scan). Instrumented
-// pipelines use WhereRecorded instead.
+// Where carries no recorder hooks and no parallel dispatch: its body
+// must stay within the compiler's inlining budget so the predicate
+// devirtualizes in the hot loop (a hook or dispatch call costs 2x on
+// a 1M-record scan). Instrumented or parallel pipelines use
+// WhereRecorded instead, which honors WithParallelism.
 func (q *Queryable[T]) Where(pred func(T) bool) *Queryable[T] {
 	out := make([]T, 0, len(q.records))
 	for _, r := range q.records {
@@ -79,8 +82,9 @@ func (q *Queryable[T]) Concat(other *Queryable[T]) *Queryable[T] {
 // Select applies f to every record, yielding a Queryable of the mapped
 // type. One-to-one record mappings do not amplify sensitivity.
 //
-// Like Where, Select is hook-free to keep its trivial loop inlinable;
-// instrumented pipelines use SelectRecorded.
+// Like Where, Select is hook- and dispatch-free to keep its trivial
+// loop inlinable; instrumented or parallel pipelines use
+// SelectRecorded, which honors WithParallelism.
 func Select[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
 	out := make([]U, len(q.records))
 	for i, r := range q.records {
@@ -96,6 +100,9 @@ func Select[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
 func SelectMany[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable[U] {
 	if fanout < 1 {
 		panic("core: SelectMany fanout must be >= 1")
+	}
+	if q.exec.active(len(q.records)) {
+		return selectManyParallel(q, fanout, f)
 	}
 	start := opStart(q.rec)
 	out := make([]U, 0, len(q.records))
@@ -114,6 +121,9 @@ func SelectMany[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable
 // not amplify sensitivity (Table 1): adding or removing one input
 // record changes the output by at most one record.
 func Distinct[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[T] {
+	if q.exec.active(len(q.records)) {
+		return distinctParallel(q, key)
+	}
 	start := opStart(q.rec)
 	seen := make(map[K]struct{}, len(q.records))
 	out := make([]T, 0, len(q.records))
@@ -145,6 +155,9 @@ type Group[K comparable, T any] struct {
 // Groups are emitted in first-appearance order of their keys, so the
 // pipeline is deterministic for a fixed input ordering.
 func GroupBy[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[Group[K, T]] {
+	if q.exec.active(len(q.records)) {
+		return groupByParallel(q, key)
+	}
 	start := opStart(q.rec)
 	index := make(map[K]int, len(q.records))
 	groups := make([]Group[K, T], 0)
@@ -171,10 +184,13 @@ func Join[T, U any, K comparable, R any](
 	keyA func(T) K, keyB func(U) K,
 	result func(T, U) R,
 ) *Queryable[R] {
+	if a.exec.active(len(a.records) + len(b.records)) {
+		return joinParallel(a, b, keyA, keyB, result)
+	}
 	rec := combineRec(a.rec, b.rec)
 	start := opStart(rec)
-	groupsA := make(map[K][]T)
-	orderA := make([]K, 0)
+	groupsA := make(map[K][]T, len(a.records))
+	orderA := make([]K, 0, len(a.records))
 	for _, r := range a.records {
 		k := keyA(r)
 		if _, ok := groupsA[k]; !ok {
@@ -182,11 +198,13 @@ func Join[T, U any, K comparable, R any](
 		}
 		groupsA[k] = append(groupsA[k], r)
 	}
-	groupsB := make(map[K][]U)
+	groupsB := make(map[K][]U, len(b.records))
 	for _, r := range b.records {
-		groupsB[keyB(r)] = append(groupsB[keyB(r)], r)
+		k := keyB(r)
+		groupsB[k] = append(groupsB[k], r)
 	}
-	out := make([]R, 0)
+	// Each left record contributes at most one zipped pair.
+	out := make([]R, 0, min(len(a.records), len(b.records)))
 	for _, k := range orderA {
 		ga := groupsA[k]
 		gb, ok := groupsB[k]
@@ -218,10 +236,13 @@ func GroupJoin[T, U any, K comparable, R any](
 	keyA func(T) K, keyB func(U) K,
 	result func(K, []T, []U) R,
 ) *Queryable[R] {
+	if a.exec.active(len(a.records) + len(b.records)) {
+		return groupJoinParallel(a, b, keyA, keyB, result)
+	}
 	rec := combineRec(a.rec, b.rec)
 	start := opStart(rec)
-	groupsA := make(map[K][]T)
-	orderA := make([]K, 0)
+	groupsA := make(map[K][]T, len(a.records))
+	orderA := make([]K, 0, len(a.records))
 	for _, r := range a.records {
 		k := keyA(r)
 		if _, ok := groupsA[k]; !ok {
@@ -229,11 +250,13 @@ func GroupJoin[T, U any, K comparable, R any](
 		}
 		groupsA[k] = append(groupsA[k], r)
 	}
-	groupsB := make(map[K][]U)
+	groupsB := make(map[K][]U, len(b.records))
 	for _, r := range b.records {
-		groupsB[keyB(r)] = append(groupsB[keyB(r)], r)
+		k := keyB(r)
+		groupsB[k] = append(groupsB[k], r)
 	}
-	out := make([]R, 0)
+	// At most one output record per distinct left key.
+	out := make([]R, 0, len(orderA))
 	for _, k := range orderA {
 		gb, ok := groupsB[k]
 		if !ok {
@@ -252,13 +275,16 @@ func GroupJoin[T, U any, K comparable, R any](
 // emitting each matched key's records from q once. Like Where with a
 // protected predicate; no sensitivity increase for either input.
 func Intersect[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ func(T) K, keyOther func(U) K) *Queryable[T] {
+	if q.exec.active(len(q.records) + len(other.records)) {
+		return semiJoinParallel(q, other, keyQ, keyOther, true, "intersect")
+	}
 	rec := combineRec(q.rec, other.rec)
 	start := opStart(rec)
 	present := make(map[K]struct{}, len(other.records))
 	for _, r := range other.records {
 		present[keyOther(r)] = struct{}{}
 	}
-	out := make([]T, 0)
+	out := make([]T, 0, len(q.records))
 	for _, r := range q.records {
 		if _, ok := present[keyQ(r)]; ok {
 			out = append(out, r)
@@ -275,13 +301,16 @@ func Intersect[T, U any, K comparable](q *Queryable[T], other *Queryable[U], key
 // protected predicate: no sensitivity increase for either input, but
 // aggregations charge both budgets.
 func Except[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ func(T) K, keyOther func(U) K) *Queryable[T] {
+	if q.exec.active(len(q.records) + len(other.records)) {
+		return semiJoinParallel(q, other, keyQ, keyOther, false, "except")
+	}
 	rec := combineRec(q.rec, other.rec)
 	start := opStart(rec)
 	present := make(map[K]struct{}, len(other.records))
 	for _, r := range other.records {
 		present[keyOther(r)] = struct{}{}
 	}
-	out := make([]T, 0)
+	out := make([]T, 0, len(q.records))
 	for _, r := range q.records {
 		if _, ok := present[keyQ(r)]; !ok {
 			out = append(out, r)
@@ -301,7 +330,6 @@ func Except[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ f
 // dropped. The returned map has exactly the given keys; missing keys
 // map to empty parts.
 func Partition[T any, K comparable](q *Queryable[T], keys []K, keyOf func(T) K) map[K]*Queryable[T] {
-	start := opStart(q.rec)
 	wanted := make(map[K]int, len(keys))
 	for i, k := range keys {
 		if _, dup := wanted[k]; dup {
@@ -309,6 +337,10 @@ func Partition[T any, K comparable](q *Queryable[T], keys []K, keyOf func(T) K) 
 		}
 		wanted[k] = i
 	}
+	if q.exec.active(len(q.records)) {
+		return partitionParallel(q, keys, keyOf, wanted)
+	}
+	start := opStart(q.rec)
 	buckets := make([][]T, len(keys))
 	matched := 0
 	for _, r := range q.records {

@@ -20,6 +20,7 @@ type linkDataset struct {
 	links   int
 	bins    int
 	policy  *core.AnalystPolicy
+	exec    core.ExecOptions
 }
 
 // hopDataset hosts HopRecord records.
@@ -27,6 +28,7 @@ type hopDataset struct {
 	records  []trace.HopRecord
 	monitors int
 	policy   *core.AnalystPolicy
+	exec     core.ExecOptions
 }
 
 // AddLinkTrace registers a de-aggregated link trace with the given
@@ -95,13 +97,17 @@ func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	d, ok := s.linkSets[req.Dataset]
+	var exec core.ExecOptions
+	if ok {
+		exec = d.exec
+	}
 	s.mu.RUnlock()
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown link dataset %q", req.Dataset)})
 		return
 	}
 	q := core.NewQueryableFor(d.samples, d.policy.AgentFor(req.Analyst), s.src).
-		WithRecorder(s.engineRec)
+		WithRecorder(s.engineRec).WithExecOptions(exec)
 
 	linkKeys := make([]int32, d.links)
 	for i := range linkKeys {
@@ -175,13 +181,17 @@ func (s *Server) handleMonitorAverages(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	d, ok := s.hopSets[req.Dataset]
+	var exec core.ExecOptions
+	if ok {
+		exec = d.exec
+	}
 	s.mu.RUnlock()
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown hop dataset %q", req.Dataset)})
 		return
 	}
 	q := core.NewQueryableFor(d.records, d.policy.AgentFor(req.Analyst), s.src).
-		WithRecorder(s.engineRec)
+		WithRecorder(s.engineRec).WithExecOptions(exec)
 	keys := make([]int32, d.monitors)
 	for i := range keys {
 		keys[i] = int32(i)

@@ -79,6 +79,7 @@ type Server struct {
 type dataset struct {
 	packets []trace.Packet
 	policy  *core.AnalystPolicy
+	exec    core.ExecOptions
 }
 
 // New creates a server drawing noise from src (pass
@@ -98,7 +99,41 @@ func New(src noise.Source) *Server {
 	s.metrics.GaugeFunc("dpserver_audit_entries", func() float64 {
 		return float64(s.audit.len())
 	})
+	// Cumulative transformations executed under a parallel strategy
+	// (process-wide; see core.ParallelExecutions). Reads as a counter.
+	s.metrics.GaugeFunc("dp_parallel_exec_total", func() float64 {
+		return float64(core.ParallelExecutions())
+	})
 	return s
+}
+
+// SetExecOptions configures the execution strategy for queries against
+// the named dataset of any kind (see core.ExecOptions; the zero value
+// restores sequential execution). Parallel execution changes only
+// wall-clock time: results, ordering, and budget charges are identical
+// to sequential execution, so it is safe to toggle on a live dataset.
+func (s *Server) SetExecOptions(name string, exec core.ExecOptions) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.datasets[name] != nil:
+		s.datasets[name].exec = exec
+	case s.linkSets[name] != nil:
+		s.linkSets[name].exec = exec
+	case s.hopSets[name] != nil:
+		s.hopSets[name].exec = exec
+	default:
+		return fmt.Errorf("dpserver: unknown dataset %q", name)
+	}
+	return nil
+}
+
+// SetParallelism is SetExecOptions with the default size threshold:
+// queries against the named dataset use workers concurrent workers for
+// transformations over at least core.DefaultParallelThreshold records
+// (workers <= 1 restores sequential execution).
+func (s *Server) SetParallelism(name string, workers int) error {
+	return s.SetExecOptions(name, core.ExecOptions{Workers: workers})
 }
 
 // ErrDatasetExists is returned when registering a dataset under a name
@@ -329,6 +364,15 @@ func (s *Server) lookup(name string) (*dataset, bool) {
 	return d, ok
 }
 
+// execFor reads a dataset's execution options under the server lock
+// (they are the one dataset field mutable after registration, via
+// SetExecOptions).
+func (s *Server) execFor(d *dataset) core.ExecOptions {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return d.exec
+}
+
 // jsonDecoder builds the strict decoder shared by the query handlers.
 func jsonDecoder(r *http.Request) *json.Decoder {
 	dec := json.NewDecoder(r.Body)
@@ -363,7 +407,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tr.SetLabel("dataset", req.Dataset)
 	rec := obs.Multi(s.engineRec, tr)
 
-	q := core.NewQueryableFor(d.packets, d.policy.AgentFor(req.Analyst), s.src).WithRecorder(rec)
+	q := core.NewQueryableFor(d.packets, d.policy.AgentFor(req.Analyst), s.src).
+		WithRecorder(rec).WithExecOptions(s.execFor(d))
 	filtered := core.WhereRecorded(q, func(p trace.Packet) bool { return req.Filter.match(&p) })
 
 	spentBefore := d.policy.SpentBy(req.Analyst)

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"dptrace/internal/core"
 	"dptrace/internal/noise"
 	"dptrace/internal/trace"
 	"dptrace/internal/tracegen"
@@ -490,5 +491,107 @@ func TestServerLinkMatrixValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("missing epsilon status %d", resp.StatusCode)
+	}
+}
+
+// TestServerParallelExecutionDeterminism is the end-to-end half of the
+// engine's determinism guarantee: two servers over the same trace and
+// noise seed, one sequential and one with per-dataset parallelism,
+// must return byte-identical query results and identical budget
+// state; and the parallel server must actually have taken the
+// parallel path (visible in dp_parallel_exec_total).
+func TestServerParallelExecutionDeterminism(t *testing.T) {
+	cfg := tracegen.DefaultHotspotConfig()
+	cfg.Sessions = 500
+	packets, _ := tracegen.Hotspot(cfg)
+
+	run := func(parallel bool) (QueryResponse, float64, *Server) {
+		s := New(noise.NewSeededSource(21, 22))
+		if err := s.AddPacketTrace("hotspot", packets, math.Inf(1), math.Inf(1)); err != nil {
+			t.Fatal(err)
+		}
+		if parallel {
+			// Threshold 1 so the modest test trace exercises the
+			// parallel strategies.
+			if err := s.SetExecOptions("hotspot", core.ExecOptions{Workers: 4, Threshold: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		port := 80
+		body, _ := json.Marshal(QueryRequest{
+			Analyst: "alice", Dataset: "hotspot", Query: "hosts",
+			Epsilon: 0.5, Filter: &Filter{DstPort: &port}, MinBytes: 512,
+		})
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var qr QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr, s.datasets["hotspot"].policy.SpentBy("alice"), s
+	}
+
+	before := core.ParallelExecutions()
+	seq, seqSpent, _ := run(false)
+	mid := core.ParallelExecutions()
+	if mid != before {
+		t.Fatalf("sequential server took a parallel path (%d executions)", mid-before)
+	}
+	par, parSpent, ps := run(true)
+	if core.ParallelExecutions() == mid {
+		t.Fatal("parallel server never took a parallel path")
+	}
+	if seq.Values[0] != par.Values[0] {
+		t.Fatalf("parallel result differs: seq %v, par %v", seq.Values, par.Values)
+	}
+	if seqSpent != parSpent {
+		t.Fatalf("budget charge differs: seq %v, par %v", seqSpent, parSpent)
+	}
+
+	// The parallel-execution counter is exposed for owner dashboards.
+	rec := httptest.NewRecorder()
+	ps.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !bytes.Contains(rec.Body.Bytes(), []byte("dp_parallel_exec_total")) {
+		t.Fatal("metrics exposition missing dp_parallel_exec_total")
+	}
+}
+
+// TestSetExecOptionsUnknownDataset documents the error contract.
+func TestSetExecOptionsUnknownDataset(t *testing.T) {
+	s := New(noise.NewSeededSource(1, 2))
+	if err := s.SetParallelism("nope", 4); err == nil {
+		t.Fatal("expected an error for an unknown dataset")
+	}
+}
+
+// TestSetParallelismAllDatasetKinds: the exec option must reach link
+// and hop datasets too.
+func TestSetParallelismAllDatasetKinds(t *testing.T) {
+	s := New(noise.NewSeededSource(1, 2))
+	if err := s.AddLinkTrace("links", nil, 2, 2, math.Inf(1), math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddHopTrace("hops", nil, 2, math.Inf(1), math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetParallelism("links", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetParallelism("hops", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.linkSets["links"].exec.Workers; got != 4 {
+		t.Fatalf("link dataset workers = %d", got)
+	}
+	if got := s.hopSets["hops"].exec.Workers; got != 4 {
+		t.Fatalf("hop dataset workers = %d", got)
 	}
 }
