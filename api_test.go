@@ -1,6 +1,7 @@
 package dptrace_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -103,6 +104,47 @@ func TestFacadeAggregations(t *testing.T) {
 	avgScaled, err := dptrace.NoisyAverageScaled(q, 1.0, 10, func(v float64) float64 { return v * 5 })
 	if err != nil || math.Abs(avgScaled-2.4975) > 0.2 {
 		t.Errorf("scaled avg %v, %v; want ~2.5", avgScaled, err)
+	}
+}
+
+func TestFacadeSumAverageOptions(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i) / 1000
+	}
+	// Identical seeds draw identical noise, so the new entry points
+	// must agree exactly with the deprecated wrappers they replace.
+	qa, _ := dptrace.NewQueryable(values, math.Inf(1), dptrace.NewSeededSource(5, 6))
+	qb, _ := dptrace.NewQueryable(values, math.Inf(1), dptrace.NewSeededSource(5, 6))
+
+	id := func(v float64) float64 { return v }
+	sumNew, err1 := dptrace.Sum(qa, 1.0, id)
+	sumOld, err2 := dptrace.NoisySum(qb, 1.0, id)
+	if err1 != nil || err2 != nil || sumNew != sumOld {
+		t.Errorf("Sum %v/%v vs NoisySum %v/%v", sumNew, err1, sumOld, err2)
+	}
+	avgNew, err1 := dptrace.Average(qa, 1.0, id, dptrace.WithBound(10))
+	avgOld, err2 := dptrace.NoisyAverageScaled(qb, 1.0, 10, id)
+	if err1 != nil || err2 != nil || avgNew != avgOld {
+		t.Errorf("Average %v/%v vs NoisyAverageScaled %v/%v", avgNew, err1, avgOld, err2)
+	}
+	scaledNew, err1 := dptrace.Sum(qa, 1.0, id, dptrace.WithBound(10))
+	scaledOld, err2 := dptrace.NoisySumScaled(qb, 1.0, 10, id)
+	if err1 != nil || err2 != nil || scaledNew != scaledOld {
+		t.Errorf("Sum(WithBound) %v/%v vs NoisySumScaled %v/%v", scaledNew, err1, scaledOld, err2)
+	}
+}
+
+func TestFacadeContextCancellation(t *testing.T) {
+	q, budget := dptrace.NewQueryable(testPackets(), 1.0, dptrace.NewSeededSource(1, 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := q.WithContext(ctx).NoisyCount(0.5)
+	if !errors.Is(err, dptrace.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if spent := budget.Spent(); spent != 0 {
+		t.Fatalf("cancelled query charged ε = %v, want 0", spent)
 	}
 }
 

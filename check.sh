@@ -1,9 +1,12 @@
 #!/bin/sh
-# Tier-1 verification gate: everything must build, vet clean, and pass
-# the full test suite with the race detector on (the observability
-# layer and the budget policies are exercised concurrently in tests).
+# Tier-1 verification gate: everything must be gofmt-clean, build, vet
+# clean, and pass the full test suite with the race detector on and
+# test order shuffled (the lifecycle layer, budget policies, and
+# idempotency cache are exercised concurrently; shuffling catches
+# test-order coupling, the timeout catches hangs).
 set -eux
 
+test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
-go test -race ./...
+go test -race -shuffle=on -timeout 10m ./...

@@ -8,44 +8,64 @@
 //	dpquery -trace hotspot.dptr -query portcdf -eps 0.1
 //	dpquery -trace hotspot.dptr -query hosts -eps 0.1 -dstport 80 -minbytes 1024
 //
+// With -server the tool instead plays the analyst: queries go over the
+// network to a running cmd/dpserver through the typed v1 client, with
+// idempotent retries and a per-call deadline:
+//
+//	dpquery -server http://127.0.0.1:8080 -analyst alice \
+//	    -dataset hotspot -query count -eps 0.1 -dstport 80 -timeout 30s
+//
 // Queries:
 //
 //	count    noisy packet count (filters: -dstport, -srcport, -minlen)
 //	hosts    noisy count of distinct source hosts sending more than
 //	         -minbytes bytes (the paper's §2.3 example)
 //	lencdf   packet length CDF (CDF2), printed as "edge count" rows
-//	portcdf  destination port CDF (CDF2)
+//	portcdf  destination port CDF (CDF2; local mode only)
 //
 // The tool prints the remaining privacy budget after each query; a
 // refused query reports the budget error instead of an answer.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dptrace/internal/analyses/packetdist"
 	"dptrace/internal/core"
+	"dptrace/internal/dpclient"
+	"dptrace/internal/dpserver"
 	"dptrace/internal/noise"
 	"dptrace/internal/trace"
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "packet trace file (required)")
-	budget := flag.Float64("budget", 1.0, "total privacy budget for this session")
+	tracePath := flag.String("trace", "", "packet trace file (local mode)")
+	server := flag.String("server", "", "dpserver base URL (remote mode)")
+	analyst := flag.String("analyst", "analyst", "analyst identity for remote queries")
+	dataset := flag.String("dataset", "", "dataset name on the server (remote mode)")
+	timeout := flag.Duration("timeout", 30*time.Second, "remote query deadline")
+	budget := flag.Float64("budget", 1.0, "total privacy budget for this session (local mode)")
 	query := flag.String("query", "count", "count, hosts, lencdf, or portcdf")
 	eps := flag.Float64("eps", 0.1, "privacy cost of this query")
 	dstPort := flag.Int("dstport", -1, "filter: destination port")
 	srcPort := flag.Int("srcport", -1, "filter: source port")
 	minLen := flag.Int("minlen", -1, "filter: minimum packet length")
 	minBytes := flag.Int("minbytes", 1024, "hosts query: per-host byte threshold")
-	seed := flag.Uint64("seed", 0, "noise seed; 0 uses crypto randomness")
+	seed := flag.Uint64("seed", 0, "noise seed; 0 uses crypto randomness (local mode)")
 	flag.Parse()
 
+	if *server != "" {
+		remote(*server, *analyst, *dataset, *timeout, *query, *eps, *dstPort, *srcPort, *minLen, *minBytes)
+		return
+	}
+
 	if *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "dpquery: -trace is required")
+		fmt.Fprintln(os.Stderr, "dpquery: -trace (local) or -server (remote) is required")
 		os.Exit(2)
 	}
 	f, err := os.Open(*tracePath)
@@ -118,11 +138,59 @@ func main() {
 	fmt.Printf("budget: spent %.3f of %.3f\n", root.Spent(), *budget)
 }
 
+// remote runs one query against a dpserver through the v1 client.
+func remote(server, analyst, dataset string, timeout time.Duration, query string, eps float64, dstPort, srcPort, minLen, minBytes int) {
+	if dataset == "" {
+		fmt.Fprintln(os.Stderr, "dpquery: -dataset is required with -server")
+		os.Exit(2)
+	}
+	c := dpclient.New(server, analyst, dpclient.WithTimeout(timeout))
+	ctx := context.Background()
+
+	var filter *dpserver.Filter
+	if dstPort >= 0 || srcPort >= 0 || minLen >= 0 {
+		filter = &dpserver.Filter{}
+		if dstPort >= 0 {
+			filter.DstPort = &dstPort
+		}
+		if srcPort >= 0 {
+			filter.SrcPort = &srcPort
+		}
+		if minLen >= 0 {
+			filter.MinLen = &minLen
+		}
+	}
+
+	switch query {
+	case "count":
+		v, err := c.Count(ctx, dataset, eps, filter)
+		report(err)
+		fmt.Printf("noisy count: %.1f (noise std %.2f)\n", v, noise.LaplaceStd(eps))
+	case "hosts":
+		v, err := c.Hosts(ctx, dataset, eps, filter, minBytes)
+		report(err)
+		fmt.Printf("noisy distinct hosts over %d bytes: %.1f (noise std %.2f)\n",
+			minBytes, v, 2*noise.LaplaceStd(eps))
+	case "lencdf":
+		r, err := c.LengthCDF(ctx, dataset, eps, 16)
+		report(err)
+		for i, edge := range r.Buckets {
+			fmt.Printf("%d %.1f\n", edge, r.Values[i])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "dpquery: unknown remote query %q (count, hosts, lencdf)\n", query)
+		os.Exit(2)
+	}
+	spent, remaining, err := c.Budget(ctx, dataset)
+	report(err)
+	fmt.Printf("budget: spent %.3f, remaining %.3f\n", spent, remaining)
+}
+
 func report(err error) {
 	if err == nil {
 		return
 	}
-	if errors.Is(err, core.ErrBudgetExceeded) {
+	if errors.Is(err, core.ErrBudgetExceeded) || errors.Is(err, dpclient.ErrBudgetExceeded) {
 		fmt.Fprintf(os.Stderr, "dpquery: refused: %v\n", err)
 		os.Exit(3)
 	}

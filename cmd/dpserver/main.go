@@ -4,23 +4,38 @@
 //
 //	dpserver -listen :8080 \
 //	    -trace hotspot=hotspot.dptr \
-//	    -total 5.0 -per-analyst 1.0
+//	    -total 5.0 -per-analyst 1.0 \
+//	    -max-concurrent 16 -queue-wait 100ms \
+//	    -timeout 30s -max-timeout 2m
 //
 // Multiple -trace flags host multiple datasets. Noise is drawn from
 // crypto/rand unless -seed is given (for reproducible demos only).
 //
-// The server self-instruments: GET /metrics (Prometheus text),
-// GET /healthz, and GET /debug/traces are always on; -pprof
+// The API is mounted under /v1/ (legacy unversioned paths remain as
+// deprecated aliases). Admission control: -max-concurrent bounds
+// concurrently executing queries, with -queue-wait of patience before
+// shedding 429 + Retry-After; -timeout / -max-timeout bound query
+// deadlines (per-request override via X-DP-Timeout-Ms, capped at
+// -max-timeout). On SIGINT/SIGTERM the server stops accepting work
+// and drains in-flight queries before exiting.
+//
+// The server self-instruments: GET /v1/metrics (Prometheus text),
+// GET /v1/healthz, and GET /v1/debug/traces are always on; -pprof
 // additionally mounts net/http/pprof under /debug/pprof/. These are
 // owner-side endpoints — shield them at your ingress.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"dptrace/internal/core"
 	"dptrace/internal/dpserver"
@@ -46,6 +61,11 @@ func main() {
 	seed := flag.Uint64("seed", 0, "noise seed; 0 uses crypto randomness")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	parallel := flag.Int("parallel", 0, "worker count for data-parallel query execution on every hosted dataset (0 = sequential)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = unlimited)")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "how long a query waits for an execution slot before being shed with 429")
+	timeout := flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested X-DP-Timeout-Ms deadlines (0 = default only)")
+	drainWait := flag.Duration("drain-wait", 30*time.Second, "how long shutdown waits for in-flight queries to drain")
 	flag.Parse()
 
 	if len(traces) == 0 {
@@ -59,7 +79,12 @@ func main() {
 	} else {
 		src = noise.NewSeededSource(*seed, *seed+1)
 	}
-	srv := dpserver.New(src)
+	srv := dpserver.New(src, dpserver.WithLimits(dpserver.Limits{
+		MaxConcurrent:  *maxConcurrent,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}))
 
 	for _, spec := range traces {
 		name, path, ok := strings.Cut(spec, "=")
@@ -91,15 +116,43 @@ func main() {
 		fmt.Printf("data-parallel execution: %d workers above %d records (results identical to sequential)\n",
 			*parallel, core.DefaultParallelThreshold)
 	}
+	if *maxConcurrent > 0 {
+		fmt.Printf("admission control: %d concurrent queries, %v queue wait\n", *maxConcurrent, *queueWait)
+	}
 
 	var opts []dpserver.HandlerOption
 	if *pprofFlag {
 		opts = append(opts, dpserver.WithPprof())
 		fmt.Println("pprof enabled at /debug/pprof/")
 	}
-	fmt.Printf("listening on %s (metrics at /metrics, health at /healthz, traces at /debug/traces)\n", *listen)
-	if err := http.ListenAndServe(*listen, srv.Handler(opts...)); err != nil {
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler(opts...)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("listening on %s (v1 API at /v1/, metrics at /v1/metrics, health at /v1/healthz)\n", *listen)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
 		fatal(err)
+	case <-ctx.Done():
+		stop()
+		fmt.Println("dpserver: draining in-flight queries…")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		// Refuse new queries and drain executing ones, then close the
+		// listener and remaining connections.
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "dpserver: drain incomplete: %v\n", err)
+		}
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "dpserver: http shutdown: %v\n", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+		fmt.Println("dpserver: stopped")
 	}
 }
 

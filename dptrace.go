@@ -61,6 +61,11 @@ var (
 	ErrBudgetExceeded = core.ErrBudgetExceeded
 	// ErrInvalidEpsilon is returned for non-positive or non-finite ε.
 	ErrInvalidEpsilon = core.ErrInvalidEpsilon
+	// ErrCanceled is returned by aggregations whose pipeline context
+	// was cancelled before the privacy charge; such queries spend zero
+	// ε. It wraps the context's own error, so errors.Is also matches
+	// context.Canceled or context.DeadlineExceeded.
+	ErrCanceled = core.ErrCanceled
 )
 
 // NewQueryable wraps records as a protected dataset with the given
@@ -147,25 +152,74 @@ func Partition[T any, K comparable](q *Queryable[T], keys []K, keyOf func(T) K) 
 	return core.Partition(q, keys, keyOf)
 }
 
+// AggOption configures the Sum and Average aggregations.
+type AggOption func(*aggConfig)
+
+type aggConfig struct {
+	bound float64
+}
+
+// WithBound clamps each record's contribution to [-bound, bound]
+// (default 1.0), with correspondingly scaled noise. A wider bound
+// admits larger true contributions at the price of proportionally
+// more noise for the same ε.
+func WithBound(bound float64) AggOption {
+	return func(c *aggConfig) { c.bound = bound }
+}
+
+func applyAggOptions(opts []AggOption) aggConfig {
+	c := aggConfig{bound: 1.0}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&c)
+		}
+	}
+	return c
+}
+
+// Sum returns the noisy sum of f over the dataset, each contribution
+// clamped to ±bound (default 1.0, see WithBound), plus Laplace noise
+// of std bound·√2/ε.
+func Sum[T any](q *Queryable[T], epsilon float64, f func(T) float64, opts ...AggOption) (float64, error) {
+	c := applyAggOptions(opts)
+	return core.NoisySumScaled(q, epsilon, c.bound, f)
+}
+
+// Average returns the noisy average of f over the dataset, each
+// contribution clamped to ±bound (default 1.0, see WithBound); noise
+// std ≈ bound·√8/(εn).
+func Average[T any](q *Queryable[T], epsilon float64, f func(T) float64, opts ...AggOption) (float64, error) {
+	c := applyAggOptions(opts)
+	return core.NoisyAverageScaled(q, epsilon, c.bound, f)
+}
+
 // NoisySum sums f clamped to [-1, 1] plus Laplace noise (std √2/ε).
+//
+// Deprecated: use Sum.
 func NoisySum[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float64, error) {
-	return core.NoisySum(q, epsilon, f)
+	return Sum(q, epsilon, f)
 }
 
 // NoisySumScaled sums f clamped to [-bound, bound] with
 // correspondingly scaled noise.
+//
+// Deprecated: use Sum with WithBound.
 func NoisySumScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (float64, error) {
-	return core.NoisySumScaled(q, epsilon, bound, f)
+	return Sum(q, epsilon, f, WithBound(bound))
 }
 
 // NoisyAverage averages f clamped to [-1, 1]; noise std ≈ √8/(εn).
+//
+// Deprecated: use Average.
 func NoisyAverage[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float64, error) {
-	return core.NoisyAverage(q, epsilon, f)
+	return Average(q, epsilon, f)
 }
 
 // NoisyAverageScaled averages f clamped to [-bound, bound].
+//
+// Deprecated: use Average with WithBound.
 func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (float64, error) {
-	return core.NoisyAverageScaled(q, epsilon, bound, f)
+	return Average(q, epsilon, f, WithBound(bound))
 }
 
 // NoisyMedian selects an approximate median via the exponential

@@ -23,6 +23,10 @@ func clamp(v, bound float64) float64 {
 // amplified by any accumulated sensitivity scaling — to the budget.
 func (q *Queryable[T]) NoisyCount(epsilon float64) (float64, error) {
 	start := opStart(q.rec)
+	if cerr := q.aggCtxErr(); cerr != nil {
+		aggDone(q.rec, "count", start, epsilon, cerr)
+		return 0, cerr
+	}
 	if err := validEpsilon(epsilon); err != nil {
 		aggDone(q.rec, "count", start, epsilon, err)
 		return 0, err
@@ -41,6 +45,10 @@ func (q *Queryable[T]) NoisyCount(epsilon float64) (float64, error) {
 // magnitude is essentially that of NoisyCount.
 func (q *Queryable[T]) NoisyCountInt(epsilon float64) (int64, error) {
 	start := opStart(q.rec)
+	if cerr := q.aggCtxErr(); cerr != nil {
+		aggDone(q.rec, "countint", start, epsilon, cerr)
+		return 0, cerr
+	}
 	if err := validEpsilon(epsilon); err != nil {
 		aggDone(q.rec, "countint", start, epsilon, err)
 		return 0, err
@@ -68,6 +76,10 @@ func NoisySum[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float
 // the analyst makes from public knowledge of the value range.
 func NoisySumScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (float64, error) {
 	start := opStart(q.rec)
+	if cerr := q.aggCtxErr(); cerr != nil {
+		aggDone(q.rec, "sum", start, epsilon, cerr)
+		return 0, cerr
+	}
 	if err := validEpsilon(epsilon); err != nil {
 		aggDone(q.rec, "sum", start, epsilon, err)
 		return 0, err
@@ -105,6 +117,10 @@ func NoisyAverage[T any](q *Queryable[T], epsilon float64, f func(T) float64) (f
 // depend on the data.
 func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (float64, error) {
 	start := opStart(q.rec)
+	if cerr := q.aggCtxErr(); cerr != nil {
+		aggDone(q.rec, "average", start, epsilon, cerr)
+		return 0, cerr
+	}
 	if err := validEpsilon(epsilon); err != nil {
 		aggDone(q.rec, "average", start, epsilon, err)
 		return 0, err
@@ -140,6 +156,10 @@ func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T
 // record's presence.
 func NoisyMedian[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float64, error) {
 	start := opStart(q.rec)
+	if cerr := q.aggCtxErr(); cerr != nil {
+		aggDone(q.rec, "median", start, epsilon, cerr)
+		return 0, cerr
+	}
 	if err := validEpsilon(epsilon); err != nil {
 		aggDone(q.rec, "median", start, epsilon, err)
 		return 0, err
@@ -188,6 +208,10 @@ func NoisyMedian[T any](q *Queryable[T], epsilon float64, f func(T) float64) (fl
 // quantiles that several trace analyses report.
 func NoisyOrderStatistic[T any](q *Queryable[T], epsilon, fraction float64, f func(T) float64) (float64, error) {
 	start := opStart(q.rec)
+	if cerr := q.aggCtxErr(); cerr != nil {
+		aggDone(q.rec, "orderstat", start, epsilon, cerr)
+		return 0, cerr
+	}
 	if err := validEpsilon(epsilon); err != nil {
 		aggDone(q.rec, "orderstat", start, epsilon, err)
 		return 0, err

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// This file threads context.Context through the engine so a query
+// whose caller has gone away — a cancelled HTTP request, an expired
+// deadline — stops burning CPU instead of running to completion for
+// nobody.
+//
+// The contract matters more than the mechanism: cancellation NEVER
+// changes privacy accounting. Every aggregation checks its context
+// BEFORE charging the budget agent, so a query cancelled before its
+// aggregation fires charges zero ε and returns ErrCanceled; once the
+// charge has been applied the aggregation completes normally (the
+// remaining work is a noise draw, not worth abandoning a paid-for
+// answer over). Transformations on a cancelled context short-circuit
+// to empty outputs — harmless, because the only way to observe a
+// transformation's output is an aggregation, which will refuse.
+//
+// Check placement follows the execution strategies (see exec.go):
+// sequential non-inline operators check once at entry; the parallel
+// strategies additionally check between chunk strides
+// (cancelStride records) so long scans abandon mid-chunk. The plain
+// Where method and Select function remain check-free for the same
+// inlining-budget reason they are hook- and dispatch-free
+// (instrument.go); their Recorded twins honor cancellation.
+
+// ErrCanceled is returned by aggregations whose context was cancelled
+// or past its deadline before the privacy charge was applied. It
+// always wraps the context's own error, so
+// errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) also hold. No budget is
+// consumed on this path.
+var ErrCanceled = errors.New("core: query canceled before aggregation; no budget charged")
+
+// cancelStride is how many records a parallel worker processes
+// between context checks: large enough that the mask-and-compare is
+// noise next to the per-record work, small enough that cancellation
+// lands within microseconds on commodity cores.
+const cancelStride = 1 << 13
+
+// WithContext returns a view of this Queryable whose derived pipeline
+// observes ctx: transformations stop early and aggregations refuse —
+// without charging — once ctx is cancelled or past its deadline.
+// Records, budget agent, noise source, recorder, and execution
+// strategy are shared; a nil ctx restores the never-cancelled
+// default.
+func (q *Queryable[T]) WithContext(ctx context.Context) *Queryable[T] {
+	out := *q
+	out.ctx = ctx
+	return &out
+}
+
+// Context returns the context attached with WithContext, or nil.
+func (q *Queryable[T]) Context() context.Context { return q.ctx }
+
+// ctxErr reports the context's error, tolerating the nil context that
+// un-contextualized Queryables carry.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// canceledErr wraps a non-nil context error in ErrCanceled.
+func canceledErr(cause error) error {
+	return errors.Join(ErrCanceled, cause)
+}
+
+// combineCtx picks the context for a binary transformation's output,
+// mirroring combineRec: the left input's when set, else the right's.
+func combineCtx(a, b context.Context) context.Context {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// aggCtxErr is the aggregation-side gate: it returns the ErrCanceled
+// wrapper to surface, or nil when the query may proceed to charge.
+func (q *Queryable[T]) aggCtxErr() error {
+	if err := ctxErr(q.ctx); err != nil {
+		return canceledErr(err)
+	}
+	return nil
+}
+
+// canceler coordinates cooperative cancellation across parallel
+// workers. Each worker polls once per record with its loop index; the
+// context itself is consulted only at cancelStride boundaries, and in
+// between workers observe each other's verdict through a shared flag,
+// so the per-record cost is a nil check and a mask compare. A nil
+// canceler (nil context) never cancels.
+type canceler struct {
+	ctx  context.Context
+	stop atomic.Bool
+}
+
+func newCanceler(ctx context.Context) *canceler {
+	if ctx == nil {
+		return nil
+	}
+	return &canceler{ctx: ctx}
+}
+
+// poll reports whether the worker at loop index i should abandon its
+// chunk.
+func (c *canceler) poll(i int) bool {
+	if c == nil {
+		return false
+	}
+	if i&(cancelStride-1) != 0 {
+		return false
+	}
+	if c.stop.Load() {
+		return true
+	}
+	if c.ctx.Err() != nil {
+		c.stop.Store(true)
+		return true
+	}
+	return false
+}
+
+// abandoned reports whether any worker bailed out mid-chunk, i.e. the
+// per-worker outputs are partial and must be discarded. A run that
+// completed before the context fired keeps its (complete, valid)
+// result; the aggregation-side gate still refuses to charge for it.
+func (c *canceler) abandoned() bool {
+	return c != nil && c.stop.Load()
+}

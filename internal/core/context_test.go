@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dptrace/internal/noise"
+)
+
+// The cancellation contract: a query cancelled before its aggregation
+// fires charges zero ε and surfaces ErrCanceled wrapping the context's
+// own error; a live (or nil) context leaves results byte-identical to
+// an un-contextualized pipeline.
+
+func TestCancelBeforeAggregationChargesZero(t *testing.T) {
+	records := make([]float64, 1000)
+	for i := range records {
+		records[i] = float64(i % 10)
+	}
+	q, root := NewQueryable(records, 5.0, noise.NewSeededSource(1, 2))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	filtered := q.WithContext(ctx).Where(func(v float64) bool { return v > 2 })
+	if _, err := filtered.NoisyCount(1.0); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("NoisyCount on cancelled ctx: err = %v, want ErrCanceled", err)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ErrCanceled should wrap context.Canceled, got %v", err)
+	}
+	if spent := root.Spent(); spent != 0 {
+		t.Fatalf("cancelled query charged ε = %v, want 0", spent)
+	}
+
+	// Every aggregation honors the gate.
+	if _, err := filtered.NoisyCountInt(1.0); !errors.Is(err, ErrCanceled) {
+		t.Errorf("NoisyCountInt: err = %v, want ErrCanceled", err)
+	}
+	if _, err := NoisySum(filtered, 1.0, func(v float64) float64 { return v }); !errors.Is(err, ErrCanceled) {
+		t.Errorf("NoisySum: err = %v, want ErrCanceled", err)
+	}
+	if _, err := NoisyAverage(filtered, 1.0, func(v float64) float64 { return v }); !errors.Is(err, ErrCanceled) {
+		t.Errorf("NoisyAverage: err = %v, want ErrCanceled", err)
+	}
+	if _, err := NoisyMedian(filtered, 1.0, func(v float64) float64 { return v }); !errors.Is(err, ErrCanceled) {
+		t.Errorf("NoisyMedian: err = %v, want ErrCanceled", err)
+	}
+	if _, err := NoisyOrderStatistic(filtered, 1.0, 0.25, func(v float64) float64 { return v }); !errors.Is(err, ErrCanceled) {
+		t.Errorf("NoisyOrderStatistic: err = %v, want ErrCanceled", err)
+	}
+	if spent := root.Spent(); spent != 0 {
+		t.Fatalf("after all refused aggregations, ε = %v, want 0", spent)
+	}
+}
+
+func TestDeadlineExceededChargesZero(t *testing.T) {
+	q, root := NewQueryable([]int{1, 2, 3}, 1.0, noise.NewSeededSource(3, 4))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	<-ctx.Done()
+
+	_, err := q.WithContext(ctx).NoisyCount(0.5)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	if root.Spent() != 0 {
+		t.Fatalf("expired-deadline query charged ε = %v, want 0", root.Spent())
+	}
+}
+
+func TestContextPropagatesThroughDerivedPipeline(t *testing.T) {
+	records := make([]int, 100)
+	q, root := NewQueryable(records, 10.0, noise.NewSeededSource(5, 6))
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// The context attaches at the head; every derived stage inherits it.
+	pipeline := SelectMany(
+		Distinct(q.WithContext(ctx).Where(func(int) bool { return true }),
+			func(v int) int { return v }),
+		2, func(v int) []int { return []int{v, v} })
+	if pipeline.Context() != ctx {
+		t.Fatalf("derived Queryable lost its context")
+	}
+
+	cancel()
+	if _, err := pipeline.NoisyCount(1.0); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if root.Spent() != 0 {
+		t.Fatalf("ε = %v, want 0", root.Spent())
+	}
+}
+
+func TestCancelledTransformationsShortCircuit(t *testing.T) {
+	records := []int{1, 2, 3, 4, 5}
+	q, _ := NewQueryable(records, math.Inf(1), noise.NewSeededSource(7, 8))
+	other, _ := NewQueryable(records, math.Inf(1), noise.NewSeededSource(9, 10))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cq := q.WithContext(ctx)
+
+	calls := 0
+	count := func(v int) int { calls++; return v }
+	_ = WhereRecorded(cq, func(v int) bool { count(v); return true })
+	_ = SelectRecorded(cq, count)
+	_ = SelectMany(cq, 1, func(v int) []int { count(v); return nil })
+	_ = Distinct(cq, count)
+	_ = GroupBy(cq, count)
+	_ = Join(cq, other, count, func(v int) int { return v }, func(a, b int) int { return a })
+	_ = GroupJoin(cq, other, count, func(v int) int { return v }, func(k int, a, b []int) int { return k })
+	_ = Intersect(cq, other, count, func(v int) int { return v })
+	_ = Except(cq, other, count, func(v int) int { return v })
+	_ = cq.Concat(other)
+	parts := Partition(cq, []int{1, 2}, count)
+	if calls != 0 {
+		t.Fatalf("cancelled transformations evaluated user functions %d times, want 0", calls)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("cancelled Partition returned %d parts, want 2", len(parts))
+	}
+	if _, err := parts[1].NoisyCount(1.0); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("partition part should inherit cancelled ctx, err = %v", err)
+	}
+}
+
+func TestCancelMidScanParallel(t *testing.T) {
+	n := DefaultParallelThreshold * 2
+	records := make([]float64, n)
+	q, root := NewQueryable(records, 1.0, noise.NewSeededSource(11, 12))
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var seen atomic.Int64
+	pred := func(float64) bool {
+		if seen.Add(1) == int64(n/4) {
+			cancel()
+		}
+		return true
+	}
+	out := WhereRecorded(q.WithContext(ctx).WithParallelism(4), pred)
+	// Whether or not the workers abandoned before finishing, the
+	// aggregation must observe the cancellation and refuse to charge.
+	if _, err := out.NoisyCount(0.5); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if root.Spent() != 0 {
+		t.Fatalf("ε = %v, want 0", root.Spent())
+	}
+}
+
+func TestLiveContextKeepsResultsIdentical(t *testing.T) {
+	n := DefaultParallelThreshold + 100
+	records := make([]float64, n)
+	for i := range records {
+		records[i] = float64(i % 97)
+	}
+	pipeline := func(q *Queryable[float64]) (float64, error) {
+		f := WhereRecorded(q, func(v float64) bool { return v > 10 })
+		g := GroupBy(f, func(v float64) float64 { return math.Mod(v, 7) })
+		return g.NoisyCount(0.25)
+	}
+
+	plain, _ := NewQueryable(records, 1.0, noise.NewSeededSource(21, 22))
+	vPlain, err := pipeline(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, _ := NewQueryable(records, 1.0, noise.NewSeededSource(21, 22))
+	vCtx, err := pipeline(withCtx.WithContext(context.Background()).WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vPlain != vCtx {
+		t.Fatalf("live context changed result: %v != %v", vCtx, vPlain)
+	}
+}
+
+// TestChargedAggregationCompletes pins the other half of the
+// invariant: once ε is charged the aggregation returns a value even if
+// the context fires immediately after; the spend is real either way.
+func TestChargedAggregationCompletes(t *testing.T) {
+	q, root := NewQueryable([]int{1, 2, 3}, 1.0, noise.NewSeededSource(31, 32))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := q.WithContext(ctx).NoisyCount(0.5); err != nil {
+		t.Fatalf("live-context aggregation failed: %v", err)
+	}
+	if root.Spent() != 0.5 {
+		t.Fatalf("ε = %v, want 0.5", root.Spent())
+	}
+}

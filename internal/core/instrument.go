@@ -74,6 +74,9 @@ func (q *Queryable[T]) WithRecorder(rec obs.Recorder) *Queryable[T] {
 // filter with the chunked worker pool. Semantics, output ordering,
 // and budget accounting are identical to Where.
 func WhereRecorded[T any](q *Queryable[T], pred func(T) bool) *Queryable[T] {
+	if ctxErr(q.ctx) != nil {
+		return derive(q, []T{}, q.agent)
+	}
 	start := opStart(q.rec)
 	var out *Queryable[T]
 	if q.exec.active(len(q.records)) {
@@ -88,6 +91,9 @@ func WhereRecorded[T any](q *Queryable[T], pred func(T) bool) *Queryable[T] {
 // SelectRecorded is Select plus recorder instrumentation and parallel
 // dispatch (see WhereRecorded).
 func SelectRecorded[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
+	if ctxErr(q.ctx) != nil {
+		return derive(q, []U{}, q.agent)
+	}
 	start := opStart(q.rec)
 	var out *Queryable[U]
 	if q.exec.active(len(q.records)) {

@@ -62,17 +62,24 @@ func mergeChunks[T any](parts [][]T) []T {
 func whereParallel[T any](q *Queryable[T], pred func(T) bool) *Queryable[T] {
 	n := len(q.records)
 	w := q.exec.width(n)
+	cn := newCanceler(q.ctx)
 	parts := make([][]T, w)
 	runWorkers(w, func(i int) {
 		lo, hi := chunk(n, w, i)
 		out := make([]T, 0, hi-lo)
-		for _, r := range q.records[lo:hi] {
+		for j, r := range q.records[lo:hi] {
+			if cn.poll(j) {
+				return
+			}
 			if pred(r) {
 				out = append(out, r)
 			}
 		}
 		parts[i] = out
 	})
+	if cn.abandoned() {
+		return derive(q, []T{}, q.agent)
+	}
 	parallelExecs.Add(1)
 	return derive(q, mergeChunks(parts), q.agent)
 }
@@ -82,13 +89,20 @@ func whereParallel[T any](q *Queryable[T], pred func(T) bool) *Queryable[T] {
 func selectParallel[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
 	n := len(q.records)
 	w := q.exec.width(n)
+	cn := newCanceler(q.ctx)
 	out := make([]U, n)
 	runWorkers(w, func(i int) {
 		lo, hi := chunk(n, w, i)
 		for j := lo; j < hi; j++ {
+			if cn.poll(j - lo) {
+				return
+			}
 			out[j] = f(q.records[j])
 		}
 	})
+	if cn.abandoned() {
+		return derive(q, []U{}, q.agent)
+	}
 	parallelExecs.Add(1)
 	return derive(q, out, q.agent)
 }
@@ -97,11 +111,15 @@ func selectParallel[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
 func selectManyParallel[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable[U] {
 	n := len(q.records)
 	w := q.exec.width(n)
+	cn := newCanceler(q.ctx)
 	parts := make([][]U, w)
 	runWorkers(w, func(i int) {
 		lo, hi := chunk(n, w, i)
 		out := make([]U, 0, hi-lo)
-		for _, r := range q.records[lo:hi] {
+		for j, r := range q.records[lo:hi] {
+			if cn.poll(j) {
+				return
+			}
 			mapped := f(r)
 			if len(mapped) > fanout {
 				mapped = mapped[:fanout]
@@ -110,6 +128,9 @@ func selectManyParallel[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Q
 		}
 		parts[i] = out
 	})
+	if cn.abandoned() {
+		return derive(q, []U{}, newScaleAgent(q.agent, float64(fanout)))
+	}
 	parallelExecs.Add(1)
 	return derive(q, mergeChunks(parts), newScaleAgent(q.agent, float64(fanout)))
 }
@@ -120,6 +141,7 @@ func selectManyParallel[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Q
 func distinctParallel[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[T] {
 	n := len(q.records)
 	w := q.exec.width(n)
+	cn := newCanceler(q.ctx)
 	recParts := make([][]T, w)
 	keyParts := make([][]K, w)
 	runWorkers(w, func(i int) {
@@ -127,7 +149,10 @@ func distinctParallel[T any, K comparable](q *Queryable[T], key func(T) K) *Quer
 		seen := make(map[K]struct{}, hi-lo)
 		recs := make([]T, 0, hi-lo)
 		keys := make([]K, 0, hi-lo)
-		for _, r := range q.records[lo:hi] {
+		for j, r := range q.records[lo:hi] {
+			if cn.poll(j) {
+				return
+			}
 			k := key(r)
 			if _, dup := seen[k]; dup {
 				continue
@@ -139,6 +164,9 @@ func distinctParallel[T any, K comparable](q *Queryable[T], key func(T) K) *Quer
 		recParts[i] = recs
 		keyParts[i] = keys
 	})
+	if cn.abandoned() {
+		return derive(q, []T{}, q.agent)
+	}
 	// Cross-chunk dedup: chunks are scanned in input order and each
 	// chunk preserved its local first appearances, so the global first
 	// appearance of every key survives.
@@ -174,7 +202,7 @@ type keyedGroup[K comparable, T any] struct {
 // builds each shard's groups concurrently. Within a shard, groups are
 // naturally ordered by first appearance (records are scanned in input
 // order). The returned maps index each shard's groups for lookups.
-func buildShards[T any, K comparable](records []T, keyFn func(T) K, w int) (groups [][]keyedGroup[K, T], index []map[K]int) {
+func buildShards[T any, K comparable](records []T, keyFn func(T) K, w int, cn *canceler) (groups [][]keyedGroup[K, T], index []map[K]int) {
 	n := len(records)
 	// Phase 1 (chunked): evaluate the key function once per record and
 	// tag each record with its shard.
@@ -187,11 +215,17 @@ func buildShards[T any, K comparable](records []T, keyFn func(T) K, w int) (grou
 	runWorkers(cw, func(i int) {
 		lo, hi := chunk(n, cw, i)
 		for j := lo; j < hi; j++ {
+			if cn.poll(j - lo) {
+				return
+			}
 			k := keyFn(records[j])
 			keys[j] = k
 			shards[j] = uint32(shardOf(k, w))
 		}
 	})
+	if cn.abandoned() {
+		return make([][]keyedGroup[K, T], w), make([]map[K]int, w)
+	}
 	// Phase 2 (sharded): each worker owns one shard and scans the tag
 	// array for its records. A key's records all carry the same tag, so
 	// shard maps never race.
@@ -201,6 +235,9 @@ func buildShards[T any, K comparable](records []T, keyFn func(T) K, w int) (grou
 		idx := make(map[K]int)
 		var gs []keyedGroup[K, T]
 		for j := 0; j < n; j++ {
+			if cn.poll(j) {
+				return
+			}
 			if shards[j] != uint32(s) {
 				continue
 			}
@@ -249,7 +286,11 @@ func groupByParallel[T any, K comparable](q *Queryable[T], key func(T) K) *Query
 	start := opStart(q.rec)
 	n := len(q.records)
 	w := q.exec.width(n)
-	shards, _ := buildShards(q.records, key, w)
+	cn := newCanceler(q.ctx)
+	shards, _ := buildShards(q.records, key, w, cn)
+	if cn.abandoned() {
+		return derive(q, []Group[K, T]{}, newScaleAgent(q.agent, 2))
+	}
 	ordered := mergeByFirst(shards)
 	groups := make([]Group[K, T], len(ordered))
 	for i, g := range ordered {
@@ -269,18 +310,29 @@ func joinParallel[T, U any, K comparable, R any](
 	result func(T, U) R,
 ) *Queryable[R] {
 	rec := combineRec(a.rec, b.rec)
+	ctx := combineCtx(a.ctx, b.ctx)
 	start := opStart(rec)
 	w := a.exec.width(len(a.records) + len(b.records))
+	cn := newCanceler(ctx)
 	var shardsA [][]keyedGroup[K, T]
 	var shardsB [][]keyedGroup[K, U]
 	var indexB []map[K]int
 	runWorkers(2, func(side int) {
 		if side == 0 {
-			shardsA, _ = buildShards(a.records, keyA, w)
+			shardsA, _ = buildShards(a.records, keyA, w, cn)
 		} else {
-			shardsB, indexB = buildShards(b.records, keyB, w)
+			shardsB, indexB = buildShards(b.records, keyB, w, cn)
 		}
 	})
+	empty := func() *Queryable[R] {
+		res := derive(a, []R{}, newDualAgent(a.agent, b.agent))
+		res.rec = rec
+		res.ctx = ctx
+		return res
+	}
+	if cn.abandoned() {
+		return empty()
+	}
 	orderA := mergeByFirst(shardsA)
 
 	nk := len(orderA)
@@ -295,7 +347,10 @@ func joinParallel[T, U any, K comparable, R any](
 	runWorkers(cw, func(i int) {
 		lo, hi := chunk(nk, cw, i)
 		out := make([]R, 0, hi-lo)
-		for _, g := range orderA[lo:hi] {
+		for gi, g := range orderA[lo:hi] {
+			if cn.poll(gi) {
+				return
+			}
 			gb, ok := shardLookup(shardsB, indexB, g.key)
 			if !ok {
 				continue
@@ -311,11 +366,15 @@ func joinParallel[T, U any, K comparable, R any](
 		}
 		parts[i] = out
 	})
+	if cn.abandoned() {
+		return empty()
+	}
 	out := mergeChunks(parts)
 	parallelExecs.Add(1)
 	opDone(rec, "join", start, len(a.records)+len(b.records), len(out))
 	res := derive(a, out, newDualAgent(a.agent, b.agent))
 	res.rec = rec
+	res.ctx = ctx
 	return res
 }
 
@@ -326,18 +385,32 @@ func groupJoinParallel[T, U any, K comparable, R any](
 	result func(K, []T, []U) R,
 ) *Queryable[R] {
 	rec := combineRec(a.rec, b.rec)
+	ctx := combineCtx(a.ctx, b.ctx)
 	start := opStart(rec)
 	w := a.exec.width(len(a.records) + len(b.records))
+	cn := newCanceler(ctx)
 	var shardsA [][]keyedGroup[K, T]
 	var shardsB [][]keyedGroup[K, U]
 	var indexB []map[K]int
 	runWorkers(2, func(side int) {
 		if side == 0 {
-			shardsA, _ = buildShards(a.records, keyA, w)
+			shardsA, _ = buildShards(a.records, keyA, w, cn)
 		} else {
-			shardsB, indexB = buildShards(b.records, keyB, w)
+			shardsB, indexB = buildShards(b.records, keyB, w, cn)
 		}
 	})
+	agent := func() Agent {
+		return newDualAgent(newScaleAgent(a.agent, 2), newScaleAgent(b.agent, 2))
+	}
+	empty := func() *Queryable[R] {
+		res := derive(a, []R{}, agent())
+		res.rec = rec
+		res.ctx = ctx
+		return res
+	}
+	if cn.abandoned() {
+		return empty()
+	}
 	orderA := mergeByFirst(shardsA)
 
 	nk := len(orderA)
@@ -352,7 +425,10 @@ func groupJoinParallel[T, U any, K comparable, R any](
 	runWorkers(cw, func(i int) {
 		lo, hi := chunk(nk, cw, i)
 		out := make([]R, 0, hi-lo)
-		for _, g := range orderA[lo:hi] {
+		for gi, g := range orderA[lo:hi] {
+			if cn.poll(gi) {
+				return
+			}
 			gb, ok := shardLookup(shardsB, indexB, g.key)
 			if !ok {
 				continue
@@ -361,18 +437,21 @@ func groupJoinParallel[T, U any, K comparable, R any](
 		}
 		parts[i] = out
 	})
+	if cn.abandoned() {
+		return empty()
+	}
 	out := mergeChunks(parts)
 	parallelExecs.Add(1)
 	opDone(rec, "groupjoin", start, len(a.records)+len(b.records), len(out))
-	agent := newDualAgent(newScaleAgent(a.agent, 2), newScaleAgent(b.agent, 2))
-	res := derive(a, out, agent)
+	res := derive(a, out, agent())
 	res.rec = rec
+	res.ctx = ctx
 	return res
 }
 
 // buildKeySet hash-partitions other-side keys across w shard sets,
 // building them concurrently.
-func buildKeySet[U any, K comparable](records []U, keyFn func(U) K, w int) []map[K]struct{} {
+func buildKeySet[U any, K comparable](records []U, keyFn func(U) K, w int, cn *canceler) []map[K]struct{} {
 	n := len(records)
 	keys := make([]K, n)
 	shards := make([]uint32, n)
@@ -386,15 +465,24 @@ func buildKeySet[U any, K comparable](records []U, keyFn func(U) K, w int) []map
 	runWorkers(cw, func(i int) {
 		lo, hi := chunk(n, cw, i)
 		for j := lo; j < hi; j++ {
+			if cn.poll(j - lo) {
+				return
+			}
 			k := keyFn(records[j])
 			keys[j] = k
 			shards[j] = uint32(shardOf(k, w))
 		}
 	})
 	sets := make([]map[K]struct{}, w)
+	if cn.abandoned() {
+		return sets
+	}
 	runWorkers(w, func(s int) {
 		set := make(map[K]struct{})
 		for j := 0; j < n; j++ {
+			if cn.poll(j) {
+				return
+			}
 			if shards[j] == uint32(s) {
 				set[keys[j]] = struct{}{}
 			}
@@ -413,10 +501,21 @@ func semiJoinParallel[T, U any, K comparable](
 	keep bool, op string,
 ) *Queryable[T] {
 	rec := combineRec(q.rec, other.rec)
+	ctx := combineCtx(q.ctx, other.ctx)
 	start := opStart(rec)
 	n := len(q.records)
 	w := q.exec.width(n + len(other.records))
-	present := buildKeySet(other.records, keyOther, w)
+	cn := newCanceler(ctx)
+	empty := func() *Queryable[T] {
+		res := derive(q, []T{}, newDualAgent(q.agent, other.agent))
+		res.rec = rec
+		res.ctx = ctx
+		return res
+	}
+	present := buildKeySet(other.records, keyOther, w, cn)
+	if cn.abandoned() {
+		return empty()
+	}
 
 	cw := w
 	if cw > n {
@@ -429,7 +528,10 @@ func semiJoinParallel[T, U any, K comparable](
 	runWorkers(cw, func(i int) {
 		lo, hi := chunk(n, cw, i)
 		out := make([]T, 0, hi-lo)
-		for _, r := range q.records[lo:hi] {
+		for j, r := range q.records[lo:hi] {
+			if cn.poll(j) {
+				return
+			}
 			k := keyQ(r)
 			_, ok := present[shardOf(k, w)][k]
 			if ok == keep {
@@ -438,11 +540,15 @@ func semiJoinParallel[T, U any, K comparable](
 		}
 		parts[i] = out
 	})
+	if cn.abandoned() {
+		return empty()
+	}
 	out := mergeChunks(parts)
 	parallelExecs.Add(1)
 	opDone(rec, op, start, n+len(other.records), len(out))
 	res := derive(q, out, newDualAgent(q.agent, other.agent))
 	res.rec = rec
+	res.ctx = ctx
 	return res
 }
 
@@ -453,13 +559,17 @@ func partitionParallel[T any, K comparable](q *Queryable[T], keys []K, keyOf fun
 	start := opStart(q.rec)
 	n := len(q.records)
 	w := q.exec.width(n)
+	cn := newCanceler(q.ctx)
 	localBuckets := make([][][]T, w)
 	localMatched := make([]int, w)
 	runWorkers(w, func(i int) {
 		lo, hi := chunk(n, w, i)
 		buckets := make([][]T, len(keys))
 		matched := 0
-		for _, r := range q.records[lo:hi] {
+		for j, r := range q.records[lo:hi] {
+			if cn.poll(j) {
+				return
+			}
 			if bi, ok := wanted[keyOf(r)]; ok {
 				buckets[bi] = append(buckets[bi], r)
 				matched++
@@ -468,6 +578,14 @@ func partitionParallel[T any, K comparable](q *Queryable[T], keys []K, keyOf fun
 		localBuckets[i] = buckets
 		localMatched[i] = matched
 	})
+	if cn.abandoned() {
+		shared := newPartitionAgent(q.agent, len(keys))
+		parts := make(map[K]*Queryable[T], len(keys))
+		for i, k := range keys {
+			parts[k] = derive(q, []T(nil), shared.member(i))
+		}
+		return parts
+	}
 	matched := 0
 	for _, m := range localMatched {
 		matched += m

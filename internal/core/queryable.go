@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"dptrace/internal/noise"
 	"dptrace/internal/obs"
 )
@@ -15,8 +17,9 @@ type Queryable[T any] struct {
 	records []T
 	agent   Agent
 	src     noise.Source
-	rec     obs.Recorder // nil (the default) disables telemetry
-	exec    ExecOptions  // zero value (the default) = sequential execution
+	rec     obs.Recorder    // nil (the default) disables telemetry
+	exec    ExecOptions     // zero value (the default) = sequential execution
+	ctx     context.Context // nil (the default) = never cancelled; see WithContext
 }
 
 // NewQueryable wraps records as a protected dataset with the given
@@ -38,9 +41,9 @@ func NewQueryable[T any](records []T, budget float64, src noise.Source) (*Querya
 }
 
 // derive builds a child Queryable sharing this one's noise source,
-// recorder, and execution configuration.
+// recorder, execution configuration, and context.
 func derive[T, U any](q *Queryable[T], records []U, agent Agent) *Queryable[U] {
-	return &Queryable[U]{records: records, agent: agent, src: q.src, rec: q.rec, exec: q.exec}
+	return &Queryable[U]{records: records, agent: agent, src: q.src, rec: q.rec, exec: q.exec, ctx: q.ctx}
 }
 
 // Where returns the subset of records satisfying pred. Filtering does
@@ -69,13 +72,19 @@ func (q *Queryable[T]) Where(pred func(T) bool) *Queryable[T] {
 // result charge both inputs' budgets.
 func (q *Queryable[T]) Concat(other *Queryable[T]) *Queryable[T] {
 	rec := combineRec(q.rec, other.rec)
+	ctx := combineCtx(q.ctx, other.ctx)
+	res := derive(q, []T{}, newDualAgent(q.agent, other.agent))
+	res.rec = rec
+	res.ctx = ctx
+	if ctxErr(ctx) != nil {
+		return res
+	}
 	start := opStart(rec)
 	out := make([]T, 0, len(q.records)+len(other.records))
 	out = append(out, q.records...)
 	out = append(out, other.records...)
 	opDone(rec, "concat", start, len(q.records)+len(other.records), len(out))
-	res := derive(q, out, newDualAgent(q.agent, other.agent))
-	res.rec = rec
+	res.records = out
 	return res
 }
 
@@ -101,6 +110,9 @@ func SelectMany[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable
 	if fanout < 1 {
 		panic("core: SelectMany fanout must be >= 1")
 	}
+	if ctxErr(q.ctx) != nil {
+		return derive(q, []U{}, newScaleAgent(q.agent, float64(fanout)))
+	}
 	if q.exec.active(len(q.records)) {
 		return selectManyParallel(q, fanout, f)
 	}
@@ -121,6 +133,9 @@ func SelectMany[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable
 // not amplify sensitivity (Table 1): adding or removing one input
 // record changes the output by at most one record.
 func Distinct[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[T] {
+	if ctxErr(q.ctx) != nil {
+		return derive(q, []T{}, q.agent)
+	}
 	if q.exec.active(len(q.records)) {
 		return distinctParallel(q, key)
 	}
@@ -155,6 +170,9 @@ type Group[K comparable, T any] struct {
 // Groups are emitted in first-appearance order of their keys, so the
 // pipeline is deterministic for a fixed input ordering.
 func GroupBy[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[Group[K, T]] {
+	if ctxErr(q.ctx) != nil {
+		return derive(q, []Group[K, T]{}, newScaleAgent(q.agent, 2))
+	}
 	if q.exec.active(len(q.records)) {
 		return groupByParallel(q, key)
 	}
@@ -184,10 +202,17 @@ func Join[T, U any, K comparable, R any](
 	keyA func(T) K, keyB func(U) K,
 	result func(T, U) R,
 ) *Queryable[R] {
+	rec := combineRec(a.rec, b.rec)
+	ctx := combineCtx(a.ctx, b.ctx)
+	if ctxErr(ctx) != nil {
+		res := derive(a, []R{}, newDualAgent(a.agent, b.agent))
+		res.rec = rec
+		res.ctx = ctx
+		return res
+	}
 	if a.exec.active(len(a.records) + len(b.records)) {
 		return joinParallel(a, b, keyA, keyB, result)
 	}
-	rec := combineRec(a.rec, b.rec)
 	start := opStart(rec)
 	groupsA := make(map[K][]T, len(a.records))
 	orderA := make([]K, 0, len(a.records))
@@ -222,6 +247,7 @@ func Join[T, U any, K comparable, R any](
 	opDone(rec, "join", start, len(a.records)+len(b.records), len(out))
 	res := derive(a, out, newDualAgent(a.agent, b.agent))
 	res.rec = rec
+	res.ctx = ctx
 	return res
 }
 
@@ -236,10 +262,18 @@ func GroupJoin[T, U any, K comparable, R any](
 	keyA func(T) K, keyB func(U) K,
 	result func(K, []T, []U) R,
 ) *Queryable[R] {
+	rec := combineRec(a.rec, b.rec)
+	ctx := combineCtx(a.ctx, b.ctx)
+	if ctxErr(ctx) != nil {
+		agent := newDualAgent(newScaleAgent(a.agent, 2), newScaleAgent(b.agent, 2))
+		res := derive(a, []R{}, agent)
+		res.rec = rec
+		res.ctx = ctx
+		return res
+	}
 	if a.exec.active(len(a.records) + len(b.records)) {
 		return groupJoinParallel(a, b, keyA, keyB, result)
 	}
-	rec := combineRec(a.rec, b.rec)
 	start := opStart(rec)
 	groupsA := make(map[K][]T, len(a.records))
 	orderA := make([]K, 0, len(a.records))
@@ -268,6 +302,7 @@ func GroupJoin[T, U any, K comparable, R any](
 	agent := newDualAgent(newScaleAgent(a.agent, 2), newScaleAgent(b.agent, 2))
 	res := derive(a, out, agent)
 	res.rec = rec
+	res.ctx = ctx
 	return res
 }
 
@@ -275,10 +310,17 @@ func GroupJoin[T, U any, K comparable, R any](
 // emitting each matched key's records from q once. Like Where with a
 // protected predicate; no sensitivity increase for either input.
 func Intersect[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ func(T) K, keyOther func(U) K) *Queryable[T] {
+	rec := combineRec(q.rec, other.rec)
+	ctx := combineCtx(q.ctx, other.ctx)
+	if ctxErr(ctx) != nil {
+		res := derive(q, []T{}, newDualAgent(q.agent, other.agent))
+		res.rec = rec
+		res.ctx = ctx
+		return res
+	}
 	if q.exec.active(len(q.records) + len(other.records)) {
 		return semiJoinParallel(q, other, keyQ, keyOther, true, "intersect")
 	}
-	rec := combineRec(q.rec, other.rec)
 	start := opStart(rec)
 	present := make(map[K]struct{}, len(other.records))
 	for _, r := range other.records {
@@ -293,6 +335,7 @@ func Intersect[T, U any, K comparable](q *Queryable[T], other *Queryable[U], key
 	opDone(rec, "intersect", start, len(q.records)+len(other.records), len(out))
 	res := derive(q, out, newDualAgent(q.agent, other.agent))
 	res.rec = rec
+	res.ctx = ctx
 	return res
 }
 
@@ -301,10 +344,17 @@ func Intersect[T, U any, K comparable](q *Queryable[T], other *Queryable[U], key
 // protected predicate: no sensitivity increase for either input, but
 // aggregations charge both budgets.
 func Except[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ func(T) K, keyOther func(U) K) *Queryable[T] {
+	rec := combineRec(q.rec, other.rec)
+	ctx := combineCtx(q.ctx, other.ctx)
+	if ctxErr(ctx) != nil {
+		res := derive(q, []T{}, newDualAgent(q.agent, other.agent))
+		res.rec = rec
+		res.ctx = ctx
+		return res
+	}
 	if q.exec.active(len(q.records) + len(other.records)) {
 		return semiJoinParallel(q, other, keyQ, keyOther, false, "except")
 	}
-	rec := combineRec(q.rec, other.rec)
 	start := opStart(rec)
 	present := make(map[K]struct{}, len(other.records))
 	for _, r := range other.records {
@@ -319,6 +369,7 @@ func Except[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ f
 	opDone(rec, "except", start, len(q.records)+len(other.records), len(out))
 	res := derive(q, out, newDualAgent(q.agent, other.agent))
 	res.rec = rec
+	res.ctx = ctx
 	return res
 }
 
@@ -336,6 +387,14 @@ func Partition[T any, K comparable](q *Queryable[T], keys []K, keyOf func(T) K) 
 			panic("core: Partition keys must be distinct")
 		}
 		wanted[k] = i
+	}
+	if ctxErr(q.ctx) != nil {
+		shared := newPartitionAgent(q.agent, len(keys))
+		parts := make(map[K]*Queryable[T], len(keys))
+		for i, k := range keys {
+			parts[k] = derive(q, []T(nil), shared.member(i))
+		}
+		return parts
 	}
 	if q.exec.active(len(q.records)) {
 		return partitionParallel(q, keys, keyOf, wanted)

@@ -1,40 +1,291 @@
 // Package dpclient is the analyst's side of the mediated-analysis
-// protocol: a typed HTTP client for internal/dpserver. It wraps the
-// JSON API in Go methods, surfaces budget refusals as
-// ErrBudgetExceeded (with the remaining allowance), and carries the
-// analyst identity on every request.
+// protocol: a typed HTTP client for internal/dpserver. It speaks the
+// versioned v1 API, wraps the JSON endpoints in context-aware Go
+// methods, surfaces budget refusals as ErrBudgetExceeded (with the
+// remaining allowance), and carries the analyst identity on every
+// request.
+//
+// Reliability is built in: every budget-spending call auto-attaches an
+// idempotency key, so the retry policy (exponential backoff with
+// jitter, honouring Retry-After) can safely re-send after sheds and
+// transport failures without risking a double ε charge — the server
+// replays the first execution's bytes.
 package dpclient
 
 import (
 	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/big"
 	"net/http"
 	"net/url"
+	"strconv"
+	"time"
 
 	"dptrace/internal/dpserver"
 	"dptrace/internal/obs"
 )
 
-// ErrBudgetExceeded reports a 403 refusal from the server.
+// ErrBudgetExceeded reports a budget_exhausted refusal from the
+// server. Match with errors.Is; the concrete error is an *APIError
+// carrying the remaining allowance.
 var ErrBudgetExceeded = errors.New("dpclient: privacy budget exceeded")
+
+// APIError is a decoded v1 error envelope, plus the HTTP status it
+// arrived with.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+	Retryable  bool
+	Remaining  float64
+	Charged    float64
+
+	// retryAfter carries the server's Retry-After hint to the retry
+	// loop; unexported so the public struct mirrors the envelope.
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Code == "budget_exhausted" {
+		return fmt.Sprintf("dpclient: %s: %s (remaining %.3f)", e.Code, e.Message, e.Remaining)
+	}
+	return fmt.Sprintf("dpclient: %s: %s", e.Code, e.Message)
+}
+
+// Is makes errors.Is(err, ErrBudgetExceeded) match refusals.
+func (e *APIError) Is(target error) bool {
+	return target == ErrBudgetExceeded && e.Code == "budget_exhausted"
+}
+
+// RetryPolicy controls how calls retry shed (429), draining (503) and
+// transport failures. Other failures — refusals, validation errors,
+// deadline overruns — are never retried by the client; re-sending them
+// cannot change the answer.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Values below 1 behave as 1.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each subsequent
+	// retry doubles it, capped at MaxBackoff. A Retry-After hint from
+	// the server overrides the computed backoff when longer.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter spreads each delay uniformly over ±Jitter fraction
+	// (e.g. 0.2 → 80%..120% of the computed backoff).
+	Jitter float64
+}
+
+// DefaultRetryPolicy retries up to 3 times after the first attempt,
+// starting at 100ms and backing off to 2s.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 2 * time.Second, Jitter: 0.2}
+}
+
+// NoRetry disables retries: one attempt, errors surface immediately.
+func NoRetry() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
+
+// backoff computes the pre-jitter delay for retry i (0-based).
+func (p RetryPolicy) backoff(i int) time.Duration {
+	d := p.BaseBackoff << uint(i)
+	if p.MaxBackoff > 0 && (d > p.MaxBackoff || d <= 0) {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// jittered spreads d over ±Jitter using crypto randomness (the client
+// has no seeded-determinism contract, and crypto/rand avoids seeding
+// concerns in concurrent analysts).
+func (p RetryPolicy) jittered(d time.Duration) time.Duration {
+	if p.Jitter <= 0 || d <= 0 {
+		return d
+	}
+	span := int64(float64(d) * p.Jitter * 2)
+	if span <= 0 {
+		return d
+	}
+	n, err := rand.Int(rand.Reader, big.NewInt(span))
+	if err != nil {
+		return d
+	}
+	return d - time.Duration(span/2) + time.Duration(n.Int64())
+}
 
 // Client queries one server as one analyst.
 type Client struct {
 	baseURL string
 	analyst string
 	http    *http.Client
+	retry   RetryPolicy
+	timeout time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (default
+// http.DefaultClient).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) {
+		if h != nil {
+			c.http = h
+		}
+	}
+}
+
+// WithTimeout sets a default per-call deadline applied whenever the
+// caller's context has none. The deadline is also advertised to the
+// server via X-DP-Timeout-Ms so it can cancel execution server-side.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetryPolicy replaces the default retry policy.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
 }
 
 // New creates a client for the server at baseURL acting as analyst.
-// httpClient may be nil (http.DefaultClient).
-func New(baseURL, analyst string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
+func New(baseURL, analyst string, opts ...Option) *Client {
+	c := &Client{
+		baseURL: baseURL,
+		analyst: analyst,
+		http:    http.DefaultClient,
+		retry:   DefaultRetryPolicy(),
 	}
-	return &Client{baseURL: baseURL, analyst: analyst, http: httpClient}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(c)
+		}
+	}
+	return c
+}
+
+// NewIdempotencyKey returns a fresh random key for at-most-once
+// queries. Query, LoadMatrix and MonitorAverages call it automatically
+// when the request carries none; set your own to deduplicate across
+// client instances or process restarts.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("dpclient: crypto randomness unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// call performs one HTTP exchange with retries, returning the response
+// body on any 200. Non-200 responses become *APIError; 429/503 and
+// transport failures are retried per the policy, honouring Retry-After.
+func (c *Client) call(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, ok := ctx.Deadline(); !ok && c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var lastErr error
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			delay := c.retry.jittered(c.retry.backoff(attempt - 1))
+			var ae *APIError
+			if errors.As(lastErr, &ae) && ae.StatusCode != 0 {
+				if ra := ae.retryAfter; ra > delay {
+					delay = ra
+				}
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("dpclient: %w (last attempt: %w)", ctx.Err(), lastErr)
+			case <-t.C:
+			}
+		}
+		out, err, retriable := c.once(ctx, method, path, body)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !retriable {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("dpclient: %w (last attempt: %w)", ctx.Err(), lastErr)
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, error, bool) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: %w", err), false
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+			req.Header.Set(dpserver.TimeoutHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		// Transport failure: retriable unless the context ended it.
+		return nil, fmt.Errorf("dpclient: %w", err), ctx.Err() == nil
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: reading response: %w", err), true
+	}
+	if resp.StatusCode == http.StatusOK {
+		return out, nil, false
+	}
+	ae := &APIError{StatusCode: resp.StatusCode}
+	if jsonErr := json.Unmarshal(out, ae); jsonErr != nil || ae.Code == "" {
+		ae.Code = "http_" + strconv.Itoa(resp.StatusCode)
+		ae.Message = string(bytes.TrimSpace(out))
+	}
+	if ra, raErr := strconv.Atoi(resp.Header.Get("Retry-After")); raErr == nil && ra > 0 {
+		ae.retryAfter = time.Duration(ra) * time.Second
+	}
+	shed := resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable
+	return nil, ae, shed
+}
+
+// UnmarshalJSON maps the v1 envelope onto APIError.
+func (e *APIError) UnmarshalJSON(b []byte) error {
+	var env struct {
+		Code      string  `json:"code"`
+		Message   string  `json:"message"`
+		Retryable bool    `json:"retryable"`
+		Remaining float64 `json:"remaining"`
+		Charged   float64 `json:"charged"`
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		return err
+	}
+	e.Code, e.Message, e.Retryable = env.Code, env.Message, env.Retryable
+	e.Remaining, e.Charged = env.Remaining, env.Charged
+	return nil
 }
 
 // Result is a successful query's payload.
@@ -49,48 +300,36 @@ type Result struct {
 	Trace *obs.Span
 }
 
-// Query runs one raw query (see dpserver.QueryRequest for fields);
-// the analyst field is filled in by the client.
-func (c *Client) Query(req dpserver.QueryRequest) (*Result, error) {
+// Query runs one raw query (see dpserver.QueryRequest for fields); the
+// analyst field is filled in by the client, and an idempotency key is
+// attached when the request carries none so retries spend ε at most
+// once.
+func (c *Client) Query(ctx context.Context, req dpserver.QueryRequest) (*Result, error) {
 	req.Analyst = c.analyst
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = NewIdempotencyKey()
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("dpclient: encoding request: %w", err)
 	}
-	resp, err := c.http.Post(c.baseURL+"/query", "application/json", bytes.NewReader(body))
+	out, err := c.call(ctx, http.MethodPost, "/v1/query", body)
 	if err != nil {
-		return nil, fmt.Errorf("dpclient: %w", err)
+		return nil, err
 	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		var qr dpserver.QueryResponse
-		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-			return nil, fmt.Errorf("dpclient: decoding response: %w", err)
-		}
-		return &Result{
-			Values: qr.Values, Buckets: qr.Buckets, NoiseStd: qr.NoiseStd,
-			Spent: qr.Spent, Remaining: qr.Remaining, Trace: qr.Trace,
-		}, nil
-	case http.StatusForbidden:
-		var er struct {
-			Error     string  `json:"error"`
-			Remaining float64 `json:"remaining"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&er)
-		return nil, fmt.Errorf("%w: %s (remaining %.3f)", ErrBudgetExceeded, er.Error, er.Remaining)
-	default:
-		var er struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&er)
-		return nil, fmt.Errorf("dpclient: server returned %d: %s", resp.StatusCode, er.Error)
+	var qr dpserver.QueryResponse
+	if err := json.Unmarshal(out, &qr); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding response: %w", err)
 	}
+	return &Result{
+		Values: qr.Values, Buckets: qr.Buckets, NoiseStd: qr.NoiseStd,
+		Spent: qr.Spent, Remaining: qr.Remaining, Trace: qr.Trace,
+	}, nil
 }
 
 // Count returns a noisy packet count at epsilon, optionally filtered.
-func (c *Client) Count(dataset string, epsilon float64, filter *dpserver.Filter) (float64, error) {
-	r, err := c.Query(dpserver.QueryRequest{
+func (c *Client) Count(ctx context.Context, dataset string, epsilon float64, filter *dpserver.Filter) (float64, error) {
+	r, err := c.Query(ctx, dpserver.QueryRequest{
 		Dataset: dataset, Query: "count", Epsilon: epsilon, Filter: filter,
 	})
 	if err != nil {
@@ -101,8 +340,8 @@ func (c *Client) Count(dataset string, epsilon float64, filter *dpserver.Filter)
 
 // Hosts returns the noisy number of distinct source hosts sending
 // more than minBytes bytes (the paper's §2.3 query).
-func (c *Client) Hosts(dataset string, epsilon float64, filter *dpserver.Filter, minBytes int) (float64, error) {
-	r, err := c.Query(dpserver.QueryRequest{
+func (c *Client) Hosts(ctx context.Context, dataset string, epsilon float64, filter *dpserver.Filter, minBytes int) (float64, error) {
+	r, err := c.Query(ctx, dpserver.QueryRequest{
 		Dataset: dataset, Query: "hosts", Epsilon: epsilon,
 		Filter: filter, MinBytes: minBytes,
 	})
@@ -113,68 +352,56 @@ func (c *Client) Hosts(dataset string, epsilon float64, filter *dpserver.Filter,
 }
 
 // LengthCDF returns the packet-length CDF at the given bucket step.
-func (c *Client) LengthCDF(dataset string, epsilon float64, bucketStep int64) (*Result, error) {
-	return c.Query(dpserver.QueryRequest{
+func (c *Client) LengthCDF(ctx context.Context, dataset string, epsilon float64, bucketStep int64) (*Result, error) {
+	return c.Query(ctx, dpserver.QueryRequest{
 		Dataset: dataset, Query: "lencdf", Epsilon: epsilon, BucketStep: bucketStep,
 	})
 }
 
 // RTTCDF returns the handshake-RTT CDF in milliseconds.
-func (c *Client) RTTCDF(dataset string, epsilon float64, bucketStepMs int64) (*Result, error) {
-	return c.Query(dpserver.QueryRequest{
+func (c *Client) RTTCDF(ctx context.Context, dataset string, epsilon float64, bucketStepMs int64) (*Result, error) {
+	return c.Query(ctx, dpserver.QueryRequest{
 		Dataset: dataset, Query: "rttcdf", Epsilon: epsilon, BucketStep: bucketStepMs,
 	})
 }
 
 // Budget reports the analyst's spent and remaining allowance on a
 // dataset (remaining -1 means unlimited).
-func (c *Client) Budget(dataset string) (spent, remaining float64, err error) {
-	u := fmt.Sprintf("%s/budget?dataset=%s&analyst=%s",
-		c.baseURL, url.QueryEscape(dataset), url.QueryEscape(c.analyst))
-	resp, err := c.http.Get(u)
+func (c *Client) Budget(ctx context.Context, dataset string) (spent, remaining float64, err error) {
+	path := fmt.Sprintf("/v1/budget?dataset=%s&analyst=%s",
+		url.QueryEscape(dataset), url.QueryEscape(c.analyst))
+	out, err := c.call(ctx, http.MethodGet, path, nil)
 	if err != nil {
-		return 0, 0, fmt.Errorf("dpclient: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, 0, fmt.Errorf("dpclient: budget query returned %d", resp.StatusCode)
+		return 0, 0, err
 	}
 	var body map[string]float64
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	if err := json.Unmarshal(out, &body); err != nil {
 		return 0, 0, fmt.Errorf("dpclient: decoding budget: %w", err)
 	}
 	return body["spent"], body["remaining"], nil
 }
 
 // Datasets lists the server's hosted datasets.
-func (c *Client) Datasets() ([]dpserver.DatasetInfo, error) {
-	resp, err := c.http.Get(c.baseURL + "/datasets")
+func (c *Client) Datasets(ctx context.Context) ([]dpserver.DatasetInfo, error) {
+	out, err := c.call(ctx, http.MethodGet, "/v1/datasets", nil)
 	if err != nil {
-		return nil, fmt.Errorf("dpclient: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dpclient: datasets query returned %d", resp.StatusCode)
+		return nil, err
 	}
 	var infos []dpserver.DatasetInfo
-	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+	if err := json.Unmarshal(out, &infos); err != nil {
 		return nil, fmt.Errorf("dpclient: decoding datasets: %w", err)
 	}
 	return infos, nil
 }
 
 // Health fetches the server's GET /healthz status.
-func (c *Client) Health() (*dpserver.HealthStatus, error) {
-	resp, err := c.http.Get(c.baseURL + "/healthz")
+func (c *Client) Health(ctx context.Context) (*dpserver.HealthStatus, error) {
+	out, err := c.call(ctx, http.MethodGet, "/v1/healthz", nil)
 	if err != nil {
-		return nil, fmt.Errorf("dpclient: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dpclient: healthz returned %d", resp.StatusCode)
+		return nil, err
 	}
 	var hs dpserver.HealthStatus
-	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+	if err := json.Unmarshal(out, &hs); err != nil {
 		return nil, fmt.Errorf("dpclient: decoding healthz: %w", err)
 	}
 	return &hs, nil
@@ -183,92 +410,70 @@ func (c *Client) Health() (*dpserver.HealthStatus, error) {
 // RecentTraces fetches the server's ring of recent query traces
 // (newest first); n ≤ 0 fetches everything the server holds. This is
 // an owner-side surface — see the dpserver package docs.
-func (c *Client) RecentTraces(n int) ([]*obs.Span, error) {
-	u := c.baseURL + "/debug/traces"
+func (c *Client) RecentTraces(ctx context.Context, n int) ([]*obs.Span, error) {
+	path := "/v1/debug/traces"
 	if n > 0 {
-		u += "?n=" + url.QueryEscape(fmt.Sprint(n))
+		path += "?n=" + url.QueryEscape(fmt.Sprint(n))
 	}
-	resp, err := c.http.Get(u)
+	out, err := c.call(ctx, http.MethodGet, path, nil)
 	if err != nil {
-		return nil, fmt.Errorf("dpclient: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dpclient: debug/traces returned %d", resp.StatusCode)
+		return nil, err
 	}
 	var spans []*obs.Span
-	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+	if err := json.Unmarshal(out, &spans); err != nil {
 		return nil, fmt.Errorf("dpclient: decoding traces: %w", err)
 	}
 	return spans, nil
 }
 
 // MetricsText fetches the server's Prometheus text exposition.
-func (c *Client) MetricsText() (string, error) {
-	resp, err := c.http.Get(c.baseURL + "/metrics")
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	out, err := c.call(ctx, http.MethodGet, "/v1/metrics", nil)
 	if err != nil {
-		return "", fmt.Errorf("dpclient: %w", err)
+		return "", err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("dpclient: metrics returned %d", resp.StatusCode)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", fmt.Errorf("dpclient: reading metrics: %w", err)
-	}
-	return string(body), nil
+	return string(out), nil
 }
 
 // LoadMatrix extracts the noisy link×bin count matrix from a hosted
-// link trace (one ε total). Data is row-major with rows = bins.
-func (c *Client) LoadMatrix(dataset string, epsilon float64) (*dpserver.MatrixResponse, error) {
+// link trace (one ε total). Data is row-major with rows = bins. The
+// call is idempotent under retries.
+func (c *Client) LoadMatrix(ctx context.Context, dataset string, epsilon float64) (*dpserver.MatrixResponse, error) {
 	body, err := json.Marshal(dpserver.MatrixRequest{
 		Analyst: c.analyst, Dataset: dataset, Epsilon: epsilon,
+		IdempotencyKey: NewIdempotencyKey(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dpclient: encoding request: %w", err)
 	}
-	resp, err := c.http.Post(c.baseURL+"/query/loadmatrix", "application/json", bytes.NewReader(body))
+	out, err := c.call(ctx, http.MethodPost, "/v1/query/loadmatrix", body)
 	if err != nil {
-		return nil, fmt.Errorf("dpclient: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusForbidden {
-		return nil, ErrBudgetExceeded
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dpclient: loadmatrix returned %d", resp.StatusCode)
+		return nil, err
 	}
 	var mr dpserver.MatrixResponse
-	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+	if err := json.Unmarshal(out, &mr); err != nil {
 		return nil, fmt.Errorf("dpclient: decoding matrix: %w", err)
 	}
 	return &mr, nil
 }
 
 // MonitorAverages fetches per-monitor noisy average hop counts from a
-// hosted hop trace (one ε total via Partition max-accounting).
-func (c *Client) MonitorAverages(dataset string, epsilon, maxHops float64) ([]float64, error) {
+// hosted hop trace (one ε total via Partition max-accounting). The
+// call is idempotent under retries.
+func (c *Client) MonitorAverages(ctx context.Context, dataset string, epsilon, maxHops float64) ([]float64, error) {
 	body, err := json.Marshal(dpserver.HopAveragesRequest{
 		Analyst: c.analyst, Dataset: dataset, Epsilon: epsilon, MaxHops: maxHops,
+		IdempotencyKey: NewIdempotencyKey(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dpclient: encoding request: %w", err)
 	}
-	resp, err := c.http.Post(c.baseURL+"/query/monitoravgs", "application/json", bytes.NewReader(body))
+	out, err := c.call(ctx, http.MethodPost, "/v1/query/monitoravgs", body)
 	if err != nil {
-		return nil, fmt.Errorf("dpclient: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusForbidden {
-		return nil, ErrBudgetExceeded
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dpclient: monitoravgs returned %d", resp.StatusCode)
+		return nil, err
 	}
 	var hr dpserver.HopAveragesResponse
-	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+	if err := json.Unmarshal(out, &hr); err != nil {
 		return nil, fmt.Errorf("dpclient: decoding averages: %w", err)
 	}
 	return hr.Averages, nil

@@ -1,18 +1,24 @@
 package dpclient
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"math"
+	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dptrace/internal/dpserver"
 	"dptrace/internal/noise"
 	"dptrace/internal/tracegen"
 )
 
-func clientAndServer(t *testing.T, total, perAnalyst float64) *Client {
+func clientAndServer(t *testing.T, total, perAnalyst float64, opts ...Option) *Client {
 	t.Helper()
 	cfg := tracegen.DefaultHotspotConfig()
 	cfg.Sessions = 300
@@ -27,19 +33,20 @@ func clientAndServer(t *testing.T, total, perAnalyst float64) *Client {
 	s.AddPacketTrace("hotspot", packets, total, perAnalyst)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	return New(ts.URL, "alice", nil)
+	return New(ts.URL, "alice", opts...)
 }
 
 func TestClientCountAndBudget(t *testing.T) {
+	ctx := context.Background()
 	c := clientAndServer(t, 10, 5)
-	count, err := c.Count("hotspot", 1.0, nil)
+	count, err := c.Count(ctx, "hotspot", 1.0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if count < 1000 {
 		t.Errorf("implausible count %v", count)
 	}
-	spent, remaining, err := c.Budget("hotspot")
+	spent, remaining, err := c.Budget(ctx, "hotspot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +58,7 @@ func TestClientCountAndBudget(t *testing.T) {
 func TestClientHostsQuery(t *testing.T) {
 	c := clientAndServer(t, math.Inf(1), math.Inf(1))
 	port := 80
-	hosts, err := c.Hosts("hotspot", 0.5, &dpserver.Filter{DstPort: &port}, 1024)
+	hosts, err := c.Hosts(context.Background(), "hotspot", 0.5, &dpserver.Filter{DstPort: &port}, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,15 +68,16 @@ func TestClientHostsQuery(t *testing.T) {
 }
 
 func TestClientCDFs(t *testing.T) {
+	ctx := context.Background()
 	c := clientAndServer(t, math.Inf(1), math.Inf(1))
-	lens, err := c.LengthCDF("hotspot", 1.0, 32)
+	lens, err := c.LengthCDF(ctx, "hotspot", 1.0, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(lens.Values) == 0 || len(lens.Values) != len(lens.Buckets) {
 		t.Fatalf("length CDF shape: %d/%d", len(lens.Values), len(lens.Buckets))
 	}
-	rtts, err := c.RTTCDF("hotspot", 1.0, 10)
+	rtts, err := c.RTTCDF(ctx, "hotspot", 1.0, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,19 +87,30 @@ func TestClientCDFs(t *testing.T) {
 }
 
 func TestClientBudgetRefusalTyped(t *testing.T) {
+	ctx := context.Background()
 	c := clientAndServer(t, math.Inf(1), 1.0)
-	if _, err := c.Count("hotspot", 0.9, nil); err != nil {
+	if _, err := c.Count(ctx, "hotspot", 0.9, nil); err != nil {
 		t.Fatal(err)
 	}
-	_, err := c.Count("hotspot", 0.5, nil)
+	_, err := c.Count(ctx, "hotspot", 0.5, nil)
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("got %T, want *APIError", err)
+	}
+	if ae.StatusCode != http.StatusForbidden || ae.Retryable {
+		t.Fatalf("APIError %+v, want 403 non-retryable", ae)
+	}
+	if math.Abs(ae.Remaining-0.1) > 1e-9 {
+		t.Errorf("remaining %v, want 0.1", ae.Remaining)
 	}
 }
 
 func TestClientDatasets(t *testing.T) {
 	c := clientAndServer(t, 3, 3)
-	infos, err := c.Datasets()
+	infos, err := c.Datasets(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,16 +120,18 @@ func TestClientDatasets(t *testing.T) {
 }
 
 func TestClientServerErrors(t *testing.T) {
+	ctx := context.Background()
 	c := clientAndServer(t, 1, 1)
-	if _, err := c.Count("nope", 0.1, nil); err == nil {
+	if _, err := c.Count(ctx, "nope", 0.1, nil); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if _, err := c.Query(dpserver.QueryRequest{Dataset: "hotspot", Query: "zap", Epsilon: 1}); err == nil {
+	if _, err := c.Query(ctx, dpserver.QueryRequest{Dataset: "hotspot", Query: "zap", Epsilon: 1}); err == nil {
 		t.Error("unknown query accepted")
 	}
 }
 
 func TestClientLoadMatrixAndMonitorAverages(t *testing.T) {
+	ctx := context.Background()
 	isp := tracegen.IspConfig{Seed: 5, Links: 8, Bins: 12, MeanPacketsPerBin: 40, NoiseFrac: 0.05}
 	samples, _ := tracegen.IspTraffic(isp)
 	scatter := tracegen.DefaultScatterConfig()
@@ -125,15 +146,15 @@ func TestClientLoadMatrixAndMonitorAverages(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 
-	c := New(ts.URL, "carol", nil)
-	mr, err := c.LoadMatrix("isp", 1.0)
+	c := New(ts.URL, "carol")
+	mr, err := c.LoadMatrix(ctx, "isp", 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mr.Bins != isp.Bins || mr.Links != isp.Links || len(mr.Data) != isp.Bins*isp.Links {
 		t.Fatalf("matrix shape %dx%d/%d", mr.Bins, mr.Links, len(mr.Data))
 	}
-	avgs, err := c.MonitorAverages("scatter", 1.0, 32)
+	avgs, err := c.MonitorAverages(ctx, "scatter", 1.0, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,16 +162,17 @@ func TestClientLoadMatrixAndMonitorAverages(t *testing.T) {
 		t.Fatalf("got %d averages", len(avgs))
 	}
 	// Second hop query exceeds the 1.5 cap.
-	if _, err := c.MonitorAverages("scatter", 1.0, 32); !errors.Is(err, ErrBudgetExceeded) {
+	if _, err := c.MonitorAverages(ctx, "scatter", 1.0, 32); !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("over-cap: %v", err)
 	}
 }
 
 func TestClientObservability(t *testing.T) {
+	ctx := context.Background()
 	c := clientAndServer(t, 10, 5)
 
 	// A traced query carries the span tree through the client.
-	r, err := c.Query(dpserver.QueryRequest{
+	r, err := c.Query(ctx, dpserver.QueryRequest{
 		Dataset: "hotspot", Query: "count", Epsilon: 0.5, Trace: true,
 	})
 	if err != nil {
@@ -164,7 +186,7 @@ func TestClientObservability(t *testing.T) {
 	}
 
 	// Untraced queries do not.
-	r, err = c.Query(dpserver.QueryRequest{
+	r, err = c.Query(ctx, dpserver.QueryRequest{
 		Dataset: "hotspot", Query: "count", Epsilon: 0.1,
 	})
 	if err != nil {
@@ -174,7 +196,7 @@ func TestClientObservability(t *testing.T) {
 		t.Error("untraced query returned a trace")
 	}
 
-	hs, err := c.Health()
+	hs, err := c.Health(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +204,7 @@ func TestClientObservability(t *testing.T) {
 		t.Errorf("health %+v", hs)
 	}
 
-	spans, err := c.RecentTraces(1)
+	spans, err := c.RecentTraces(ctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,17 +212,169 @@ func TestClientObservability(t *testing.T) {
 		t.Errorf("recent traces %+v", spans)
 	}
 
-	text, err := c.MetricsText()
+	text, err := c.MetricsText(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		`dpserver_requests_total{code="200",endpoint="/query"} 2`,
+		`dpserver_requests_total{code="200",endpoint="/v1/query"} 2`,
 		`dp_agg_total{agg="count",outcome="ok"} 2`,
 		`dp_budget_spent{dataset="hotspot"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics text missing %q", want)
 		}
+	}
+}
+
+// TestClientRetriesShedsOnce stands up a fake server that sheds the
+// first attempt with 429 + Retry-After and succeeds on the second; the
+// client must retry with the SAME idempotency key and surface success.
+func TestClientRetriesShedsOnce(t *testing.T) {
+	var attempts atomic.Int64
+	keys := make(chan string, 4)
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req dpserver.QueryRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		keys <- req.IdempotencyKey
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"code":"overloaded","message":"at capacity","retryable":true}` + "\n"))
+			return
+		}
+		json.NewEncoder(w).Encode(dpserver.QueryResponse{Values: []float64{42}})
+	}))
+	defer fake.Close()
+
+	c := New(fake.URL, "alice", WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	}))
+	v, err := c.Count(context.Background(), "d", 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("value %v, want 42", v)
+	}
+	if n := attempts.Load(); n != 2 {
+		t.Fatalf("attempts = %d, want 2", n)
+	}
+	k1, k2 := <-keys, <-keys
+	if k1 == "" || k1 != k2 {
+		t.Fatalf("idempotency keys %q / %q, want identical non-empty", k1, k2)
+	}
+}
+
+// TestClientDoesNotRetryRefusals: a budget refusal is terminal — the
+// client must not burn attempts re-asking.
+func TestClientDoesNotRetryRefusals(t *testing.T) {
+	var attempts atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusForbidden)
+		w.Write([]byte(`{"code":"budget_exhausted","message":"no","retryable":false,"remaining":0.25}` + "\n"))
+	}))
+	defer fake.Close()
+
+	c := New(fake.URL, "alice")
+	_, err := c.Count(context.Background(), "d", 0.1, nil)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("attempts = %d, want 1 (refusals are not retryable)", n)
+	}
+}
+
+// TestClientRetriesExhaust: persistent shedding surfaces the last
+// APIError after MaxAttempts tries.
+func TestClientRetriesExhaust(t *testing.T) {
+	var attempts atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"code":"shutting_down","message":"draining","retryable":true}` + "\n"))
+	}))
+	defer fake.Close()
+
+	c := New(fake.URL, "alice", WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+	}))
+	_, err := c.Count(context.Background(), "d", 0.1, nil)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != "shutting_down" {
+		t.Fatalf("got %v, want shutting_down APIError", err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3", n)
+	}
+}
+
+// TestClientTimeoutHeader: a caller deadline (or WithTimeout default)
+// is advertised to the server via X-DP-Timeout-Ms.
+func TestClientTimeoutHeader(t *testing.T) {
+	var sawMs atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ms, _ := strconv.ParseInt(r.Header.Get(dpserver.TimeoutHeader), 10, 64)
+		sawMs.Store(ms)
+		json.NewEncoder(w).Encode(dpserver.QueryResponse{Values: []float64{1}})
+	}))
+	defer fake.Close()
+
+	c := New(fake.URL, "alice", WithTimeout(30*time.Second), WithRetryPolicy(NoRetry()))
+	if _, err := c.Count(context.Background(), "d", 0.1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ms := sawMs.Load(); ms <= 0 || ms > 30_000 {
+		t.Fatalf("advertised timeout %dms, want (0, 30000]", ms)
+	}
+
+	// An explicit caller deadline wins over the client default.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Count(ctx, "d", 0.1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ms := sawMs.Load(); ms <= 0 || ms > 5_000 {
+		t.Fatalf("advertised timeout %dms, want (0, 5000]", ms)
+	}
+}
+
+// TestClientContextCancelStopsRetries: a cancelled context aborts the
+// retry loop immediately.
+func TestClientContextCancelStopsRetries(t *testing.T) {
+	var attempts atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"code":"overloaded","message":"busy","retryable":true}` + "\n"))
+	}))
+	defer fake.Close()
+
+	c := New(fake.URL, "alice", WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 10, BaseBackoff: time.Hour, MaxBackoff: time.Hour,
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Count(ctx, "d", 0.1, nil)
+		done <- err
+	}()
+	// Let the first attempt land, then cancel during the 1h backoff.
+	for attempts.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry loop ignored cancellation")
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("attempts = %d, want 1", n)
 	}
 }

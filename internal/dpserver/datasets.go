@@ -1,7 +1,7 @@
 package dpserver
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"net/http"
 
@@ -74,6 +74,9 @@ type MatrixRequest struct {
 	Analyst string  `json:"analyst"`
 	Dataset string  `json:"dataset"`
 	Epsilon float64 `json:"epsilon"`
+	// IdempotencyKey gives the extraction at-most-once ε-spend (see
+	// QueryRequest.IdempotencyKey).
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // MatrixResponse carries the matrix in row-major order (rows = bins).
@@ -88,11 +91,11 @@ type MatrixResponse struct {
 
 func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
 	var req MatrixRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Analyst == "" || req.Dataset == "" || req.Epsilon <= 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "analyst, dataset and positive epsilon required"})
+		s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: "analyst, dataset and positive epsilon required"})
 		return
 	}
 	s.mu.RLock()
@@ -103,11 +106,22 @@ func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown link dataset %q", req.Dataset)})
+		s.writeError(w, r, http.StatusNotFound, apiError{Code: codeNotFound, Message: fmt.Sprintf("unknown link dataset %q", req.Dataset)})
 		return
 	}
+	v1 := isV1(r)
+	s.serveIdempotent(w, r, req.Dataset, req.Analyst, req.IdempotencyKey,
+		func(ctx context.Context) (int, []byte, bool) {
+			return s.executeLoadMatrix(ctx, v1, d, exec, &req)
+		})
+}
+
+func (s *Server) executeLoadMatrix(ctx context.Context, v1 bool, d *linkDataset, exec core.ExecOptions, req *MatrixRequest) (int, []byte, bool) {
+	if s.execHook != nil {
+		s.execHook(ctx)
+	}
 	q := core.NewQueryableFor(d.samples, d.policy.AgentFor(req.Analyst), s.src).
-		WithRecorder(s.engineRec).WithExecOptions(exec)
+		WithRecorder(s.engineRec).WithExecOptions(exec).WithContext(ctx)
 
 	linkKeys := make([]int32, d.links)
 	for i := range linkKeys {
@@ -117,6 +131,7 @@ func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
 	for i := range binKeys {
 		binKeys[i] = int32(i)
 	}
+	spentBefore := d.policy.SpentBy(req.Analyst)
 	data := make([]float64, d.bins*d.links)
 	byLink := core.Partition(q, linkKeys, func(x trace.LinkSample) int32 { return x.Link })
 	for l, lk := range linkKeys {
@@ -124,31 +139,25 @@ func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
 		for b, bk := range binKeys {
 			c, err := byBin[bk].NoisyCount(req.Epsilon)
 			if err != nil {
-				status := http.StatusBadRequest
-				outcome := "error"
-				if errors.Is(err, core.ErrBudgetExceeded) {
-					status = http.StatusForbidden
-					outcome = "refused"
-				}
+				charged := d.policy.SpentBy(req.Analyst) - spentBefore
+				outcome := auditOutcome(err)
 				s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
-					Query: "loadmatrix", Epsilon: req.Epsilon, Outcome: outcome})
-				writeJSON(w, status, errorResponse{
-					Error:     err.Error(),
-					Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
-				})
-				return
+					Query: "loadmatrix", Epsilon: req.Epsilon, Charged: charged, Outcome: outcome})
+				status, ae := classify(err, finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)), charged)
+				cacheable := !(outcome == "canceled" && charged == 0)
+				return status, marshalError(v1, ae), cacheable
 			}
 			data[b*d.links+l] = c
 		}
 	}
 	s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
 		Query: "loadmatrix", Epsilon: req.Epsilon, Charged: req.Epsilon, Outcome: "ok"})
-	writeJSON(w, http.StatusOK, MatrixResponse{
+	return http.StatusOK, marshalJSON(MatrixResponse{
 		Bins: d.bins, Links: d.links, Data: data,
 		NoiseStd:  noise.LaplaceStd(req.Epsilon),
 		Spent:     d.policy.SpentBy(req.Analyst),
 		Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
-	})
+	}), true
 }
 
 // HopAveragesRequest is the POST /query/monitoravgs body: per-monitor
@@ -158,6 +167,9 @@ type HopAveragesRequest struct {
 	Dataset string  `json:"dataset"`
 	Epsilon float64 `json:"epsilon"`
 	MaxHops float64 `json:"maxHops"`
+	// IdempotencyKey gives the extraction at-most-once ε-spend (see
+	// QueryRequest.IdempotencyKey).
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // HopAveragesResponse carries one average per monitor.
@@ -169,11 +181,11 @@ type HopAveragesResponse struct {
 
 func (s *Server) handleMonitorAverages(w http.ResponseWriter, r *http.Request) {
 	var req HopAveragesRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Analyst == "" || req.Dataset == "" || req.Epsilon <= 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "analyst, dataset and positive epsilon required"})
+		s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: "analyst, dataset and positive epsilon required"})
 		return
 	}
 	if req.MaxHops <= 0 {
@@ -187,51 +199,57 @@ func (s *Server) handleMonitorAverages(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown hop dataset %q", req.Dataset)})
+		s.writeError(w, r, http.StatusNotFound, apiError{Code: codeNotFound, Message: fmt.Sprintf("unknown hop dataset %q", req.Dataset)})
 		return
 	}
+	v1 := isV1(r)
+	s.serveIdempotent(w, r, req.Dataset, req.Analyst, req.IdempotencyKey,
+		func(ctx context.Context) (int, []byte, bool) {
+			return s.executeMonitorAverages(ctx, v1, d, exec, &req)
+		})
+}
+
+func (s *Server) executeMonitorAverages(ctx context.Context, v1 bool, d *hopDataset, exec core.ExecOptions, req *HopAveragesRequest) (int, []byte, bool) {
+	if s.execHook != nil {
+		s.execHook(ctx)
+	}
 	q := core.NewQueryableFor(d.records, d.policy.AgentFor(req.Analyst), s.src).
-		WithRecorder(s.engineRec).WithExecOptions(exec)
+		WithRecorder(s.engineRec).WithExecOptions(exec).WithContext(ctx)
 	keys := make([]int32, d.monitors)
 	for i := range keys {
 		keys[i] = int32(i)
 	}
+	spentBefore := d.policy.SpentBy(req.Analyst)
 	parts := core.Partition(q, keys, func(rec trace.HopRecord) int32 { return rec.Monitor })
 	averages := make([]float64, d.monitors)
 	for m, key := range keys {
 		avg, err := core.NoisyAverageScaled(parts[key], req.Epsilon, req.MaxHops,
 			func(rec trace.HopRecord) float64 { return float64(rec.Hops) })
 		if err != nil {
-			status := http.StatusBadRequest
-			outcome := "error"
-			if errors.Is(err, core.ErrBudgetExceeded) {
-				status = http.StatusForbidden
-				outcome = "refused"
-			}
+			charged := d.policy.SpentBy(req.Analyst) - spentBefore
+			outcome := auditOutcome(err)
 			s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
-				Query: "monitoravgs", Epsilon: req.Epsilon, Outcome: outcome})
-			writeJSON(w, status, errorResponse{
-				Error:     err.Error(),
-				Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
-			})
-			return
+				Query: "monitoravgs", Epsilon: req.Epsilon, Charged: charged, Outcome: outcome})
+			status, ae := classify(err, finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)), charged)
+			cacheable := !(outcome == "canceled" && charged == 0)
+			return status, marshalError(v1, ae), cacheable
 		}
 		averages[m] = avg
 	}
 	s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
 		Query: "monitoravgs", Epsilon: req.Epsilon, Charged: req.Epsilon, Outcome: "ok"})
-	writeJSON(w, http.StatusOK, HopAveragesResponse{
+	return http.StatusOK, marshalJSON(HopAveragesResponse{
 		Averages:  averages,
 		Spent:     d.policy.SpentBy(req.Analyst),
 		Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
-	})
+	}), true
 }
 
 // decodeJSON decodes a strict JSON body, writing a 400 on failure.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := jsonDecoder(r)
 	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: "bad request: " + err.Error()})
 		return false
 	}
 	return true

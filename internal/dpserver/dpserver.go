@@ -43,6 +43,7 @@
 package dpserver
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,6 +51,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dptrace/internal/analyses/flowstats"
@@ -74,6 +76,20 @@ type Server struct {
 	metrics   *obs.Registry
 	engineRec obs.Recorder // aggregates engine telemetry into metrics
 	traces    *obs.TraceBuffer
+
+	// Request lifecycle (see lifecycle.go).
+	limits        Limits
+	sem           chan struct{} // concurrency slots; nil = unlimited
+	lifecycleMu   sync.Mutex    // guards draining + inflight.Add atomicity
+	draining      bool
+	inflight      sync.WaitGroup
+	inflightGauge atomic.Int64
+	idem          *idemCache
+
+	// execHook, when set, runs at the top of every query execution
+	// with the request's context. Tests use it to inject latency and
+	// observe cancellation; production code leaves it nil.
+	execHook func(context.Context)
 }
 
 type dataset struct {
@@ -84,7 +100,10 @@ type dataset struct {
 
 // New creates a server drawing noise from src (pass
 // noise.NewCryptoSource() in production; tests use a seeded source).
-func New(src noise.Source) *Server {
+// Options configure the request lifecycle: WithLimits for admission
+// control and deadlines, WithIdempotencyCache for the at-most-once
+// replay cache.
+func New(src noise.Source, opts ...ServerOption) *Server {
 	s := &Server{
 		datasets: make(map[string]*dataset),
 		linkSets: make(map[string]*linkDataset),
@@ -94,6 +113,15 @@ func New(src noise.Source) *Server {
 		start:    time.Now(),
 		metrics:  obs.NewRegistry(),
 		traces:   obs.NewTraceBuffer(0),
+		idem:     newIdemCache(),
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(s)
+		}
+	}
+	if s.limits.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, s.limits.MaxConcurrent)
 	}
 	s.engineRec = obs.NewMetricsRecorder(s.metrics)
 	s.metrics.GaugeFunc("dpserver_audit_entries", func() float64 {
@@ -103,6 +131,10 @@ func New(src noise.Source) *Server {
 	// (process-wide; see core.ParallelExecutions). Reads as a counter.
 	s.metrics.GaugeFunc("dp_parallel_exec_total", func() float64 {
 		return float64(core.ParallelExecutions())
+	})
+	// Query requests currently holding a concurrency slot.
+	s.metrics.GaugeFunc("dp_inflight", func() float64 {
+		return float64(s.inflightGauge.Load())
 	})
 	return s
 }
@@ -177,25 +209,52 @@ func (s *Server) AddPacketTrace(name string, packets []trace.Packet, totalBudget
 
 // Handler returns the HTTP handler for the query API. Every endpoint
 // reports request counts and latency to the server's metrics registry.
+//
+// All endpoints are mounted under /v1/; the unversioned paths remain
+// as deprecated aliases that answer identically but add a
+// `Deprecation: true` header (and a Link to the successor). Errors on
+// /v1/ use the uniform {code, message, retryable} envelope; the
+// legacy paths keep the original {error, remaining} body. The three
+// query-executing endpoints run behind the admission-control
+// lifecycle (see lifecycle.go); read-only endpoints bypass it so
+// health checks and scrapes keep working during drains and overload.
 func (s *Server) Handler(opts ...HandlerOption) http.Handler {
 	var cfg handlerConfig
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /datasets", s.instrument("/datasets", s.handleDatasets))
-	mux.HandleFunc("GET /budget", s.instrument("/budget", s.handleBudget))
-	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
-	mux.HandleFunc("GET /audit", s.instrument("/audit", s.handleAudit))
-	mux.HandleFunc("POST /query/loadmatrix", s.instrument("/query/loadmatrix", s.handleLoadMatrix))
-	mux.HandleFunc("POST /query/monitoravgs", s.instrument("/query/monitoravgs", s.handleMonitorAverages))
-	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
-	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
-	mux.HandleFunc("GET /debug/traces", s.instrument("/debug/traces", s.handleDebugTraces))
+	reg := func(method, path string, h http.HandlerFunc, query bool) {
+		if query {
+			h = s.admit(h)
+		}
+		mux.HandleFunc(method+" /v1"+path, s.instrument("/v1"+path, h))
+		mux.HandleFunc(method+" "+path, s.instrument(path, deprecated(path, h)))
+	}
+	reg("GET", "/datasets", s.handleDatasets, false)
+	reg("GET", "/budget", s.handleBudget, false)
+	reg("POST", "/query", s.handleQuery, true)
+	reg("GET", "/audit", s.handleAudit, false)
+	reg("POST", "/query/loadmatrix", s.handleLoadMatrix, true)
+	reg("POST", "/query/monitoravgs", s.handleMonitorAverages, true)
+	reg("GET", "/metrics", s.handleMetrics, false)
+	reg("GET", "/healthz", s.handleHealthz, false)
+	reg("GET", "/debug/traces", s.handleDebugTraces, false)
 	if cfg.pprof {
 		attachPprof(mux)
 	}
 	return mux
+}
+
+// deprecated marks a legacy (unversioned) mount: responses carry a
+// Deprecation header plus a pointer at the /v1 successor, per RFC
+// 9745's deprecation-signaling convention.
+func deprecated(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1`+path+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // Filter restricts the packets a query sees. Zero-valued fields are
@@ -241,6 +300,10 @@ type QueryRequest struct {
 	// Trace asks the server to return the executed pipeline as a span
 	// tree in the response (operational metadata only, no record data).
 	Trace bool `json:"trace,omitempty"`
+	// IdempotencyKey, when set, makes the query at-most-once per
+	// dataset/analyst: the first execution's response is stored and
+	// replayed byte-identically on retries instead of re-charging ε.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // QueryResponse is the success body.
@@ -343,12 +406,12 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("dataset")
 	analyst := r.URL.Query().Get("analyst")
 	if name == "" || analyst == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "dataset and analyst are required"})
+		s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: "dataset and analyst are required"})
 		return
 	}
 	d, ok := s.lookup(name)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		s.writeError(w, r, http.StatusNotFound, apiError{Code: codeNotFound, Message: fmt.Sprintf("unknown dataset %q", name)})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]float64{
@@ -383,23 +446,38 @@ func jsonDecoder(r *http.Request) *json.Decoder {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := jsonDecoder(r).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: "bad request: " + err.Error()})
 		return
 	}
 	if req.Analyst == "" || req.Dataset == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "analyst and dataset are required"})
+		s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: "analyst and dataset are required"})
 		return
 	}
 	if req.Epsilon <= 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "epsilon must be positive"})
+		s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: "epsilon must be positive"})
 		return
 	}
 	d, ok := s.lookup(req.Dataset)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", req.Dataset)})
+		s.writeError(w, r, http.StatusNotFound, apiError{Code: codeNotFound, Message: fmt.Sprintf("unknown dataset %q", req.Dataset)})
 		return
 	}
+	v1 := isV1(r)
+	s.serveIdempotent(w, r, req.Dataset, req.Analyst, req.IdempotencyKey,
+		func(ctx context.Context) (int, []byte, bool) {
+			return s.executeQuery(ctx, v1, d, &req)
+		})
+}
 
+// executeQuery runs one packet-trace query to completion under ctx,
+// returning the response status, its marshaled body, and whether the
+// outcome may be replayed for an idempotency key. The one
+// non-replayable outcome is a cancellation that charged nothing: a
+// retry should execute, not be handed back its own timeout.
+func (s *Server) executeQuery(ctx context.Context, v1 bool, d *dataset, req *QueryRequest) (int, []byte, bool) {
+	if s.execHook != nil {
+		s.execHook(ctx)
+	}
 	// Every query executes under a trace recorder (feeding the
 	// /debug/traces ring) plus the server's metrics recorder.
 	tr := obs.NewTraceRecorder("query:" + req.Query)
@@ -408,7 +486,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	rec := obs.Multi(s.engineRec, tr)
 
 	q := core.NewQueryableFor(d.packets, d.policy.AgentFor(req.Analyst), s.src).
-		WithRecorder(rec).WithExecOptions(s.execFor(d))
+		WithRecorder(rec).WithExecOptions(s.execFor(d)).WithContext(ctx)
 	filtered := core.WhereRecorded(q, func(p trace.Packet) bool { return req.Filter.match(&p) })
 
 	spentBefore := d.policy.SpentBy(req.Analyst)
@@ -416,22 +494,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Analyst: req.Analyst, Dataset: req.Dataset,
 		Query: req.Query, Epsilon: req.Epsilon,
 	}
-	resp, err := runQuery(filtered, &req)
+	resp, err := runQuery(filtered, req)
 	if err != nil {
-		status := http.StatusBadRequest
-		entry.Outcome = "error"
-		if errors.Is(err, core.ErrBudgetExceeded) {
-			status = http.StatusForbidden
-			entry.Outcome = "refused"
-		}
+		charged := d.policy.SpentBy(req.Analyst) - spentBefore
+		entry.Outcome = auditOutcome(err)
+		entry.Charged = charged
 		s.audit.add(entry)
 		tr.SetLabel("outcome", entry.Outcome)
 		s.traces.Add(tr.Finish())
-		writeJSON(w, status, errorResponse{
-			Error:     err.Error(),
-			Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
-		})
-		return
+		status, ae := classify(err, finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)), charged)
+		cacheable := !(entry.Outcome == "canceled" && charged == 0)
+		return status, marshalError(v1, ae), cacheable
 	}
 	resp.Spent = d.policy.SpentBy(req.Analyst)
 	resp.Remaining = finiteOrUnlimited(d.policy.RemainingFor(req.Analyst))
@@ -444,7 +517,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Trace {
 		resp.Trace = span
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, marshalJSON(resp), true
+}
+
+// marshalJSON renders a success body exactly as writeJSON would,
+// with the trailing newline json.Encoder emits.
+func marshalJSON(v any) []byte {
+	b, _ := json.Marshal(v)
+	return append(b, '\n')
 }
 
 func runQuery(filtered *core.Queryable[trace.Packet], req *QueryRequest) (*QueryResponse, error) {

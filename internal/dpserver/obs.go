@@ -109,7 +109,7 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	if nStr := r.URL.Query().Get("n"); nStr != "" {
 		n, err := strconv.Atoi(nStr)
 		if err != nil || n < 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "n must be a non-negative integer"})
+			s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: "n must be a non-negative integer"})
 			return
 		}
 		if n < len(spans) {

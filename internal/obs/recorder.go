@@ -37,7 +37,7 @@ const (
 // exists for callers that want an explicit value.
 type NopRecorder struct{}
 
-func (NopRecorder) OpDone(string, time.Duration, int, int)     {}
+func (NopRecorder) OpDone(string, time.Duration, int, int)         {}
 func (NopRecorder) AggDone(string, string, float64, time.Duration) {}
 
 // MetricsRecorder aggregates engine telemetry into a Registry:
