@@ -10,12 +10,14 @@ build:
 test:
 	go test ./...
 
-# Engine benchmarks, parsed into BENCH_core.json (cmd/benchjson) so
-# every PR leaves a perf trajectory. Sequential and Parallel variants
-# of each operator land side by side; run with e.g.
+# Engine + ledger benchmarks, parsed into BENCH_core.json
+# (cmd/benchjson) so every PR leaves a perf trajectory. Sequential and
+# Parallel variants of each operator land side by side, as do the
+# ledger's fsync=never vs fsync=always append costs (the price of
+# durable ε-accounting); run with e.g.
 # `make bench BENCHFLAGS='-cpu 1,4'` to add scaling points.
 bench:
-	go test -bench=. -benchmem -count=5 $(BENCHFLAGS) ./internal/core/... | go run ./cmd/benchjson > BENCH_core.json
+	go test -bench=. -benchmem -count=5 $(BENCHFLAGS) ./internal/core/... ./internal/ledger/... | go run ./cmd/benchjson > BENCH_core.json
 	@echo "wrote BENCH_core.json"
 
 # The original whole-repo benchmark sweep.

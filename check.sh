@@ -10,3 +10,6 @@ test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test -race -shuffle=on -timeout 10m ./...
+# Short fuzz smoke over the ledger's WAL record decoder: the recovery
+# path must classify arbitrary bytes without ever panicking.
+go test -run=. -fuzz=FuzzLedgerDecode -fuzztime=5s ./internal/ledger

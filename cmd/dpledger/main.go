@@ -1,0 +1,123 @@
+// Command dpledger operates on a durable privacy-budget ledger
+// directory (see internal/ledger and dpserver -ledger-dir):
+//
+//	dpledger verify  -dir /var/lib/dpserver/ledger
+//	dpledger inspect -dir /var/lib/dpserver/ledger [-events]
+//	dpledger compact -dir /var/lib/dpserver/ledger
+//
+// verify replays the full history read-only and reports whether it is
+// clean, ends in a torn (crash-truncated) tail, or is corrupt; it
+// exits 1 on corruption so it can gate a supervised restart. inspect
+// prints the recovered budget state as JSON (-events additionally
+// dumps every WAL record as JSON lines). compact opens the ledger,
+// writes a fresh snapshot, and deletes the WAL segments and snapshots
+// it supersedes. Only run compact while no dpserver has the ledger
+// open — the ledger assumes a single writer.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dptrace/internal/ledger"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet("dpledger "+cmd, flag.ExitOnError)
+	dir := fs.String("dir", "", "ledger directory")
+	events := fs.Bool("events", false, "inspect: also dump every WAL event as JSON lines")
+	auditCap := fs.Int("audit-cap", 0, "audit-trail bound during replay (0 = server default)")
+	fs.Parse(os.Args[2:])
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "dpledger: -dir is required")
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "verify":
+		verify(*dir, *auditCap)
+	case "inspect":
+		inspect(*dir, *auditCap, *events)
+	case "compact":
+		compact(*dir, *auditCap)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dpledger {verify|inspect|compact} -dir <ledger-dir> [-events]")
+	os.Exit(2)
+}
+
+func verify(dir string, auditCap int) {
+	state, rec, err := ledger.Replay(dir, auditCap)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpledger: CORRUPT: %v\n", err)
+		fmt.Fprintf(os.Stderr, "dpledger: replayed through seq %d before failing; a dpserver on this ledger will refuse all charges (fail closed)\n", state.Seq)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: seq %d (snapshot %d + %d WAL events across %d segments) in %v\n",
+		state.Seq, rec.SnapshotSeq, rec.Events, rec.Segments, rec.Duration)
+	if rec.TornBytes > 0 {
+		fmt.Printf("torn tail: %d bytes of an unfinished final record (a crash mid-append; the next dpserver open truncates it)\n", rec.TornBytes)
+	}
+	for _, name := range state.DatasetNames() {
+		ds := state.Datasets[name]
+		fmt.Printf("dataset %s (%s): total spent %.6g of %g, %d analyst(s)\n",
+			name, ds.Kind, ds.TotalSpent, ledger.DecodeBudget(ds.Total), len(ds.Spent))
+	}
+}
+
+func inspect(dir string, auditCap int, dumpEvents bool) {
+	state, _, err := ledger.Replay(dir, auditCap)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpledger: warning: history corrupt after seq %d: %v\n", state.Seq, err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(state); err != nil {
+		fatal(err)
+	}
+	if !dumpEvents {
+		return
+	}
+	line := json.NewEncoder(os.Stdout)
+	if err := ledger.Events(dir, func(ev ledger.Event) error {
+		return line.Encode(ev)
+	}); err != nil {
+		fatal(err)
+	}
+}
+
+func compact(dir string, auditCap int) {
+	led, err := ledger.Open(ledger.Options{
+		Dir: dir, AuditCap: auditCap,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer led.Close()
+	if rec := led.Recovery(); rec.Err != nil {
+		fmt.Fprintf(os.Stderr, "dpledger: refusing to compact corrupt history: %v\n", rec.Err)
+		os.Exit(1)
+	}
+	if err := led.Snapshot(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compacted through seq %d\n", led.State().Seq)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dpledger: %v\n", err)
+	os.Exit(1)
+}

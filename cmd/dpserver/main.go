@@ -11,6 +11,15 @@
 // Multiple -trace flags host multiple datasets. Noise is drawn from
 // crypto/rand unless -seed is given (for reproducible demos only).
 //
+// -ledger-dir enables the durable privacy-budget ledger: every
+// acknowledged ε-charge, dataset registration, audit entry, and keyed
+// idempotent response is journaled to a checksummed WAL (fsync policy
+// -fsync always|interval|never, snapshots + compaction every
+// -snapshot-every events) and restored on restart, so a crash never
+// resets analyst budgets. Without it, budgets are in-memory only and a
+// restart re-opens the full budget. Inspect a ledger directory with
+// the dpledger tool (inspect / verify / compact).
+//
 // The API is mounted under /v1/ (legacy unversioned paths remain as
 // deprecated aliases). Admission control: -max-concurrent bounds
 // concurrently executing queries, with -queue-wait of patience before
@@ -39,6 +48,7 @@ import (
 
 	"dptrace/internal/core"
 	"dptrace/internal/dpserver"
+	"dptrace/internal/ledger"
 	"dptrace/internal/noise"
 	"dptrace/internal/trace"
 )
@@ -66,6 +76,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested X-DP-Timeout-Ms deadlines (0 = default only)")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "how long shutdown waits for in-flight queries to drain")
+	ledgerDir := flag.String("ledger-dir", "", "directory for the durable privacy-budget ledger (empty = in-memory budgets, lost on restart)")
+	fsyncPolicy := flag.String("fsync", "always", "ledger durability: always (sync every charge), interval, or never")
+	snapshotEvery := flag.Int("snapshot-every", 0, "ledger events between snapshots + compaction (0 = default 4096, negative = never)")
 	flag.Parse()
 
 	if len(traces) == 0 {
@@ -79,12 +92,44 @@ func main() {
 	} else {
 		src = noise.NewSeededSource(*seed, *seed+1)
 	}
-	srv := dpserver.New(src, dpserver.WithLimits(dpserver.Limits{
+	opts := []dpserver.ServerOption{dpserver.WithLimits(dpserver.Limits{
 		MaxConcurrent:  *maxConcurrent,
 		QueueWait:      *queueWait,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
-	}))
+	})}
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		policy, err := ledger.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		led, err = ledger.Open(ledger.Options{
+			Dir:           *ledgerDir,
+			Fsync:         policy,
+			SnapshotEvery: *snapshotEvery,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer led.Close()
+		rec := led.Recovery()
+		if rec.Err != nil {
+			fmt.Fprintf(os.Stderr, "dpserver: LEDGER CORRUPT, all charges will be refused (fail closed): %v\n", rec.Err)
+			fmt.Fprintf(os.Stderr, "dpserver: inspect with: dpledger verify -dir %s\n", *ledgerDir)
+		} else {
+			fmt.Printf("ledger %s: recovered snapshot seq %d + %d events (fsync=%s)\n",
+				*ledgerDir, rec.SnapshotSeq, rec.Events, *fsyncPolicy)
+			if rec.TornBytes > 0 {
+				fmt.Printf("ledger: truncated %d-byte torn tail from an unclean shutdown\n", rec.TornBytes)
+			}
+		}
+		opts = append(opts, dpserver.WithLedger(led))
+	}
+	srv := dpserver.New(src, opts...)
 
 	for _, spec := range traces {
 		name, path, ok := strings.Cut(spec, "=")
@@ -120,13 +165,13 @@ func main() {
 		fmt.Printf("admission control: %d concurrent queries, %v queue wait\n", *maxConcurrent, *queueWait)
 	}
 
-	var opts []dpserver.HandlerOption
+	var hopts []dpserver.HandlerOption
 	if *pprofFlag {
-		opts = append(opts, dpserver.WithPprof())
+		hopts = append(hopts, dpserver.WithPprof())
 		fmt.Println("pprof enabled at /debug/pprof/")
 	}
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler(opts...)}
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler(hopts...)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("listening on %s (v1 API at /v1/, metrics at /v1/metrics, health at /v1/healthz)\n", *listen)

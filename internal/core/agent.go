@@ -36,6 +36,29 @@ var ErrBudgetExceeded = errors.New("core: privacy budget exceeded")
 // ErrInvalidEpsilon is returned for non-positive or non-finite ε.
 var ErrInvalidEpsilon = errors.New("core: epsilon must be positive and finite")
 
+// ErrJournal is returned (wrapped) when a RootAgent's spend journal
+// refuses an append: the charge is NOT applied. Durability gates
+// acknowledgement — a spend that could not be made durable must not
+// happen, or a crash would silently re-open the budget.
+var ErrJournal = errors.New("core: spend journal append failed")
+
+// A SpendJournal durably records budget movements. RootAgent calls
+// JournalSpend BEFORE acknowledging a charge (an error refuses the
+// charge) and JournalRollback when a previously-acked charge is undone
+// by an atomic multi-parent spend. Implementations are called with the
+// agent's lock held and must not call back into the agent.
+type SpendJournal interface {
+	JournalSpend(epsilon float64) error
+	JournalRollback(epsilon float64)
+}
+
+// budgetSlack is the ε-comparison tolerance in Apply: ten charges of
+// 0.1 against a budget of 1.0 sum to 0.9999999999999999 in float64,
+// and a replayed ledger must land on the exact same refusal boundary
+// as the live run, so the boundary itself tolerates accumulation
+// error well below any real ε.
+const budgetSlack = 1e-9
+
 // An Agent authorizes privacy expenditures. Implementations are safe
 // for concurrent use.
 type Agent interface {
@@ -50,9 +73,10 @@ type Agent interface {
 
 // RootAgent owns the total privacy budget of one protected dataset.
 type RootAgent struct {
-	mu     sync.Mutex
-	budget float64 // total allowance; may be +Inf
-	spent  float64
+	mu      sync.Mutex
+	budget  float64 // total allowance; may be +Inf
+	spent   float64
+	journal SpendJournal // optional; see SetJournal
 }
 
 // NewRootAgent returns an agent with the given total budget. Pass
@@ -64,15 +88,41 @@ func NewRootAgent(budget float64) *RootAgent {
 	return &RootAgent{budget: budget}
 }
 
-// Apply implements Agent.
+// SetJournal installs a spend journal: every subsequent successful
+// Apply is journaled before it returns, and a journal error refuses
+// the charge. Install journals at setup time, before the agent serves
+// concurrent spends.
+func (a *RootAgent) SetJournal(j SpendJournal) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.journal = j
+}
+
+// restoreSpent force-sets the cumulative spend — the crash-recovery
+// path, which replays a journal rather than re-charging through Apply.
+// It bypasses both the budget check and the journal.
+func (a *RootAgent) restoreSpent(spent float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent = spent
+}
+
+// Apply implements Agent. When a journal is installed, the spend is
+// journaled before it is acknowledged: a journal failure refuses the
+// charge, so an acked charge is never lost to a crash.
 func (a *RootAgent) Apply(epsilon float64) error {
 	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
 		return ErrInvalidEpsilon
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.spent+epsilon > a.budget+1e-12 {
+	if a.spent+epsilon > a.budget+budgetSlack {
 		return fmt.Errorf("%w: requested %v, remaining %v", ErrBudgetExceeded, epsilon, a.budget-a.spent)
+	}
+	if a.journal != nil {
+		if err := a.journal.JournalSpend(epsilon); err != nil {
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
 	}
 	a.spent += epsilon
 	return nil
@@ -82,6 +132,9 @@ func (a *RootAgent) Apply(epsilon float64) error {
 func (a *RootAgent) Rollback(epsilon float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.journal != nil {
+		a.journal.JournalRollback(epsilon)
+	}
 	a.spent -= epsilon
 	if a.spent < 0 {
 		a.spent = 0
@@ -95,11 +148,17 @@ func (a *RootAgent) Spent() float64 {
 	return a.spent
 }
 
-// Remaining reports the unspent budget.
+// Remaining reports the unspent budget, clamped at zero: float
+// accumulation error can leave spent a few ulps past budget (Apply
+// tolerates budgetSlack of overshoot), and "-1.1e-16 remaining" is a
+// confusing owner-facing number for an exhausted ledger.
 func (a *RootAgent) Remaining() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.budget - a.spent
+	if r := a.budget - a.spent; r > 0 {
+		return r
+	}
+	return 0
 }
 
 // Budget reports the total budget the agent was created with.

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// recordingJournal captures journaled spends and can be told to fail.
+type recordingJournal struct {
+	spends    []float64
+	rollbacks []float64
+	fail      error
+}
+
+func (j *recordingJournal) JournalSpend(epsilon float64) error {
+	if j.fail != nil {
+		return j.fail
+	}
+	j.spends = append(j.spends, epsilon)
+	return nil
+}
+
+func (j *recordingJournal) JournalRollback(epsilon float64) {
+	j.rollbacks = append(j.rollbacks, epsilon)
+}
+
+func TestJournalBeforeAck(t *testing.T) {
+	j := &recordingJournal{}
+	a := NewRootAgent(1.0)
+	a.SetJournal(j)
+	if err := a.Apply(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.spends) != 1 || j.spends[0] != 0.3 {
+		t.Fatalf("journal saw %v, want [0.3]", j.spends)
+	}
+	a.Rollback(0.3)
+	if len(j.rollbacks) != 1 || j.rollbacks[0] != 0.3 {
+		t.Fatalf("journal saw rollbacks %v, want [0.3]", j.rollbacks)
+	}
+	if got := a.Spent(); got != 0 {
+		t.Fatalf("spent %v after rollback, want 0", got)
+	}
+}
+
+func TestJournalErrorRefusesCharge(t *testing.T) {
+	j := &recordingJournal{fail: errors.New("disk full")}
+	a := NewRootAgent(1.0)
+	a.SetJournal(j)
+	err := a.Apply(0.3)
+	if !errors.Is(err, ErrJournal) {
+		t.Fatalf("Apply with failing journal: %v, want ErrJournal", err)
+	}
+	if got := a.Spent(); got != 0 {
+		t.Fatalf("refused charge still consumed %v of budget", got)
+	}
+	// A budget-exceeded spend must be refused BEFORE it reaches the
+	// journal — refusals consume nothing and need no durability.
+	j2 := &recordingJournal{}
+	a2 := NewRootAgent(0.1)
+	a2.SetJournal(j2)
+	if err := a2.Apply(0.5); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	if len(j2.spends) != 0 {
+		t.Fatalf("refused charge was journaled: %v", j2.spends)
+	}
+}
+
+// TestTenTenthsExhaustExactly is the satellite-1 regression: ten
+// charges of 0.1 against a budget of 1.0 sum to 0.9999999999999999 in
+// float64. The slack in Apply's comparison admits all ten, an 11th is
+// refused, and Remaining never reports a negative sliver.
+func TestTenTenthsExhaustExactly(t *testing.T) {
+	a := NewRootAgent(1.0)
+	for i := 0; i < 10; i++ {
+		if err := a.Apply(0.1); err != nil {
+			t.Fatalf("charge %d of 0.1 against 1.0: %v", i+1, err)
+		}
+	}
+	if err := a.Apply(0.1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("11th charge: %v, want ErrBudgetExceeded", err)
+	}
+	if rem := a.Remaining(); rem < 0 {
+		t.Fatalf("Remaining() = %v, want clamped at 0", rem)
+	}
+	// Float accumulation leaves spent slightly under 1.0; Remaining
+	// must not leak that sliver as spendable either — a sliver-sized
+	// Apply is still refused above, and the reported value is tiny.
+	if rem := a.Remaining(); rem > budgetSlack {
+		t.Fatalf("Remaining() = %v, want ≤ %v", rem, budgetSlack)
+	}
+}
+
+// TestReplayLandsOnSameRefusalBoundary mirrors crash recovery: journal
+// the live per-analyst charges in order, then restore a fresh policy
+// from the journal and verify it sits at the bit-identical boundary —
+// same Spent, same refusals, same remaining headroom.
+func TestReplayLandsOnSameRefusalBoundary(t *testing.T) {
+	live := NewAnalystPolicy(10, 1.0)
+	var journal []float64 // in event order, as the ledger would hold
+	var total float64
+	live.SetSpendJournal(
+		func(analyst string, epsilon float64) error {
+			journal = append(journal, epsilon)
+			total += epsilon
+			return nil
+		},
+		func(analyst string, epsilon float64) {
+			journal = append(journal, -epsilon)
+			total -= epsilon
+		},
+	)
+	agent := live.AgentFor("alice")
+	for i := 0; i < 10; i++ {
+		if err := agent.Apply(0.1); err != nil {
+			t.Fatalf("live charge %d: %v", i+1, err)
+		}
+	}
+	if err := agent.Apply(0.1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("live 11th charge: %v, want ErrBudgetExceeded", err)
+	}
+
+	// Replay: fold the journal in order, exactly as ledger.State does.
+	var aliceSpent float64
+	for _, e := range journal {
+		aliceSpent += e
+	}
+	restored := NewAnalystPolicy(10, 1.0)
+	restored.RestoreSpent(map[string]float64{"alice": aliceSpent}, total)
+
+	if got, want := restored.SpentBy("alice"), live.SpentBy("alice"); got != want {
+		t.Fatalf("replayed Spent %v, live %v — not bit-identical", got, want)
+	}
+	if got, want := restored.TotalSpent(), live.TotalSpent(); got != want {
+		t.Fatalf("replayed TotalSpent %v, live %v", got, want)
+	}
+	if err := restored.AgentFor("alice").Apply(0.1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("replayed policy accepted a charge the live one refused: %v", err)
+	}
+	if got, want := restored.RemainingFor("alice"), live.RemainingFor("alice"); got != want {
+		t.Fatalf("replayed Remaining %v, live %v", got, want)
+	}
+	if rem := restored.RemainingFor("alice"); rem < 0 {
+		t.Fatalf("replayed Remaining %v, want clamped at 0", rem)
+	}
+}
+
+func TestRemainingClampsAtZero(t *testing.T) {
+	// restoreSpent can legitimately overshoot the budget: a rollback
+	// journal append that failed leaves the ledger over-counting (the
+	// safe direction). Remaining must clamp rather than go negative.
+	a := NewRootAgent(1.0)
+	a.restoreSpent(1.5)
+	if got := a.Remaining(); got != 0 {
+		t.Fatalf("Remaining() = %v, want 0", got)
+	}
+	if !math.IsInf(NewRootAgent(math.Inf(1)).Remaining(), 1) {
+		t.Fatal("unlimited budget must report +Inf remaining")
+	}
+}
+
+// TestPolicyJournalSeesDualCharges: a per-analyst charge moves both
+// the analyst root and the shared total; only the analyst root is
+// journaled (the total is reconstructed as the in-order event sum),
+// so a dual-agent refusal must journal nothing.
+func TestPolicyJournalSeesDualCharges(t *testing.T) {
+	p := NewAnalystPolicy(0.5, 1.0) // shared total is the binding cap
+	var events int
+	p.SetSpendJournal(
+		func(analyst string, epsilon float64) error { events++; return nil },
+		func(analyst string, epsilon float64) { events++ },
+	)
+	if err := p.AgentFor("alice").Apply(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if events != 1 {
+		t.Fatalf("successful charge journaled %d events, want 1", events)
+	}
+	// bob has per-analyst headroom but the shared total refuses; the
+	// already-journaled analyst-side spend must be rolled back so the
+	// replayed ledger never counts a charge that was not acked.
+	if err := p.AgentFor("bob").Apply(0.4); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	if got := p.SpentBy("bob"); got != 0 {
+		t.Fatalf("refused dual charge left bob at %v", got)
+	}
+}

@@ -38,6 +38,10 @@ type AnalystPolicy struct {
 	total      *RootAgent
 	perAnalyst float64
 	analysts   map[string]*RootAgent
+
+	// Per-analyst spend journal (see SetSpendJournal); nil = none.
+	journalSpend    func(analyst string, epsilon float64) error
+	journalRollback func(analyst string, epsilon float64)
 }
 
 // NewAnalystPolicy creates a policy with the given bounds. Either may
@@ -63,9 +67,63 @@ func (p *AnalystPolicy) analystRoot(analyst string) *RootAgent {
 	root, ok := p.analysts[analyst]
 	if !ok {
 		root = NewRootAgent(p.perAnalyst)
+		if p.journalSpend != nil {
+			root.SetJournal(analystJournal{analyst: analyst, policy: p})
+		}
 		p.analysts[analyst] = root
 	}
 	return root
+}
+
+// SetSpendJournal installs a durable spend journal on the policy:
+// every analyst's acknowledged charge first passes through spend (an
+// error refuses the charge), and rollbacks of acked charges pass
+// through rollback. Charges are journaled at the per-analyst agent —
+// the shared total is the in-order sum of per-analyst movements, so a
+// replayed journal reconstructs both ledgers exactly. Install before
+// the policy serves queries; it applies to existing and future
+// analysts.
+func (p *AnalystPolicy) SetSpendJournal(
+	spend func(analyst string, epsilon float64) error,
+	rollback func(analyst string, epsilon float64),
+) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.journalSpend = spend
+	p.journalRollback = rollback
+	for analyst, root := range p.analysts {
+		root.SetJournal(analystJournal{analyst: analyst, policy: p})
+	}
+}
+
+// RestoreSpent force-sets recovered cumulative spends — the
+// crash-recovery path, bypassing budget checks and journaling.
+// perAnalyst maps analyst name to recovered spend; total is the shared
+// budget's recovered in-order sum (NOT recomputed from the map, whose
+// iteration order would change the float accumulation).
+func (p *AnalystPolicy) RestoreSpent(perAnalyst map[string]float64, total float64) {
+	for analyst, spent := range perAnalyst {
+		p.analystRoot(analyst).restoreSpent(spent)
+	}
+	p.total.restoreSpent(total)
+}
+
+// analystJournal adapts the policy's journal funcs to one analyst's
+// SpendJournal. The funcs are read without the policy lock: they are
+// fixed before serving begins (SetSpendJournal contract).
+type analystJournal struct {
+	analyst string
+	policy  *AnalystPolicy
+}
+
+func (j analystJournal) JournalSpend(epsilon float64) error {
+	return j.policy.journalSpend(j.analyst, epsilon)
+}
+
+func (j analystJournal) JournalRollback(epsilon float64) {
+	if j.policy.journalRollback != nil {
+		j.policy.journalRollback(j.analyst, epsilon)
+	}
 }
 
 // SpentBy reports one analyst's cumulative privacy cost.

@@ -60,6 +60,17 @@ func (l *auditLog) add(e AuditEntry) {
 	l.entries = append(l.entries, e)
 }
 
+// restore replaces the trail with ledger-recovered entries (startup
+// only), keeping at most the newest max.
+func (l *auditLog) restore(entries []AuditEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(entries) > l.max {
+		entries = entries[len(entries)-l.max:]
+	}
+	l.entries = append([]AuditEntry(nil), entries...)
+}
+
 func (l *auditLog) snapshot() []AuditEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()

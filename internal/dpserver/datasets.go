@@ -45,6 +45,9 @@ func (s *Server) AddLinkTrace(name string, samples []trace.LinkSample, links, bi
 		samples: samples, links: links, bins: bins,
 		policy: core.NewAnalystPolicy(totalBudget, perAnalystBudget),
 	}
+	if err := s.registerDataset(name, kindLink, d.policy, totalBudget, perAnalystBudget); err != nil {
+		return err
+	}
 	s.linkSets[name] = d
 	d.policy.RegisterGauges(s.metrics, "dataset", name)
 	return nil
@@ -61,6 +64,9 @@ func (s *Server) AddHopTrace(name string, records []trace.HopRecord, monitors in
 	d := &hopDataset{
 		records: records, monitors: monitors,
 		policy: core.NewAnalystPolicy(totalBudget, perAnalystBudget),
+	}
+	if err := s.registerDataset(name, kindHop, d.policy, totalBudget, perAnalystBudget); err != nil {
+		return err
 	}
 	s.hopSets[name] = d
 	d.policy.RegisterGauges(s.metrics, "dataset", name)
@@ -141,7 +147,7 @@ func (s *Server) executeLoadMatrix(ctx context.Context, v1 bool, d *linkDataset,
 			if err != nil {
 				charged := d.policy.SpentBy(req.Analyst) - spentBefore
 				outcome := auditOutcome(err)
-				s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
+				s.recordAudit(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
 					Query: "loadmatrix", Epsilon: req.Epsilon, Charged: charged, Outcome: outcome})
 				status, ae := classify(err, finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)), charged)
 				cacheable := !(outcome == "canceled" && charged == 0)
@@ -150,7 +156,7 @@ func (s *Server) executeLoadMatrix(ctx context.Context, v1 bool, d *linkDataset,
 			data[b*d.links+l] = c
 		}
 	}
-	s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
+	s.recordAudit(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
 		Query: "loadmatrix", Epsilon: req.Epsilon, Charged: req.Epsilon, Outcome: "ok"})
 	return http.StatusOK, marshalJSON(MatrixResponse{
 		Bins: d.bins, Links: d.links, Data: data,
@@ -228,7 +234,7 @@ func (s *Server) executeMonitorAverages(ctx context.Context, v1 bool, d *hopData
 		if err != nil {
 			charged := d.policy.SpentBy(req.Analyst) - spentBefore
 			outcome := auditOutcome(err)
-			s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
+			s.recordAudit(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
 				Query: "monitoravgs", Epsilon: req.Epsilon, Charged: charged, Outcome: outcome})
 			status, ae := classify(err, finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)), charged)
 			cacheable := !(outcome == "canceled" && charged == 0)
@@ -236,7 +242,7 @@ func (s *Server) executeMonitorAverages(ctx context.Context, v1 bool, d *hopData
 		}
 		averages[m] = avg
 	}
-	s.audit.add(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
+	s.recordAudit(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
 		Query: "monitoravgs", Epsilon: req.Epsilon, Charged: req.Epsilon, Outcome: "ok"})
 	return http.StatusOK, marshalJSON(HopAveragesResponse{
 		Averages:  averages,

@@ -57,6 +57,7 @@ import (
 	"dptrace/internal/analyses/flowstats"
 	"dptrace/internal/analyses/packetdist"
 	"dptrace/internal/core"
+	"dptrace/internal/ledger"
 	"dptrace/internal/noise"
 	"dptrace/internal/obs"
 	"dptrace/internal/toolkit"
@@ -71,6 +72,11 @@ type Server struct {
 	hopSets  map[string]*hopDataset
 	src      noise.Source
 	audit    *auditLog
+
+	// ledger, when attached (WithLedger), makes budget state durable:
+	// charges are journaled before acknowledgement and replayed on
+	// restart (see persist.go). Nil keeps in-memory-only behavior.
+	ledger *ledger.Ledger
 
 	start     time.Time
 	metrics   *obs.Registry
@@ -119,6 +125,9 @@ func New(src noise.Source, opts ...ServerOption) *Server {
 		if opt != nil {
 			opt(s)
 		}
+	}
+	if s.ledger != nil {
+		s.restoreFromLedger()
 	}
 	if s.limits.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, s.limits.MaxConcurrent)
@@ -201,6 +210,9 @@ func (s *Server) AddPacketTrace(name string, packets []trace.Packet, totalBudget
 	d := &dataset{
 		packets: packets,
 		policy:  core.NewAnalystPolicy(totalBudget, perAnalystBudget),
+	}
+	if err := s.registerDataset(name, kindPacket, d.policy, totalBudget, perAnalystBudget); err != nil {
+		return err
 	}
 	s.datasets[name] = d
 	d.policy.RegisterGauges(s.metrics, "dataset", name)
@@ -499,7 +511,7 @@ func (s *Server) executeQuery(ctx context.Context, v1 bool, d *dataset, req *Que
 		charged := d.policy.SpentBy(req.Analyst) - spentBefore
 		entry.Outcome = auditOutcome(err)
 		entry.Charged = charged
-		s.audit.add(entry)
+		s.recordAudit(entry)
 		tr.SetLabel("outcome", entry.Outcome)
 		s.traces.Add(tr.Finish())
 		status, ae := classify(err, finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)), charged)
@@ -510,7 +522,7 @@ func (s *Server) executeQuery(ctx context.Context, v1 bool, d *dataset, req *Que
 	resp.Remaining = finiteOrUnlimited(d.policy.RemainingFor(req.Analyst))
 	entry.Outcome = "ok"
 	entry.Charged = resp.Spent - spentBefore
-	s.audit.add(entry)
+	s.recordAudit(entry)
 	tr.SetLabel("outcome", entry.Outcome)
 	span := tr.Finish()
 	s.traces.Add(span)

@@ -99,6 +99,7 @@ const (
 	codeDeadlineExceeded = "deadline_exceeded"
 	codeOverloaded       = "overloaded"
 	codeShuttingDown     = "shutting_down"
+	codeLedgerRefused    = "ledger_refused"
 )
 
 // apiError is the uniform v1 error envelope: a stable code, a human
@@ -153,6 +154,13 @@ func classify(err error, remaining, charged float64) (int, apiError) {
 	case errors.Is(err, core.ErrBudgetExceeded):
 		e.Code = codeBudgetExhausted
 		return http.StatusForbidden, e
+	case errors.Is(err, core.ErrJournal):
+		// The durable ledger refused to journal the spend, so the
+		// charge was refused (fail closed). Transient causes (disk
+		// pressure) may clear; a frozen ledger will not.
+		e.Code = codeLedgerRefused
+		e.Retryable = true
+		return http.StatusServiceUnavailable, e
 	case errors.Is(err, context.DeadlineExceeded):
 		e.Code = codeDeadlineExceeded
 		// Nothing (or only a reported partial charge) was spent; the
@@ -409,6 +417,23 @@ func (c *idemCache) evictLocked() {
 	}
 }
 
+// restore pre-populates one completed entry — the startup path that
+// replays ledger-persisted responses, so a keyed request retried
+// across a server restart gets its stored bytes without re-charging ε.
+func (c *idemCache) restore(k idemKey, status int, body []byte, expires time.Time) {
+	e := &idemEntry{done: make(chan struct{}), status: status, body: body,
+		cached: true, expires: expires}
+	close(e.done)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		return
+	}
+	c.entries[k] = e
+	c.order = append(c.order, idemRef{k, e})
+	c.evictLocked()
+}
+
 // finish records the leader's outcome. cacheable=false drops the
 // entry (a retry should re-execute — used when the execution was
 // cancelled before charging anything); either way waiters wake.
@@ -446,6 +471,9 @@ func (s *Server) serveIdempotent(w http.ResponseWriter, r *http.Request, dataset
 			s.metrics.Counter("dp_idem_misses_total").Inc()
 			status, body, cacheable := exec(ctx)
 			s.idem.finish(k, e, status, body, cacheable)
+			if cacheable {
+				s.recordIdemReply(k, status, body, time.Now().Add(s.idem.ttl))
+			}
 			writeRaw(w, status, body)
 			return
 		}

@@ -1,0 +1,150 @@
+package dpserver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dptrace/internal/core"
+	"dptrace/internal/ledger"
+)
+
+// This file wires the durable budget ledger (internal/ledger) through
+// the server: dataset registrations, every acknowledged ε-charge, the
+// audit trail, and keyed idempotent responses are journaled, and a
+// restarted server rebuilds all of them before serving. Without a
+// ledger the server keeps its original in-memory-only behavior.
+//
+// The privacy invariant: a charge is journaled BEFORE it is
+// acknowledged (core.SpendJournal), so no crash can forget an acked
+// spend; and a ledger that cannot be fully replayed freezes, which
+// refuses all new charges (fail closed) while read-only endpoints stay
+// up for inspection.
+
+// Dataset kind tags persisted in dataset_created events.
+const (
+	kindPacket = "packet"
+	kindLink   = "link"
+	kindHop    = "hop"
+)
+
+// ErrLedgerMismatch is returned when a dataset is re-registered with a
+// kind or budget bounds different from its persisted ledger: silently
+// adopting the new bounds would rewrite the spend history's terms.
+var ErrLedgerMismatch = errors.New("dpserver: registration conflicts with persisted ledger")
+
+// WithLedger attaches a durable budget ledger (opened by the caller;
+// see ledger.Open). The server restores the persisted audit trail and
+// idempotent responses immediately; per-dataset budgets are restored
+// as datasets are re-registered via Add*Trace.
+func WithLedger(led *ledger.Ledger) ServerOption {
+	return func(s *Server) { s.ledger = led }
+}
+
+// restoreFromLedger runs once in New, after options: exports ledger
+// metrics and rebuilds the audit trail and idempotency cache from the
+// recovered state.
+func (s *Server) restoreFromLedger() {
+	led := s.ledger
+	led.AttachMetrics(s.metrics)
+	state := led.State()
+
+	entries := make([]AuditEntry, 0, len(state.Audit))
+	for _, rec := range state.Audit {
+		entries = append(entries, AuditEntry{
+			Time: time.Unix(0, rec.Time), Analyst: rec.Analyst,
+			Dataset: rec.Dataset, Query: rec.Query, Epsilon: rec.Epsilon,
+			Charged: rec.Charged, Outcome: rec.Outcome,
+		})
+	}
+	s.audit.restore(entries)
+
+	now := time.Now()
+	for _, rec := range state.Idem {
+		expires := time.Unix(0, rec.Expires)
+		if !expires.After(now) {
+			continue
+		}
+		s.idem.restore(
+			idemKey{endpoint: rec.Endpoint, dataset: rec.Dataset, analyst: rec.Analyst, key: rec.Key},
+			rec.Status, rec.Body, expires)
+	}
+}
+
+// registerDataset is the ledger half of Add*Trace (callers hold s.mu):
+// a dataset already in the recovered state gets its spends restored
+// and no new event; a new dataset is journaled before registration is
+// acknowledged. Either way the policy's future charges flow through
+// the ledger. With no ledger attached it does nothing.
+func (s *Server) registerDataset(name, kind string, policy *core.AnalystPolicy, totalBudget, perAnalystBudget float64) error {
+	if s.ledger == nil {
+		return nil
+	}
+	state := s.ledger.State()
+	if ds, ok := state.Datasets[name]; ok {
+		if ds.Kind != kind ||
+			ds.Total != ledger.EncodeBudget(totalBudget) ||
+			ds.PerAnalyst != ledger.EncodeBudget(perAnalystBudget) {
+			return fmt.Errorf("%w: %q is persisted as kind=%s total=%v perAnalyst=%v",
+				ErrLedgerMismatch, name, ds.Kind,
+				ledger.DecodeBudget(ds.Total), ledger.DecodeBudget(ds.PerAnalyst))
+		}
+		policy.RestoreSpent(ds.Spent, ds.TotalSpent)
+	} else {
+		if err := s.ledger.Append(ledger.Event{
+			Type: ledger.EventDatasetCreated, Dataset: name, Kind: kind,
+			Total:      ledger.EncodeBudget(totalBudget),
+			PerAnalyst: ledger.EncodeBudget(perAnalystBudget),
+		}); err != nil {
+			return fmt.Errorf("dpserver: journal dataset registration: %w", err)
+		}
+	}
+	policy.SetSpendJournal(
+		func(analyst string, epsilon float64) error {
+			return s.ledger.Append(ledger.Event{
+				Type: ledger.EventCharge, Dataset: name,
+				Analyst: analyst, Epsilon: epsilon,
+			})
+		},
+		func(analyst string, epsilon float64) {
+			// A rollback that fails to journal leaves the ledger
+			// over-counting the spend — conservative, so best-effort.
+			_ = s.ledger.Append(ledger.Event{
+				Type: ledger.EventRollback, Dataset: name,
+				Analyst: analyst, Epsilon: epsilon,
+			})
+		})
+	return nil
+}
+
+// recordAudit journals one audit entry (refusals under their own event
+// type, per the ledger's schema) and adds it to the live trail. The
+// ledger append is best-effort: the charge events are the ε ground
+// truth, the audit trail is the owner's activity record.
+func (s *Server) recordAudit(e AuditEntry) {
+	if s.ledger != nil {
+		typ := ledger.EventAudit
+		if e.Outcome == "refused" {
+			typ = ledger.EventRefusal
+		}
+		_ = s.ledger.Append(ledger.Event{
+			Type: typ, Dataset: e.Dataset, Analyst: e.Analyst,
+			Query: e.Query, Epsilon: e.Epsilon, Charged: e.Charged,
+			Outcome: e.Outcome,
+		})
+	}
+	s.audit.add(e)
+}
+
+// recordIdemReply journals one stored idempotent response so retries
+// across a restart replay bytes instead of re-charging ε.
+func (s *Server) recordIdemReply(k idemKey, status int, body []byte, expires time.Time) {
+	if s.ledger == nil {
+		return
+	}
+	_ = s.ledger.Append(ledger.Event{
+		Type: ledger.EventIdemReply, Endpoint: k.endpoint,
+		Dataset: k.dataset, Analyst: k.analyst, Key: k.key,
+		Status: status, Body: body, Expires: expires.UnixNano(),
+	})
+}

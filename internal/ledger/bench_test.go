@@ -1,0 +1,59 @@
+package ledger
+
+import (
+	"testing"
+)
+
+// benchAppend measures charge-append throughput under one fsync
+// policy. The spread between fsync=never and fsync=always is the
+// price of the durability guarantee (one fdatasync per acknowledged
+// ε-charge) and is recorded into BENCH_core.json by `make bench`.
+func benchAppend(b *testing.B, policy FsyncPolicy) {
+	dir := b.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: policy, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Event{Type: EventDatasetCreated, Dataset: "d",
+		Kind: "packet", Total: -1, PerAnalyst: -1}); err != nil {
+		b.Fatal(err)
+	}
+	ev := Event{Type: EventCharge, Dataset: "d", Analyst: "alice", Epsilon: 0.1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLedgerAppendFsyncNever(b *testing.B)  { benchAppend(b, FsyncNever) }
+func BenchmarkLedgerAppendFsyncAlways(b *testing.B) { benchAppend(b, FsyncAlways) }
+
+func BenchmarkLedgerRecovery(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncNever, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	appendAllB(b, l, chargeEvents(10000))
+	l.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Replay(dir, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func appendAllB(b *testing.B, l *Ledger, evs []Event) {
+	b.Helper()
+	for i := range evs {
+		if err := l.Append(evs[i]); err != nil {
+			b.Fatalf("append %d: %v", i, err)
+		}
+	}
+}

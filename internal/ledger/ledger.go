@@ -1,0 +1,757 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dptrace/internal/obs"
+)
+
+// FsyncPolicy controls when appended records are forced to stable
+// storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs before every append returns: an acked charge is
+	// durable even across power loss. The safe default.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a background timer (Options.FsyncInterval).
+	// A crash can lose the last interval's acked charges — recovery then
+	// under-counts spend, so budgets may be re-spent up to that window.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNever leaves syncing to the OS. Survives process crashes
+	// (the data is in the page cache) but not power loss.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// ParseFsyncPolicy parses the -fsync flag value.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncNever:
+		return FsyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("ledger: unknown fsync policy %q (always, interval, never)", s)
+}
+
+// Errors returned by Append.
+var (
+	// ErrFrozen means recovery found corrupt history: the ledger
+	// refuses all new appends, which upstream refuses all new charges
+	// (fail closed — see the package comment).
+	ErrFrozen = errors.New("ledger: frozen (corrupt history, fail closed)")
+	// ErrClosed means the ledger has been Closed.
+	ErrClosed = errors.New("ledger: closed")
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the ledger directory, created if missing. The ledger owns
+	// it exclusively.
+	Dir string
+	// Fsync is the durability policy; empty means FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncInterval is the FsyncInterval timer period; <=0 means 100ms.
+	FsyncInterval time.Duration
+	// SnapshotEvery snapshots + compacts after this many appended
+	// events. 0 means the 4096 default; negative disables automatic
+	// snapshots (Snapshot can still be called explicitly).
+	SnapshotEvery int
+	// AuditCap bounds the persisted audit trail; <=0 uses the default.
+	AuditCap int
+	// Logf receives recovery warnings (torn-tail truncations, skipped
+	// snapshots). Nil discards them.
+	Logf func(format string, args ...any)
+
+	now func() time.Time // test seam
+}
+
+// defaultSnapshotEvery balances WAL replay length against snapshot
+// write amplification.
+const defaultSnapshotEvery = 4096
+
+// Recovery describes what Open (or Replay) reconstructed.
+type Recovery struct {
+	// SnapshotSeq is the seq of the snapshot recovery started from
+	// (0 = no snapshot).
+	SnapshotSeq uint64
+	// Events is the number of WAL-tail events replayed on top.
+	Events int
+	// Segments is the number of WAL segments visited.
+	Segments int
+	// TornBytes is the size of the torn final record truncated away
+	// (0 = clean shutdown).
+	TornBytes int64
+	// Duration is the wall time recovery took.
+	Duration time.Duration
+	// Err is non-nil when the history is corrupt; the ledger is then
+	// frozen and the state partial.
+	Err error
+}
+
+// Ledger is an open budget ledger. All methods are safe for concurrent
+// use.
+type Ledger struct {
+	mu          sync.Mutex
+	dir         string
+	opts        Options
+	state       *State
+	active      *os.File
+	activeSize  int64
+	activeStart uint64
+	sinceSnap   int
+	dirty       bool // writes not yet synced (interval policy)
+	frozen      error
+	closed      bool
+	rec         Recovery
+	now         func() time.Time
+
+	metricsMu sync.Mutex
+	metrics   *obs.Registry
+
+	stopInterval chan struct{}
+	intervalDone chan struct{}
+}
+
+const (
+	walMagic  = "dpwal01\n"
+	snapMagic = "dpsnap1\n"
+	magicSize = 8
+)
+
+func segmentName(startSeq uint64) string { return fmt.Sprintf("wal-%016d.wal", startSeq) }
+func snapshotName(seq uint64) string     { return fmt.Sprintf("snap-%016d.snap", seq) }
+
+// parseSeq extracts the sequence number from a wal-/snap- file name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	return n, err == nil
+}
+
+// Open opens (creating if needed) the ledger in opts.Dir and runs
+// crash recovery. A torn final record is truncated with a warning; any
+// deeper corruption leaves the ledger frozen: Open still returns it
+// (so operators can inspect state and serve read-only traffic) but
+// every Append fails with ErrFrozen. Check Recovery().Err.
+func Open(opts Options) (*Ledger, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("ledger: Options.Dir is required")
+	}
+	if opts.Fsync == "" {
+		opts.Fsync = FsyncAlways
+	}
+	if _, err := ParseFsyncPolicy(string(opts.Fsync)); err != nil {
+		return nil, err
+	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 100 * time.Millisecond
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	now := opts.now
+	if now == nil {
+		now = time.Now
+	}
+
+	l := &Ledger{dir: opts.Dir, opts: opts, now: now}
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	if l.frozen == nil && l.opts.Fsync == FsyncInterval {
+		l.stopInterval = make(chan struct{})
+		l.intervalDone = make(chan struct{})
+		go l.fsyncLoop()
+	}
+	return l, nil
+}
+
+// logf emits a recovery/operations warning.
+func (l *Ledger) logf(format string, args ...any) {
+	if l.opts.Logf != nil {
+		l.opts.Logf(format, args...)
+	}
+}
+
+// recover loads the newest valid snapshot, replays the WAL tail, and
+// opens the active segment for appending.
+func (l *Ledger) recover() error {
+	start := time.Now()
+	state, rec, segs, tornPath, tornKeep := replay(l.dir, l.opts.AuditCap, l.logf)
+	l.state = state
+	l.rec = rec
+	l.rec.Duration = time.Since(start)
+	l.state.pruneIdem(l.now().UnixNano())
+
+	if rec.Err != nil {
+		l.frozen = rec.Err
+		l.logf("ledger: RECOVERY FAILED, freezing (no new charges will be accepted): %v", rec.Err)
+		return nil
+	}
+	if tornPath != "" {
+		l.logf("ledger: truncating torn tail of %s (%d bytes) after seq %d",
+			filepath.Base(tornPath), rec.TornBytes, state.Seq)
+		if tornKeep < magicSize {
+			// The tear hit the segment header itself: the file holds no
+			// records, so drop it and let rotation start a clean one.
+			if err := os.Remove(tornPath); err != nil {
+				return fmt.Errorf("ledger: remove torn segment: %w", err)
+			}
+			segs = segs[:len(segs)-1]
+		} else if err := os.Truncate(tornPath, tornKeep); err != nil {
+			return fmt.Errorf("ledger: truncate torn tail: %w", err)
+		}
+	}
+
+	// Open the last segment for appending, or start the first one.
+	if len(segs) == 0 {
+		return l.rotateLocked()
+	}
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: open active segment: %w", err)
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("ledger: seek active segment: %w", err)
+	}
+	l.active, l.activeSize, l.activeStart = f, size, last.start
+	return nil
+}
+
+// segment is one WAL file found on disk.
+type segment struct {
+	path  string
+	start uint64
+}
+
+// replay reconstructs state from dir without modifying anything on
+// disk. It returns the folded state, recovery stats, the segment list,
+// and — when the final segment ends in a torn record — that segment's
+// path plus the byte offset to keep. rec.Err is set (and folding stops)
+// on corrupt history.
+func replay(dir string, auditCap int, logf func(string, ...any)) (*State, Recovery, []segment, string, int64) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	state := NewState(auditCap)
+	var rec Recovery
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		rec.Err = fmt.Errorf("ledger: read dir: %w", err)
+		return state, rec, nil, "", 0
+	}
+	var segs []segment
+	var snaps []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "wal-", ".wal"); ok {
+			segs = append(segs, segment{path: filepath.Join(dir, e.Name()), start: seq})
+		} else if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			snaps = append(snaps, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+
+	// Newest loadable snapshot wins; unreadable ones are warned past.
+	for _, seq := range snaps {
+		path := filepath.Join(dir, snapshotName(seq))
+		st, err := loadSnapshot(path, auditCap)
+		if err != nil {
+			logf("ledger: skipping unreadable snapshot %s: %v", filepath.Base(path), err)
+			continue
+		}
+		state = st
+		rec.SnapshotSeq = seq
+		break
+	}
+
+	// Replay WAL records with seq > snapshot seq. Segments whose entire
+	// range predates the snapshot are skipped without reading (their
+	// successor's start seq bounds their contents).
+	var tornPath string
+	var tornKeep int64
+	for i, seg := range segs {
+		if i+1 < len(segs) && segs[i+1].start <= state.Seq+1 {
+			continue
+		}
+		rec.Segments++
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			rec.Err = fmt.Errorf("ledger: read %s: %w", filepath.Base(seg.path), err)
+			return state, rec, segs, "", 0
+		}
+		last := i == len(segs)-1
+		if len(data) < magicSize {
+			// A crash can tear even the header write of a fresh
+			// segment, but only the final one.
+			if last {
+				tornPath, tornKeep = seg.path, 0
+				rec.TornBytes = int64(len(data))
+				break
+			}
+			rec.Err = fmt.Errorf("%w: %s: short header", ErrCorrupt, filepath.Base(seg.path))
+			return state, rec, segs, "", 0
+		}
+		if string(data[:magicSize]) != walMagic {
+			rec.Err = fmt.Errorf("%w: %s: bad magic", ErrCorrupt, filepath.Base(seg.path))
+			return state, rec, segs, "", 0
+		}
+		off := int64(magicSize)
+		for off < int64(len(data)) {
+			ev, n, err := DecodeRecord(data[off:])
+			if errors.Is(err, ErrTornRecord) {
+				if last {
+					tornPath, tornKeep = seg.path, off
+					rec.TornBytes = int64(len(data)) - off
+					break
+				}
+				rec.Err = fmt.Errorf("%w: %s: torn record at offset %d with later history present",
+					ErrCorrupt, filepath.Base(seg.path), off)
+				return state, rec, segs, "", 0
+			}
+			if err != nil {
+				rec.Err = fmt.Errorf("%s at offset %d: %w", filepath.Base(seg.path), off, err)
+				return state, rec, segs, "", 0
+			}
+			if ev.Seq > state.Seq {
+				if err := state.Apply(&ev); err != nil {
+					rec.Err = fmt.Errorf("%s at offset %d: %w", filepath.Base(seg.path), off, err)
+					return state, rec, segs, "", 0
+				}
+				rec.Events++
+			}
+			off += int64(n)
+		}
+	}
+	return state, rec, segs, tornPath, tornKeep
+}
+
+// Replay reconstructs the ledger state read-only (nothing on disk is
+// modified, torn tails included) — the engine behind `dpledger verify`
+// and `dpledger inspect`.
+func Replay(dir string, auditCap int) (*State, Recovery, error) {
+	start := time.Now()
+	state, rec, _, _, _ := replay(dir, auditCap, nil)
+	rec.Duration = time.Since(start)
+	return state, rec, rec.Err
+}
+
+// loadSnapshot reads and verifies one snapshot file.
+func loadSnapshot(path string, auditCap int) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < magicSize || string(data[:magicSize]) != snapMagic {
+		return nil, errors.New("bad magic")
+	}
+	ev, n, err := DecodeRecord(data[magicSize:])
+	if err != nil {
+		return nil, err
+	}
+	if int64(magicSize+n) != int64(len(data)) {
+		return nil, errors.New("trailing bytes after snapshot record")
+	}
+	if ev.Type != "snapshot" {
+		return nil, fmt.Errorf("unexpected record type %q", ev.Type)
+	}
+	st := NewState(auditCap)
+	if err := json.Unmarshal(ev.Body, st); err != nil {
+		return nil, err
+	}
+	if st.Datasets == nil {
+		st.Datasets = make(map[string]*DatasetState)
+	}
+	if st.Idem == nil {
+		st.Idem = make(map[string]*IdemRecord)
+	}
+	for _, ds := range st.Datasets {
+		if ds.Spent == nil {
+			ds.Spent = make(map[string]float64)
+		}
+	}
+	return st, nil
+}
+
+// State returns the ledger's folded state. Read it during startup
+// restoration, before concurrent Appends begin: the same object is
+// updated in place by Append.
+func (l *Ledger) State() *State { return l.state }
+
+// Recovery reports what Open reconstructed.
+func (l *Ledger) Recovery() Recovery { return l.rec }
+
+// Frozen reports the corruption that froze the ledger, or nil.
+func (l *Ledger) Frozen() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.frozen
+}
+
+// Append durably records one event. On return with a nil error the
+// event is in the WAL (and, under FsyncAlways, on stable storage) —
+// callers ack the charge only after that, so an acked charge is never
+// lost. Any error means the event must be treated as NOT recorded and
+// the charge refused; the one exception is a sync failure after a
+// successful write, where the event may still survive — recovery then
+// over-counts spend, which is the safe (conservative) direction.
+func (l *Ledger) Append(ev Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.frozen != nil {
+		return fmt.Errorf("%w: %v", ErrFrozen, l.frozen)
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	ev.Seq = l.state.Seq + 1
+	if ev.Time == 0 {
+		ev.Time = l.now().UnixNano()
+	}
+	buf, err := EncodeRecord(nil, &ev)
+	if err != nil {
+		return err
+	}
+	if _, err := l.active.WriteAt(buf, l.activeSize); err != nil {
+		// A partial write leaves a torn tail; the next recovery
+		// truncates it, and activeSize keeps appending over it.
+		return fmt.Errorf("ledger: append: %w", err)
+	}
+	if l.opts.Fsync == FsyncAlways {
+		if err := l.syncActive(); err != nil {
+			return fmt.Errorf("ledger: fsync: %w", err)
+		}
+	} else {
+		l.dirty = true
+	}
+	l.activeSize += int64(len(buf))
+	if err := l.state.Apply(&ev); err != nil {
+		// Cannot happen for events this process built; fail closed if
+		// it somehow does.
+		l.frozen = err
+		return err
+	}
+	l.countAppend(ev.Type)
+	l.sinceSnap++
+	if l.opts.SnapshotEvery > 0 && l.sinceSnap >= l.opts.SnapshotEvery {
+		if err := l.snapshotLocked(); err != nil {
+			// A failed snapshot is an operational problem, not a
+			// correctness one: the WAL still has everything.
+			l.logf("ledger: snapshot failed (will retry): %v", err)
+		}
+	}
+	return nil
+}
+
+// syncActive fsyncs the active segment, timing it into the metrics.
+func (l *Ledger) syncActive() error {
+	start := time.Now()
+	err := l.active.Sync()
+	l.observeFsync(time.Since(start))
+	if err == nil {
+		l.dirty = false
+	}
+	return err
+}
+
+// fsyncLoop is the FsyncInterval background syncer.
+func (l *Ledger) fsyncLoop() {
+	defer close(l.intervalDone)
+	t := time.NewTicker(l.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty && l.active != nil {
+				if err := l.syncActive(); err != nil {
+					l.logf("ledger: interval fsync: %v", err)
+				}
+			}
+			l.mu.Unlock()
+		case <-l.stopInterval:
+			return
+		}
+	}
+}
+
+// Sync forces buffered appends to stable storage regardless of policy.
+func (l *Ledger) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.active == nil {
+		return nil
+	}
+	return l.syncActive()
+}
+
+// Snapshot checkpoints the current state and compacts the WAL: older
+// segments and snapshots are deleted once the new snapshot is durable.
+func (l *Ledger) Snapshot() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.frozen != nil {
+		return fmt.Errorf("%w: %v", ErrFrozen, l.frozen)
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	return l.snapshotLocked()
+}
+
+func (l *Ledger) snapshotLocked() error {
+	// The WAL must be durable through the snapshot seq before older
+	// segments become deletable.
+	if l.dirty {
+		if err := l.syncActive(); err != nil {
+			return err
+		}
+	}
+	l.state.pruneIdem(l.now().UnixNano())
+	body, err := json.Marshal(l.state)
+	if err != nil {
+		return err
+	}
+	seq := l.state.Seq
+	buf := append([]byte(nil), snapMagic...)
+	buf, err = EncodeRecord(buf, &Event{Seq: seq, Time: l.now().UnixNano(), Type: "snapshot", Body: body})
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(l.dir, snapshotName(seq))
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	syncDir(l.dir)
+	l.sinceSnap = 0
+
+	// Rotate to a fresh segment, then drop everything the snapshot
+	// covers.
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil // compaction is best-effort
+	}
+	for _, e := range entries {
+		if s, ok := parseSeq(e.Name(), "wal-", ".wal"); ok && s <= seq {
+			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil {
+				l.logf("ledger: compaction: %v", err)
+			}
+		} else if s, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && s < seq {
+			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil {
+				l.logf("ledger: compaction: %v", err)
+			}
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment and starts a new one at the
+// next sequence number.
+func (l *Ledger) rotateLocked() error {
+	if l.active != nil {
+		if l.dirty {
+			if err := l.syncActive(); err != nil {
+				return err
+			}
+		}
+		l.active.Close()
+		l.active = nil
+	}
+	start := l.state.Seq + 1
+	path := filepath.Join(l.dir, segmentName(start))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: create segment: %w", err)
+	}
+	if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("ledger: write segment header: %w", err)
+	}
+	if l.opts.Fsync == FsyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("ledger: sync segment header: %w", err)
+		}
+	}
+	syncDir(l.dir)
+	l.active, l.activeSize, l.activeStart = f, magicSize, start
+	return nil
+}
+
+// Close syncs and closes the ledger. Further Appends fail.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.active != nil {
+		if l.dirty {
+			err = l.syncActive()
+		}
+		if cerr := l.active.Close(); err == nil {
+			err = cerr
+		}
+		l.active = nil
+	}
+	stop := l.stopInterval
+	done := l.intervalDone
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creations are durable.
+// Best-effort: some platforms refuse directory syncs.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// --- metrics ---------------------------------------------------------
+
+// AttachMetrics exports the ledger's telemetry into reg:
+// dp_ledger_appends_total{type=...}, dp_ledger_fsync_seconds,
+// dp_ledger_recovery_events_total, dp_ledger_recovery_torn_bytes_total,
+// dp_ledger_recovery_seconds, and the live gauges dp_ledger_seq and
+// dp_ledger_frozen. Recovery totals are recorded once, at attach time.
+func (l *Ledger) AttachMetrics(reg *obs.Registry) {
+	l.metricsMu.Lock()
+	l.metrics = reg
+	l.metricsMu.Unlock()
+	if reg == nil {
+		return
+	}
+	reg.Counter("dp_ledger_recovery_events_total").Add(float64(l.rec.Events))
+	reg.Counter("dp_ledger_recovery_torn_bytes_total").Add(float64(l.rec.TornBytes))
+	reg.Counter("dp_ledger_recovery_seconds").Add(l.rec.Duration.Seconds())
+	reg.GaugeFunc("dp_ledger_seq", func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return float64(l.state.Seq)
+	})
+	reg.GaugeFunc("dp_ledger_frozen", func() float64 {
+		if l.Frozen() != nil {
+			return 1
+		}
+		return 0
+	})
+}
+
+func (l *Ledger) countAppend(typ string) {
+	l.metricsMu.Lock()
+	reg := l.metrics
+	l.metricsMu.Unlock()
+	if reg != nil {
+		reg.Counter("dp_ledger_appends_total", "type", typ).Inc()
+	}
+}
+
+func (l *Ledger) observeFsync(d time.Duration) {
+	l.metricsMu.Lock()
+	reg := l.metrics
+	l.metricsMu.Unlock()
+	if reg != nil {
+		reg.Histogram("dp_ledger_fsync_seconds", obs.DurationBuckets()).Observe(d.Seconds())
+	}
+}
+
+// --- inspection ------------------------------------------------------
+
+// Events reads every event in dir's WAL segments in order, read-only,
+// calling fn for each (including those a snapshot already covers, when
+// their segments still exist). It stops at a torn tail and returns
+// ErrCorrupt-wrapped errors on deeper damage — `dpledger inspect`.
+func Events(dir string, fn func(Event) error) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var segs []segment
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "wal-", ".wal"); ok {
+			segs = append(segs, segment{path: filepath.Join(dir, e.Name()), start: seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	for i, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return err
+		}
+		last := i == len(segs)-1
+		if len(data) < magicSize || !bytes.Equal(data[:magicSize], []byte(walMagic)) {
+			if last && len(data) < magicSize {
+				return nil
+			}
+			return fmt.Errorf("%w: %s: bad magic", ErrCorrupt, filepath.Base(seg.path))
+		}
+		off := magicSize
+		for off < len(data) {
+			ev, n, err := DecodeRecord(data[off:])
+			if errors.Is(err, ErrTornRecord) {
+				if last {
+					return nil
+				}
+				return fmt.Errorf("%w: %s: torn record mid-history", ErrCorrupt, filepath.Base(seg.path))
+			}
+			if err != nil {
+				return fmt.Errorf("%s at offset %d: %w", filepath.Base(seg.path), off, err)
+			}
+			if err := fn(ev); err != nil {
+				return err
+			}
+			off += n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is the fold of a ledger's event history: everything a
+// restarted server needs to pick up exactly where the crashed one
+// stopped. Snapshots are a serialized State; recovery loads the newest
+// valid snapshot and replays the WAL tail through Apply.
+//
+// Budgets inside State use the wire sentinel (-1 == +Inf); decode with
+// DecodeBudget at the consumer boundary.
+type State struct {
+	// Seq is the sequence number of the last applied event.
+	Seq      uint64                   `json:"seq"`
+	Datasets map[string]*DatasetState `json:"datasets,omitempty"`
+	// Audit is the persisted audit trail, oldest first, bounded by
+	// auditCap with the same drop-oldest-half policy as the live log.
+	Audit []AuditRecord `json:"audit,omitempty"`
+	// Idem maps idemKeyString() to stored idempotent replies.
+	Idem map[string]*IdemRecord `json:"idem,omitempty"`
+
+	auditCap int
+}
+
+// DatasetState is one dataset's durable budget ledger.
+type DatasetState struct {
+	Kind string `json:"kind"`
+	// Total and PerAnalyst are the registered budget bounds (wire
+	// sentinel form).
+	Total      float64 `json:"total"`
+	PerAnalyst float64 `json:"perAnalyst"`
+	// TotalSpent is the shared budget's cumulative draw, accumulated in
+	// event order so replay reproduces the live run's float sum
+	// bit-for-bit (and therefore the exact same refusal boundary).
+	TotalSpent float64 `json:"totalSpent"`
+	// Spent is each analyst's cumulative draw, same in-order property.
+	Spent map[string]float64 `json:"spent,omitempty"`
+}
+
+// AuditRecord is the persisted form of one audit-trail entry.
+type AuditRecord struct {
+	Time    int64   `json:"time"`
+	Analyst string  `json:"analyst"`
+	Dataset string  `json:"dataset"`
+	Query   string  `json:"query"`
+	Epsilon float64 `json:"epsilon"`
+	Charged float64 `json:"charged"`
+	Outcome string  `json:"outcome"`
+}
+
+// IdemRecord is one stored idempotent reply.
+type IdemRecord struct {
+	Endpoint string `json:"endpoint"`
+	Dataset  string `json:"dataset"`
+	Analyst  string `json:"analyst"`
+	Key      string `json:"key"`
+	Status   int    `json:"status"`
+	Body     []byte `json:"body"`
+	Expires  int64  `json:"expires"`
+}
+
+// IdemKeyString is the State.Idem map key for one logical request.
+func IdemKeyString(endpoint, dataset, analyst, key string) string {
+	return endpoint + "\x00" + dataset + "\x00" + analyst + "\x00" + key
+}
+
+// defaultAuditCap mirrors the server-side audit log bound.
+const defaultAuditCap = 10000
+
+// NewState returns an empty state. auditCap <= 0 uses the default.
+func NewState(auditCap int) *State {
+	if auditCap <= 0 {
+		auditCap = defaultAuditCap
+	}
+	return &State{
+		Datasets: make(map[string]*DatasetState),
+		Idem:     make(map[string]*IdemRecord),
+		auditCap: auditCap,
+	}
+}
+
+// Apply folds one event into the state. Events must arrive in strictly
+// sequential order (seq = Seq+1); any violation, reference to an
+// unknown dataset, or unknown event type means the history is not the
+// one that was written — the caller must fail closed.
+func (s *State) Apply(ev *Event) error {
+	if ev.Seq != s.Seq+1 {
+		return fmt.Errorf("%w: sequence gap: have %d, next event is %d", ErrCorrupt, s.Seq, ev.Seq)
+	}
+	switch ev.Type {
+	case EventDatasetCreated:
+		if ev.Dataset == "" {
+			return fmt.Errorf("%w: dataset_created without a name (seq %d)", ErrCorrupt, ev.Seq)
+		}
+		if _, ok := s.Datasets[ev.Dataset]; ok {
+			return fmt.Errorf("%w: dataset %q created twice (seq %d)", ErrCorrupt, ev.Dataset, ev.Seq)
+		}
+		s.Datasets[ev.Dataset] = &DatasetState{
+			Kind:       ev.Kind,
+			Total:      ev.Total,
+			PerAnalyst: ev.PerAnalyst,
+			Spent:      make(map[string]float64),
+		}
+
+	case EventCharge:
+		ds, err := s.dataset(ev)
+		if err != nil {
+			return err
+		}
+		ds.Spent[ev.Analyst] += ev.Epsilon
+		ds.TotalSpent += ev.Epsilon
+
+	case EventRollback:
+		ds, err := s.dataset(ev)
+		if err != nil {
+			return err
+		}
+		// Mirror the live agents' clamp-at-zero rollback semantics.
+		ds.Spent[ev.Analyst] -= ev.Epsilon
+		if ds.Spent[ev.Analyst] < 0 {
+			ds.Spent[ev.Analyst] = 0
+		}
+		ds.TotalSpent -= ev.Epsilon
+		if ds.TotalSpent < 0 {
+			ds.TotalSpent = 0
+		}
+
+	case EventRefusal, EventAudit:
+		cap := s.auditCap
+		if cap <= 0 {
+			cap = defaultAuditCap
+		}
+		if len(s.Audit) >= cap {
+			keep := cap / 2
+			copy(s.Audit, s.Audit[len(s.Audit)-keep:])
+			s.Audit = s.Audit[:keep]
+		}
+		s.Audit = append(s.Audit, AuditRecord{
+			Time: ev.Time, Analyst: ev.Analyst, Dataset: ev.Dataset,
+			Query: ev.Query, Epsilon: ev.Epsilon, Charged: ev.Charged,
+			Outcome: ev.Outcome,
+		})
+
+	case EventIdemReply:
+		if s.Idem == nil {
+			s.Idem = make(map[string]*IdemRecord)
+		}
+		s.Idem[IdemKeyString(ev.Endpoint, ev.Dataset, ev.Analyst, ev.Key)] = &IdemRecord{
+			Endpoint: ev.Endpoint, Dataset: ev.Dataset, Analyst: ev.Analyst,
+			Key: ev.Key, Status: ev.Status, Body: ev.Body, Expires: ev.Expires,
+		}
+
+	default:
+		return fmt.Errorf("%w: unknown event type %q (seq %d)", ErrCorrupt, ev.Type, ev.Seq)
+	}
+	s.Seq = ev.Seq
+	return nil
+}
+
+// pruneIdem drops replies that expired before now (Unix nanoseconds).
+func (s *State) pruneIdem(now int64) {
+	for k, rec := range s.Idem {
+		if rec.Expires != 0 && rec.Expires < now {
+			delete(s.Idem, k)
+		}
+	}
+}
+
+// dataset resolves the event's dataset, failing closed on references
+// to datasets the history never created.
+func (s *State) dataset(ev *Event) (*DatasetState, error) {
+	ds, ok := s.Datasets[ev.Dataset]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s for unknown dataset %q (seq %d)", ErrCorrupt, ev.Type, ev.Dataset, ev.Seq)
+	}
+	return ds, nil
+}
+
+// DatasetNames lists the datasets in the state, sorted.
+func (s *State) DatasetNames() []string {
+	names := make([]string, 0, len(s.Datasets))
+	for name := range s.Datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
