@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-all
+.PHONY: check build test bench bench-all chaos
 
 # The tier-1 gate (see ROADMAP.md): build + vet + tests under -race.
 check:
@@ -23,3 +23,11 @@ bench:
 # The original whole-repo benchmark sweep.
 bench-all:
 	go test -bench=. -benchmem ./...
+
+# Randomized fault soak (see DESIGN.md §S30): seeded rounds of a
+# concurrent query storm over a probabilistically failing filesystem,
+# asserting the closed failure surface and the ε invariants. check.sh
+# smoke-runs a short slice of this; run `make chaos` before touching
+# the ledger, the executor, or the server lifecycle.
+chaos:
+	go test -race -run 'TestChaosStorm' -count=1 ./internal/dpserver -chaosdur 30s -v

@@ -13,3 +13,7 @@ go test -race -shuffle=on -timeout 10m ./...
 # Short fuzz smoke over the ledger's WAL record decoder: the recovery
 # path must classify arbitrary bytes without ever panicking.
 go test -run=. -fuzz=FuzzLedgerDecode -fuzztime=5s ./internal/ledger
+# Short chaos smoke (make chaos runs the full 30s soak): randomized
+# I/O faults + handler panics under a query storm must keep the
+# failure surface closed and the ε invariants intact.
+go test -race -run 'TestChaosStorm' -count=1 ./internal/dpserver -chaosdur 3s

@@ -1,18 +1,29 @@
 // Command dpledger operates on a durable privacy-budget ledger
 // directory (see internal/ledger and dpserver -ledger-dir):
 //
-//	dpledger verify  -dir /var/lib/dpserver/ledger
+//	dpledger verify  -dir /var/lib/dpserver/ledger [-q]
 //	dpledger inspect -dir /var/lib/dpserver/ledger [-events]
 //	dpledger compact -dir /var/lib/dpserver/ledger
 //
 // verify replays the full history read-only and reports whether it is
-// clean, ends in a torn (crash-truncated) tail, or is corrupt; it
-// exits 1 on corruption so it can gate a supervised restart. inspect
-// prints the recovered budget state as JSON (-events additionally
-// dumps every WAL record as JSON lines). compact opens the ledger,
-// writes a fresh snapshot, and deletes the WAL segments and snapshots
-// it supersedes. Only run compact while no dpserver has the ledger
-// open — the ledger assumes a single writer.
+// clean, ends in a torn (crash-truncated) tail, or is corrupt,
+// distinguishing the three via its exit code so operators and CI can
+// script it:
+//
+//	0  clean — every record replays
+//	1  corrupt — a dpserver on this ledger will freeze and refuse all
+//	   charges (fail closed); restore from backup or investigate
+//	2  torn tail — a crash mid-append left an unfinished final record;
+//	   the next dpserver open truncates it and serves normally, so
+//	   restart gates should treat 2 as startable
+//
+// (Usage errors exit 64, EX_USAGE, so they cannot be mistaken for a
+// torn tail.) -q suppresses the human-readable report, leaving just
+// the exit code. inspect prints the recovered budget state as JSON
+// (-events additionally dumps every WAL record as JSON lines). compact
+// opens the ledger, writes a fresh snapshot, and deletes the WAL
+// segments and snapshots it supersedes. Only run compact while no
+// dpserver has the ledger open — the ledger assumes a single writer.
 package main
 
 import (
@@ -24,6 +35,14 @@ import (
 	"dptrace/internal/ledger"
 )
 
+// Exit codes of the verify subcommand.
+const (
+	exitClean   = 0
+	exitCorrupt = 1
+	exitTorn    = 2
+	exitUsage   = 64 // EX_USAGE; kept clear of the verify codes
+)
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -32,16 +51,17 @@ func main() {
 	fs := flag.NewFlagSet("dpledger "+cmd, flag.ExitOnError)
 	dir := fs.String("dir", "", "ledger directory")
 	events := fs.Bool("events", false, "inspect: also dump every WAL event as JSON lines")
+	quiet := fs.Bool("q", false, "verify: suppress the report, communicate via exit code only")
 	auditCap := fs.Int("audit-cap", 0, "audit-trail bound during replay (0 = server default)")
 	fs.Parse(os.Args[2:])
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "dpledger: -dir is required")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	switch cmd {
 	case "verify":
-		verify(*dir, *auditCap)
+		verify(*dir, *auditCap, *quiet)
 	case "inspect":
 		inspect(*dir, *auditCap, *events)
 	case "compact":
@@ -52,27 +72,35 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dpledger {verify|inspect|compact} -dir <ledger-dir> [-events]")
-	os.Exit(2)
+	fmt.Fprintln(os.Stderr, "usage: dpledger {verify|inspect|compact} -dir <ledger-dir> [-q] [-events]")
+	os.Exit(exitUsage)
 }
 
-func verify(dir string, auditCap int) {
+func verify(dir string, auditCap int, quiet bool) {
 	state, rec, err := ledger.Replay(dir, auditCap)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dpledger: CORRUPT: %v\n", err)
-		fmt.Fprintf(os.Stderr, "dpledger: replayed through seq %d before failing; a dpserver on this ledger will refuse all charges (fail closed)\n", state.Seq)
-		os.Exit(1)
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "dpledger: CORRUPT: %v\n", err)
+			fmt.Fprintf(os.Stderr, "dpledger: replayed through seq %d before failing; a dpserver on this ledger will refuse all charges (fail closed)\n", state.Seq)
+		}
+		os.Exit(exitCorrupt)
 	}
-	fmt.Printf("ok: seq %d (snapshot %d + %d WAL events across %d segments) in %v\n",
-		state.Seq, rec.SnapshotSeq, rec.Events, rec.Segments, rec.Duration)
+	if !quiet {
+		fmt.Printf("ok: seq %d (snapshot %d + %d WAL events across %d segments) in %v\n",
+			state.Seq, rec.SnapshotSeq, rec.Events, rec.Segments, rec.Duration)
+		if rec.TornBytes > 0 {
+			fmt.Printf("torn tail: %d bytes of an unfinished final record (a crash mid-append; the next dpserver open truncates it)\n", rec.TornBytes)
+		}
+		for _, name := range state.DatasetNames() {
+			ds := state.Datasets[name]
+			fmt.Printf("dataset %s (%s): total spent %.6g of %g, %d analyst(s)\n",
+				name, ds.Kind, ds.TotalSpent, ledger.DecodeBudget(ds.Total), len(ds.Spent))
+		}
+	}
 	if rec.TornBytes > 0 {
-		fmt.Printf("torn tail: %d bytes of an unfinished final record (a crash mid-append; the next dpserver open truncates it)\n", rec.TornBytes)
+		os.Exit(exitTorn)
 	}
-	for _, name := range state.DatasetNames() {
-		ds := state.Datasets[name]
-		fmt.Printf("dataset %s (%s): total spent %.6g of %g, %d analyst(s)\n",
-			name, ds.Kind, ds.TotalSpent, ledger.DecodeBudget(ds.Total), len(ds.Spent))
-	}
+	os.Exit(exitClean)
 }
 
 func inspect(dir string, auditCap int, dumpEvents bool) {
@@ -109,7 +137,7 @@ func compact(dir string, auditCap int) {
 	defer led.Close()
 	if rec := led.Recovery(); rec.Err != nil {
 		fmt.Fprintf(os.Stderr, "dpledger: refusing to compact corrupt history: %v\n", rec.Err)
-		os.Exit(1)
+		os.Exit(exitCorrupt)
 	}
 	if err := led.Snapshot(); err != nil {
 		fatal(err)

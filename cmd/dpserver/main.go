@@ -29,7 +29,9 @@
 // and drains in-flight queries before exiting.
 //
 // The server self-instruments: GET /v1/metrics (Prometheus text),
-// GET /v1/healthz, and GET /v1/debug/traces are always on; -pprof
+// GET /v1/healthz (liveness), GET /v1/readyz (readiness — 503 while
+// draining or while a frozen/degraded ledger has spending shed
+// fail-closed), and GET /v1/debug/traces are always on; -pprof
 // additionally mounts net/http/pprof under /debug/pprof/. These are
 // owner-side endpoints — shield them at your ingress.
 package main
@@ -92,12 +94,17 @@ func main() {
 	} else {
 		src = noise.NewSeededSource(*seed, *seed+1)
 	}
-	opts := []dpserver.ServerOption{dpserver.WithLimits(dpserver.Limits{
-		MaxConcurrent:  *maxConcurrent,
-		QueueWait:      *queueWait,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-	})}
+	opts := []dpserver.ServerOption{
+		dpserver.WithLimits(dpserver.Limits{
+			MaxConcurrent:  *maxConcurrent,
+			QueueWait:      *queueWait,
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+		}),
+		dpserver.WithLogf(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}),
+	}
 	var led *ledger.Ledger
 	if *ledgerDir != "" {
 		policy, err := ledger.ParseFsyncPolicy(*fsyncPolicy)
@@ -174,7 +181,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler(hopts...)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("listening on %s (v1 API at /v1/, metrics at /v1/metrics, health at /v1/healthz)\n", *listen)
+	fmt.Printf("listening on %s (v1 API at /v1/, metrics at /v1/metrics, health at /v1/healthz, readiness at /v1/readyz)\n", *listen)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

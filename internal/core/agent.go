@@ -42,6 +42,15 @@ var ErrInvalidEpsilon = errors.New("core: epsilon must be positive and finite")
 // happen, or a crash would silently re-open the budget.
 var ErrJournal = errors.New("core: spend journal append failed")
 
+// ErrInternal is returned (wrapped) when an aggregation recovers a
+// panic — a bug in user-supplied functions (predicates, selectors, key
+// functions) or in the engine itself. The ε-contract matches
+// cancellation (ErrCanceled): a panic raised before agent.Apply
+// charges zero ε; a panic after Apply leaves the charge standing,
+// because the noisy computation may have partially run and the
+// conservative reading is that budget was consumed.
+var ErrInternal = errors.New("core: internal error (recovered panic)")
+
 // A SpendJournal durably records budget movements. RootAgent calls
 // JournalSpend BEFORE acknowledging a charge (an error refuses the
 // charge) and JournalRollback when a previously-acked charge is undone

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"dptrace/internal/noise"
+	"dptrace/internal/obs"
 )
 
 // clamp restricts v to [-bound, bound].
@@ -18,11 +21,38 @@ func clamp(v, bound float64) float64 {
 	return v
 }
 
+// recoverAgg is the aggregation-boundary panic guard: deferred at the
+// top of every Noisy* aggregation, it converts a panic — typically a
+// bug in an analyst-supplied selector, or a *WorkerPanic re-raised by
+// runWorkers — into an ErrInternal result instead of unwinding into
+// the caller (and, in dpserver, killing the process). The ε-contract
+// mirrors cancellation: the panic sites all lie after agent.Apply, so
+// a recovered panic leaves any applied charge standing (conservative);
+// a panic before Apply never charged. aggDone still fires so the
+// telemetry records the failed aggregation.
+func recoverAgg[V any](rec obs.Recorder, agg string, start time.Time, epsilon float64, v *V, err *error) {
+	if r := recover(); r != nil {
+		var zero V
+		*v = zero
+		*err = panicError(r)
+		aggDone(rec, agg, start, epsilon, *err)
+	}
+}
+
+// panicError wraps a recovered panic value as ErrInternal.
+func panicError(r any) error {
+	if wp, ok := r.(*WorkerPanic); ok {
+		return fmt.Errorf("%w: %v", ErrInternal, wp.Value)
+	}
+	return fmt.Errorf("%w: %v", ErrInternal, r)
+}
+
 // NoisyCount returns the number of records perturbed with Laplace noise
 // of scale 1/ε (standard deviation √2/ε, Table 1), charging ε —
 // amplified by any accumulated sensitivity scaling — to the budget.
-func (q *Queryable[T]) NoisyCount(epsilon float64) (float64, error) {
+func (q *Queryable[T]) NoisyCount(epsilon float64) (v float64, err error) {
 	start := opStart(q.rec)
+	defer recoverAgg(q.rec, "count", start, epsilon, &v, &err)
 	if cerr := q.aggCtxErr(); cerr != nil {
 		aggDone(q.rec, "count", start, epsilon, cerr)
 		return 0, cerr
@@ -35,7 +65,7 @@ func (q *Queryable[T]) NoisyCount(epsilon float64) (float64, error) {
 		aggDone(q.rec, "count", start, epsilon, err)
 		return 0, err
 	}
-	v := float64(len(q.records)) + noise.LaplaceForEpsilon(q.src, 1, epsilon)
+	v = float64(len(q.records)) + noise.LaplaceForEpsilon(q.src, 1, epsilon)
 	aggDone(q.rec, "count", start, epsilon, nil)
 	return v, nil
 }
@@ -43,8 +73,9 @@ func (q *Queryable[T]) NoisyCount(epsilon float64) (float64, error) {
 // NoisyCountInt is NoisyCount with the geometric (discrete Laplace)
 // mechanism, for analyses that need an integral count. The noise
 // magnitude is essentially that of NoisyCount.
-func (q *Queryable[T]) NoisyCountInt(epsilon float64) (int64, error) {
+func (q *Queryable[T]) NoisyCountInt(epsilon float64) (v int64, err error) {
 	start := opStart(q.rec)
+	defer recoverAgg(q.rec, "countint", start, epsilon, &v, &err)
 	if cerr := q.aggCtxErr(); cerr != nil {
 		aggDone(q.rec, "countint", start, epsilon, cerr)
 		return 0, cerr
@@ -57,7 +88,7 @@ func (q *Queryable[T]) NoisyCountInt(epsilon float64) (int64, error) {
 		aggDone(q.rec, "countint", start, epsilon, err)
 		return 0, err
 	}
-	v := int64(len(q.records)) + noise.Geometric(q.src, 1, epsilon)
+	v = int64(len(q.records)) + noise.Geometric(q.src, 1, epsilon)
 	aggDone(q.rec, "countint", start, epsilon, nil)
 	return v, nil
 }
@@ -74,8 +105,9 @@ func NoisySum[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float
 // noise scaled to match: Laplace of scale bound/ε. It still charges ε;
 // the wider clamp trades more noise for less truncation bias, a choice
 // the analyst makes from public knowledge of the value range.
-func NoisySumScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (float64, error) {
+func NoisySumScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (v float64, err error) {
 	start := opStart(q.rec)
+	defer recoverAgg(q.rec, "sum", start, epsilon, &v, &err)
 	if cerr := q.aggCtxErr(); cerr != nil {
 		aggDone(q.rec, "sum", start, epsilon, cerr)
 		return 0, cerr
@@ -96,7 +128,7 @@ func NoisySumScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) fl
 	for _, r := range q.records {
 		sum += clamp(f(r), bound)
 	}
-	v := sum + noise.LaplaceForEpsilon(q.src, bound, epsilon)
+	v = sum + noise.LaplaceForEpsilon(q.src, bound, epsilon)
 	aggDone(q.rec, "sum", start, epsilon, nil)
 	return v, nil
 }
@@ -115,8 +147,9 @@ func NoisyAverage[T any](q *Queryable[T], epsilon float64, f func(T) float64) (f
 // deviation is bound·√8/(εn). The analyst picks the bound from public
 // knowledge of the value range (e.g. hop counts ≤ 32); it does not
 // depend on the data.
-func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (float64, error) {
+func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T) float64) (v float64, err error) {
 	start := opStart(q.rec)
+	defer recoverAgg(q.rec, "average", start, epsilon, &v, &err)
 	if cerr := q.aggCtxErr(); cerr != nil {
 		aggDone(q.rec, "average", start, epsilon, cerr)
 		return 0, cerr
@@ -135,7 +168,7 @@ func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T
 	}
 	n := len(q.records)
 	if n == 0 {
-		v := noise.LaplaceForEpsilon(q.src, 2*bound, epsilon)
+		v = noise.LaplaceForEpsilon(q.src, 2*bound, epsilon)
 		aggDone(q.rec, "average", start, epsilon, nil)
 		return v, nil
 	}
@@ -143,7 +176,7 @@ func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T
 	for _, r := range q.records {
 		sum += clamp(f(r), bound)
 	}
-	v := sum/float64(n) + noise.LaplaceForEpsilon(q.src, 2*bound/float64(n), epsilon)
+	v = sum/float64(n) + noise.LaplaceForEpsilon(q.src, 2*bound/float64(n), epsilon)
 	aggDone(q.rec, "average", start, epsilon, nil)
 	return v, nil
 }
@@ -154,8 +187,9 @@ func NoisyAverageScaled[T any](q *Queryable[T], epsilon, bound float64, f func(T
 // √2/ε (Table 1). The candidate set is the distinct values present in
 // the data; the mechanism's randomization is what protects each
 // record's presence.
-func NoisyMedian[T any](q *Queryable[T], epsilon float64, f func(T) float64) (float64, error) {
+func NoisyMedian[T any](q *Queryable[T], epsilon float64, f func(T) float64) (v float64, err error) {
 	start := opStart(q.rec)
+	defer recoverAgg(q.rec, "median", start, epsilon, &v, &err)
 	if cerr := q.aggCtxErr(); cerr != nil {
 		aggDone(q.rec, "median", start, epsilon, cerr)
 		return 0, cerr
@@ -206,8 +240,9 @@ func NoisyMedian[T any](q *Queryable[T], epsilon float64, f func(T) float64) (fl
 // NoisyOrderStatistic generalizes NoisyMedian to an arbitrary rank
 // fraction in [0, 1] (0.5 recovers the median). Useful for the noisy
 // quantiles that several trace analyses report.
-func NoisyOrderStatistic[T any](q *Queryable[T], epsilon, fraction float64, f func(T) float64) (float64, error) {
+func NoisyOrderStatistic[T any](q *Queryable[T], epsilon, fraction float64, f func(T) float64) (v float64, err error) {
 	start := opStart(q.rec)
+	defer recoverAgg(q.rec, "orderstat", start, epsilon, &v, &err)
 	if cerr := q.aggCtxErr(); cerr != nil {
 		aggDone(q.rec, "orderstat", start, epsilon, cerr)
 		return 0, cerr

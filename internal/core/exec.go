@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -147,22 +149,60 @@ func chunk(n, w, i int) (lo, hi int) {
 	return lo, hi
 }
 
+// WorkerPanic carries a panic that occurred on a parallel-exec worker
+// goroutine back to the coordinating goroutine. A panic on a spawned
+// goroutine is unrecoverable by the caller's deferred recover — it
+// would kill the whole process — so runWorkers recovers it in the
+// worker, waits for the remaining workers to drain, and re-raises it
+// as a *WorkerPanic on the goroutine that called runWorkers. There the
+// aggregation guards (recoverAgg) and the server's HTTP middleware can
+// recover it like any single-goroutine panic.
+type WorkerPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the panic site.
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("core: panic in parallel worker: %v", p.Value)
+}
+
 // runWorkers runs fn(0) … fn(w-1) on w goroutines and waits for all of
 // them. Workers must write to disjoint state (their own chunk of a
 // pre-sized slice, their own shard); the WaitGroup provides the
 // happens-before edge that makes those writes visible to the caller.
+// A panic in any worker is contained: every worker still runs to
+// completion (or its own panic), and the first panic is re-raised on
+// the calling goroutine as a *WorkerPanic.
 func runWorkers(w int, fn func(worker int)) {
 	if w == 1 {
 		fn(0)
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		wp      *WorkerPanic
+	)
 	wg.Add(w)
 	for i := 0; i < w; i++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if wp == nil {
+						wp = &WorkerPanic{Value: r, Stack: debug.Stack()}
+					}
+					panicMu.Unlock()
+				}
+			}()
 			fn(i)
 		}()
 	}
 	wg.Wait()
+	if wp != nil {
+		panic(wp)
+	}
 }

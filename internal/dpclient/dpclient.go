@@ -24,7 +24,9 @@ import (
 	"math/big"
 	"net/http"
 	"net/url"
+	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"dptrace/internal/dpserver"
@@ -167,14 +169,29 @@ func New(baseURL, analyst string, opts ...Option) *Client {
 	return c
 }
 
+// randRead is crypto/rand.Read behind a test seam, so the fallback
+// path below is coverable without breaking the process's entropy.
+var randRead = rand.Read
+
+// fallbackKeyCounter disambiguates fallback keys minted within one
+// nanosecond tick.
+var fallbackKeyCounter atomic.Uint64
+
 // NewIdempotencyKey returns a fresh random key for at-most-once
 // queries. Query, LoadMatrix and MonitorAverages call it automatically
 // when the request carries none; set your own to deduplicate across
 // client instances or process restarts.
+//
+// If crypto/rand fails (it essentially never does on a healthy OS),
+// the key falls back to a pid+timestamp+counter construction instead
+// of panicking: idempotency keys deduplicate retries, they are not
+// secrets, so a unique-but-predictable key degrades gracefully while a
+// crash would take the caller's process with it.
 func NewIdempotencyKey() string {
 	var b [16]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic("dpclient: crypto randomness unavailable: " + err.Error())
+	if _, err := randRead(b[:]); err != nil {
+		n := fallbackKeyCounter.Add(1)
+		return fmt.Sprintf("fallback-%d-%x-%d", os.Getpid(), time.Now().UnixNano(), n)
 	}
 	return hex.EncodeToString(b[:])
 }

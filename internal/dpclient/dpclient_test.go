@@ -378,3 +378,35 @@ func TestClientContextCancelStopsRetries(t *testing.T) {
 		t.Fatalf("attempts = %d, want 1", n)
 	}
 }
+
+// TestNewIdempotencyKeyFallback pins the no-panic contract: if
+// crypto/rand fails, keys must still be minted — unique and clearly
+// marked — because an idempotency key deduplicates retries rather
+// than guarding a secret, and crashing the caller over entropy is
+// strictly worse.
+func TestNewIdempotencyKeyFallback(t *testing.T) {
+	orig := randRead
+	randRead = func([]byte) (int, error) { return 0, errors.New("entropy pool on fire") }
+	defer func() { randRead = orig }()
+
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		key := NewIdempotencyKey()
+		if key == "" {
+			t.Fatal("fallback produced an empty key")
+		}
+		if !strings.HasPrefix(key, "fallback-") {
+			t.Fatalf("fallback key %q should be marked as such", key)
+		}
+		if seen[key] {
+			t.Fatalf("fallback key %q repeated", key)
+		}
+		seen[key] = true
+	}
+
+	randRead = orig
+	key := NewIdempotencyKey()
+	if strings.HasPrefix(key, "fallback-") || len(key) != 32 {
+		t.Fatalf("healthy path should mint 16 random bytes hex-encoded, got %q", key)
+	}
+}

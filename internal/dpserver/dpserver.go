@@ -96,6 +96,23 @@ type Server struct {
 	// with the request's context. Tests use it to inject latency and
 	// observe cancellation; production code leaves it nil.
 	execHook func(context.Context)
+
+	// log receives operational warnings (recovered panics). Nil
+	// discards them; see WithLogf.
+	log func(format string, args ...any)
+}
+
+// logf emits one operational warning.
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log(format, args...)
+	}
+}
+
+// WithLogf directs the server's operational warnings — recovered
+// panics, primarily — to f (e.g. log.Printf). Nil discards them.
+func WithLogf(f func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.log = f }
 }
 
 type dataset struct {
@@ -144,6 +161,14 @@ func New(src noise.Source, opts ...ServerOption) *Server {
 	// Query requests currently holding a concurrency slot.
 	s.metrics.GaugeFunc("dp_inflight", func() float64 {
 		return float64(s.inflightGauge.Load())
+	})
+	// 1 while spending endpoints shed fail-closed (frozen or degraded
+	// ledger); read-only endpoints keep serving. Alert on this.
+	s.metrics.GaugeFunc("dp_degraded", func() float64 {
+		if s.spendRefusal() != nil {
+			return 1
+		}
+		return 0
 	})
 	return s
 }
@@ -240,6 +265,7 @@ func (s *Server) Handler(opts ...HandlerOption) http.Handler {
 		if query {
 			h = s.admit(h)
 		}
+		h = s.recoverPanics(h)
 		mux.HandleFunc(method+" /v1"+path, s.instrument("/v1"+path, h))
 		mux.HandleFunc(method+" "+path, s.instrument(path, deprecated(path, h)))
 	}
@@ -251,6 +277,7 @@ func (s *Server) Handler(opts ...HandlerOption) http.Handler {
 	reg("POST", "/query/monitoravgs", s.handleMonitorAverages, true)
 	reg("GET", "/metrics", s.handleMetrics, false)
 	reg("GET", "/healthz", s.handleHealthz, false)
+	reg("GET", "/readyz", s.handleReadyz, false)
 	reg("GET", "/debug/traces", s.handleDebugTraces, false)
 	if cfg.pprof {
 		attachPprof(mux)
@@ -508,6 +535,15 @@ func (s *Server) executeQuery(ctx context.Context, v1 bool, d *dataset, req *Que
 	}
 	resp, err := runQuery(filtered, req)
 	if err != nil {
+		if errors.Is(err, core.ErrInternal) {
+			// A panic recovered at the aggregation boundary (the worker
+			// or recoverAgg guards): the request gets a clean 500 and
+			// the process lives, but the panic is still a bug — count
+			// and log it like one the HTTP middleware caught.
+			s.metrics.Counter("dp_panics_total", "site", "aggregation").Inc()
+			s.logf("dpserver: recovered aggregation panic (analyst=%s dataset=%s query=%s): %v",
+				req.Analyst, req.Dataset, req.Query, err)
+		}
 		charged := d.policy.SpentBy(req.Analyst) - spentBefore
 		entry.Outcome = auditOutcome(err)
 		entry.Charged = charged

@@ -100,6 +100,7 @@ const (
 	codeOverloaded       = "overloaded"
 	codeShuttingDown     = "shutting_down"
 	codeLedgerRefused    = "ledger_refused"
+	codeInternal         = "internal"
 )
 
 // apiError is the uniform v1 error envelope: a stable code, a human
@@ -173,6 +174,13 @@ func classify(err error, remaining, charged float64) (int, apiError) {
 		// 499 is the de-facto "client closed request" status; the
 		// client is usually gone, but the audit trail still matters.
 		return 499, e
+	case errors.Is(err, core.ErrInternal):
+		// A recovered panic inside the engine. Same ε-contract as
+		// cancellation: panics before agent.Apply charged nothing and a
+		// retry is safe; with a charge standing the client must decide.
+		e.Code = codeInternal
+		e.Retryable = charged == 0
+		return http.StatusInternalServerError, e
 	default:
 		e.Code = codeBadRequest
 		return http.StatusBadRequest, e
@@ -279,6 +287,18 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer s.inflight.Done()
+		if cause := s.spendRefusal(); cause != nil {
+			// Degraded mode: the ledger refuses appends (frozen history
+			// or a runtime journal failure), so no spend can ever be
+			// journaled. Shed fail-closed before burning a concurrency
+			// slot or touching the budget; read-only endpoints are
+			// mounted without admit and keep serving.
+			w.Header().Set("Retry-After", s.limits.retryAfter())
+			s.writeError(w, r, http.StatusServiceUnavailable, apiError{
+				Code: codeLedgerRefused, Message: "ledger refusing spends: " + cause.Error(), Retryable: true,
+			})
+			return
+		}
 		if !s.acquire(r.Context()) {
 			s.metrics.Counter("dp_shed_total", "endpoint", strings.TrimPrefix(r.URL.Path, "/v1")).Inc()
 			w.Header().Set("Retry-After", s.limits.retryAfter())

@@ -4,9 +4,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
+	"dptrace/internal/core"
 	"dptrace/internal/obs"
 )
 
@@ -66,6 +69,65 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
+// recoverPanics is the outermost middleware on every endpoint: a
+// handler panic becomes a 500 {code:"internal"} envelope and a
+// dp_panics_total{site} increment instead of a dead process. The
+// engine's own guards (runWorkers, recoverAgg) normally convert panics
+// to core.ErrInternal before they reach here; this is the backstop for
+// handler-level bugs. http.ErrAbortHandler is re-raised — it is the
+// stdlib's sanctioned way to abort a response and net/http handles it
+// quietly.
+func (s *Server) recoverPanics(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			site := strings.TrimPrefix(r.URL.Path, "/v1")
+			s.metrics.Counter("dp_panics_total", "site", site).Inc()
+			msg := "internal error (recovered panic)"
+			if wp, ok := rec.(*core.WorkerPanic); ok {
+				msg = wp.Error()
+			}
+			s.logf("dpserver: PANIC serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// The handler may have already written a header; if so this
+			// write fails harmlessly and the client sees a torn body.
+			s.writeError(w, r, http.StatusInternalServerError, apiError{
+				Code: codeInternal, Message: msg,
+			})
+		}()
+		h(w, r)
+	}
+}
+
+// ReadyStatus is the GET /readyz body: readiness, distinct from
+// /healthz liveness. A degraded server (frozen or degraded ledger, or
+// a drain in progress) is alive — read-only endpoints serve — but not
+// ready for spending traffic, so load balancers should stop routing
+// new analyst queries to it.
+type ReadyStatus struct {
+	Ready  bool   `json:"ready"`
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.isDraining():
+		writeJSON(w, http.StatusServiceUnavailable, ReadyStatus{Status: "draining"})
+	case s.spendRefusal() != nil:
+		writeJSON(w, http.StatusServiceUnavailable, ReadyStatus{
+			Status: "ledger_refused", Reason: s.spendRefusal().Error(),
+		})
+	default:
+		writeJSON(w, http.StatusOK, ReadyStatus{Ready: true, Status: "ready"})
+	}
+}
+
 // handleMetrics serves the registry in the Prometheus text format, or
 // as a JSON snapshot with ?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -78,7 +140,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.metrics.WritePrometheus(w)
 }
 
-// HealthStatus is the GET /healthz body.
+// HealthStatus is the GET /healthz body. It always answers 200 while
+// the process lives — liveness, not readiness (see /readyz): a
+// degraded server still serves its read-only surface, and restarting
+// it would not help.
 type HealthStatus struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
@@ -86,20 +151,28 @@ type HealthStatus struct {
 	Goroutines    int     `json:"goroutines"`
 	AuditEntries  int     `json:"auditEntries"`
 	RecentTraces  int     `json:"recentTraces"`
+	Degraded      bool    `json:"degraded,omitempty"`
+	LedgerError   string  `json:"ledgerError,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.datasets) + len(s.linkSets) + len(s.hopSets)
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, HealthStatus{
+	h := HealthStatus{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Datasets:      n,
 		Goroutines:    runtime.NumGoroutine(),
 		AuditEntries:  s.audit.len(),
 		RecentTraces:  s.traces.Len(),
-	})
+	}
+	if cause := s.spendRefusal(); cause != nil {
+		h.Status = "degraded"
+		h.Degraded = true
+		h.LedgerError = cause.Error()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // handleDebugTraces serves the most recent query traces, newest

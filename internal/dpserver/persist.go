@@ -41,6 +41,17 @@ func WithLedger(led *ledger.Ledger) ServerOption {
 	return func(s *Server) { s.ledger = led }
 }
 
+// spendRefusal reports why budget-spending endpoints must shed (the
+// ledger is frozen on corrupt history, or degraded after a runtime
+// journal I/O failure), or nil when spending is possible. Without a
+// ledger there is nothing to refuse.
+func (s *Server) spendRefusal() error {
+	if s.ledger == nil {
+		return nil
+	}
+	return s.ledger.Refusing()
+}
+
 // restoreFromLedger runs once in New, after options: exports ledger
 // metrics and rebuilds the audit trail and idempotency cache from the
 // recovered state.
@@ -96,7 +107,16 @@ func (s *Server) registerDataset(name, kind string, policy *core.AnalystPolicy, 
 			Total:      ledger.EncodeBudget(totalBudget),
 			PerAnalyst: ledger.EncodeBudget(perAnalystBudget),
 		}); err != nil {
-			return fmt.Errorf("dpserver: journal dataset registration: %w", err)
+			if s.ledger.Refusing() == nil {
+				return fmt.Errorf("dpserver: journal dataset registration: %w", err)
+			}
+			// The ledger is frozen or degraded: it cannot journal the
+			// registration, but it also refuses every charge, so
+			// hosting the dataset keeps the invariant (no ε can move
+			// without a journaled record) while the read-only surface
+			// stays up for the operator diagnosing the ledger. A
+			// healthy restart re-registers and journals normally.
+			s.logf("dpserver: cannot journal registration of %q (%v); hosting read-only, all spends shed", name, err)
 		}
 	}
 	policy.SetSpendJournal(

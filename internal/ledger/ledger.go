@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dptrace/internal/obs"
+	"dptrace/internal/vfs"
 )
 
 // FsyncPolicy controls when appended records are forced to stable
@@ -25,8 +26,15 @@ const (
 	// durable even across power loss. The safe default.
 	FsyncAlways FsyncPolicy = "always"
 	// FsyncInterval syncs on a background timer (Options.FsyncInterval).
-	// A crash can lose the last interval's acked charges — recovery then
-	// under-counts spend, so budgets may be re-spent up to that window.
+	//
+	// Crash window: a power loss (or kernel crash) can lose every record
+	// written since the last timer sync, INCLUDING charges that were
+	// already acked to analysts. Recovery then lands strictly at or
+	// below the pre-crash acked total — never above it — so budgets may
+	// be re-spent by up to one interval's worth of charges. That is the
+	// only invariant this policy offers; deployments that cannot afford
+	// the window must use FsyncAlways. An explicit Sync() closes the
+	// window at the moment it returns. (Tested in fault_test.go.)
 	FsyncInterval FsyncPolicy = "interval"
 	// FsyncNever leaves syncing to the OS. Survives process crashes
 	// (the data is in the page cache) but not power loss.
@@ -48,6 +56,25 @@ var (
 	// refuses all new appends, which upstream refuses all new charges
 	// (fail closed — see the package comment).
 	ErrFrozen = errors.New("ledger: frozen (corrupt history, fail closed)")
+	// ErrDegraded means a journal I/O operation failed at runtime (EIO,
+	// ENOSPC, a failed fsync). The ledger permanently refuses all new
+	// appends for the rest of the process lifetime — without touching
+	// the disk again, so a full disk cannot error-loop. Two rules force
+	// this design:
+	//
+	//   - fsyncgate: after a failed fsync the kernel may have dropped
+	//     the dirty pages AND marked them clean, so retrying the sync
+	//     can report success without the data being durable. The only
+	//     honest response is to stop trusting the segment.
+	//   - seq collision: rotating past a failed write and continuing
+	//     could put two different records with the same seq on disk; a
+	//     surviving phantom would shadow the real record at replay.
+	//
+	// A record whose write succeeded but whose sync failed may still
+	// reach the disk; recovery then over-counts spend, which is the
+	// conservative (privacy-safe) direction. Restart the process to
+	// reopen the ledger once the disk is fixed.
+	ErrDegraded = errors.New("ledger: degraded (journal I/O failure, fail closed)")
 	// ErrClosed means the ledger has been Closed.
 	ErrClosed = errors.New("ledger: closed")
 )
@@ -70,6 +97,9 @@ type Options struct {
 	// Logf receives recovery warnings (torn-tail truncations, skipped
 	// snapshots). Nil discards them.
 	Logf func(format string, args ...any)
+	// FS is the filesystem the ledger runs on; nil means the real OS.
+	// Tests substitute vfs.FaultFS to exercise every I/O failure path.
+	FS vfs.FS
 
 	now func() time.Time // test seam
 }
@@ -103,13 +133,15 @@ type Ledger struct {
 	mu          sync.Mutex
 	dir         string
 	opts        Options
+	fs          vfs.FS
 	state       *State
-	active      *os.File
+	active      vfs.File
 	activeSize  int64
 	activeStart uint64
 	sinceSnap   int
 	dirty       bool // writes not yet synced (interval policy)
 	frozen      error
+	degraded    error
 	closed      bool
 	rec         Recovery
 	now         func() time.Time
@@ -160,7 +192,10 @@ func Open(opts Options) (*Ledger, error) {
 	if opts.SnapshotEvery == 0 {
 		opts.SnapshotEvery = defaultSnapshotEvery
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = vfs.OS{}
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
 	now := opts.now
@@ -168,7 +203,7 @@ func Open(opts Options) (*Ledger, error) {
 		now = time.Now
 	}
 
-	l := &Ledger{dir: opts.Dir, opts: opts, now: now}
+	l := &Ledger{dir: opts.Dir, opts: opts, fs: opts.FS, now: now}
 	if err := l.recover(); err != nil {
 		return nil, err
 	}
@@ -187,11 +222,21 @@ func (l *Ledger) logf(format string, args ...any) {
 	}
 }
 
+// degrade marks the ledger permanently degraded (first cause wins) and
+// returns the error Append should surface. Must hold l.mu.
+func (l *Ledger) degrade(cause error) error {
+	if l.degraded == nil {
+		l.degraded = cause
+		l.logf("ledger: DEGRADED, refusing all new appends (fail closed): %v", cause)
+	}
+	return fmt.Errorf("%w: %v", ErrDegraded, cause)
+}
+
 // recover loads the newest valid snapshot, replays the WAL tail, and
 // opens the active segment for appending.
 func (l *Ledger) recover() error {
 	start := time.Now()
-	state, rec, segs, tornPath, tornKeep := replay(l.dir, l.opts.AuditCap, l.logf)
+	state, rec, segs, tornPath, tornKeep := replay(l.fs, l.dir, l.opts.AuditCap, l.logf)
 	l.state = state
 	l.rec = rec
 	l.rec.Duration = time.Since(start)
@@ -208,11 +253,11 @@ func (l *Ledger) recover() error {
 		if tornKeep < magicSize {
 			// The tear hit the segment header itself: the file holds no
 			// records, so drop it and let rotation start a clean one.
-			if err := os.Remove(tornPath); err != nil {
+			if err := l.fs.Remove(tornPath); err != nil {
 				return fmt.Errorf("ledger: remove torn segment: %w", err)
 			}
 			segs = segs[:len(segs)-1]
-		} else if err := os.Truncate(tornPath, tornKeep); err != nil {
+		} else if err := l.fs.Truncate(tornPath, tornKeep); err != nil {
 			return fmt.Errorf("ledger: truncate torn tail: %w", err)
 		}
 	}
@@ -222,7 +267,7 @@ func (l *Ledger) recover() error {
 		return l.rotateLocked()
 	}
 	last := segs[len(segs)-1]
-	f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+	f, err := l.fs.OpenFile(last.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("ledger: open active segment: %w", err)
 	}
@@ -246,14 +291,14 @@ type segment struct {
 // and — when the final segment ends in a torn record — that segment's
 // path plus the byte offset to keep. rec.Err is set (and folding stops)
 // on corrupt history.
-func replay(dir string, auditCap int, logf func(string, ...any)) (*State, Recovery, []segment, string, int64) {
+func replay(fsys vfs.FS, dir string, auditCap int, logf func(string, ...any)) (*State, Recovery, []segment, string, int64) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	state := NewState(auditCap)
 	var rec Recovery
 
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		rec.Err = fmt.Errorf("ledger: read dir: %w", err)
 		return state, rec, nil, "", 0
@@ -273,7 +318,7 @@ func replay(dir string, auditCap int, logf func(string, ...any)) (*State, Recove
 	// Newest loadable snapshot wins; unreadable ones are warned past.
 	for _, seq := range snaps {
 		path := filepath.Join(dir, snapshotName(seq))
-		st, err := loadSnapshot(path, auditCap)
+		st, err := loadSnapshot(fsys, path, auditCap)
 		if err != nil {
 			logf("ledger: skipping unreadable snapshot %s: %v", filepath.Base(path), err)
 			continue
@@ -293,7 +338,7 @@ func replay(dir string, auditCap int, logf func(string, ...any)) (*State, Recove
 			continue
 		}
 		rec.Segments++
-		data, err := os.ReadFile(seg.path)
+		data, err := fsys.ReadFile(seg.path)
 		if err != nil {
 			rec.Err = fmt.Errorf("ledger: read %s: %w", filepath.Base(seg.path), err)
 			return state, rec, segs, "", 0
@@ -349,14 +394,14 @@ func replay(dir string, auditCap int, logf func(string, ...any)) (*State, Recove
 // and `dpledger inspect`.
 func Replay(dir string, auditCap int) (*State, Recovery, error) {
 	start := time.Now()
-	state, rec, _, _, _ := replay(dir, auditCap, nil)
+	state, rec, _, _, _ := replay(vfs.OS{}, dir, auditCap, nil)
 	rec.Duration = time.Since(start)
 	return state, rec, rec.Err
 }
 
 // loadSnapshot reads and verifies one snapshot file.
-func loadSnapshot(path string, auditCap int) (*State, error) {
-	data, err := os.ReadFile(path)
+func loadSnapshot(fsys vfs.FS, path string, auditCap int) (*State, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -406,6 +451,29 @@ func (l *Ledger) Frozen() error {
 	return l.frozen
 }
 
+// Degraded reports the runtime I/O failure that degraded the ledger,
+// or nil.
+func (l *Ledger) Degraded() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.degraded
+}
+
+// Refusing reports why the ledger refuses appends (frozen or degraded),
+// or nil when it is accepting. Servers use it to shed spending traffic
+// before doing any work.
+func (l *Ledger) Refusing() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.frozen != nil {
+		return fmt.Errorf("%w: %v", ErrFrozen, l.frozen)
+	}
+	if l.degraded != nil {
+		return fmt.Errorf("%w: %v", ErrDegraded, l.degraded)
+	}
+	return nil
+}
+
 // Append durably records one event. On return with a nil error the
 // event is in the WAL (and, under FsyncAlways, on stable storage) —
 // callers ack the charge only after that, so an acked charge is never
@@ -413,11 +481,18 @@ func (l *Ledger) Frozen() error {
 // the charge refused; the one exception is a sync failure after a
 // successful write, where the event may still survive — recovery then
 // over-counts spend, which is the safe (conservative) direction.
+//
+// The first I/O error permanently degrades the ledger (see
+// ErrDegraded): subsequent Appends refuse immediately without touching
+// the disk.
 func (l *Ledger) Append(ev Event) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.frozen != nil {
 		return fmt.Errorf("%w: %v", ErrFrozen, l.frozen)
+	}
+	if l.degraded != nil {
+		return fmt.Errorf("%w: %v", ErrDegraded, l.degraded)
 	}
 	if l.closed {
 		return ErrClosed
@@ -431,13 +506,18 @@ func (l *Ledger) Append(ev Event) error {
 		return err
 	}
 	if _, err := l.active.WriteAt(buf, l.activeSize); err != nil {
-		// A partial write leaves a torn tail; the next recovery
-		// truncates it, and activeSize keeps appending over it.
-		return fmt.Errorf("ledger: append: %w", err)
+		// A partial write leaves a torn tail that the next recovery
+		// truncates. Appending past it is NOT safe (a later successful
+		// write would strand a corrupt record mid-history), so the
+		// ledger degrades.
+		return l.degrade(fmt.Errorf("append: %w", err))
 	}
 	if l.opts.Fsync == FsyncAlways {
 		if err := l.syncActive(); err != nil {
-			return fmt.Errorf("ledger: fsync: %w", err)
+			// fsyncgate: the failed sync may have dropped the dirty
+			// pages and marked them clean — retrying could falsely
+			// report durability. Poison the segment instead.
+			return l.degrade(fmt.Errorf("fsync: %w", err))
 		}
 	} else {
 		l.dirty = true
@@ -454,7 +534,9 @@ func (l *Ledger) Append(ev Event) error {
 	if l.opts.SnapshotEvery > 0 && l.sinceSnap >= l.opts.SnapshotEvery {
 		if err := l.snapshotLocked(); err != nil {
 			// A failed snapshot is an operational problem, not a
-			// correctness one: the WAL still has everything.
+			// correctness one: the WAL still has everything. (If the
+			// failure implicated the WAL itself — a failed pre-sync or
+			// rotation — snapshotLocked already degraded the ledger.)
 			l.logf("ledger: snapshot failed (will retry): %v", err)
 		}
 	}
@@ -481,9 +563,13 @@ func (l *Ledger) fsyncLoop() {
 		select {
 		case <-t.C:
 			l.mu.Lock()
-			if !l.closed && l.dirty && l.active != nil {
+			if !l.closed && l.degraded == nil && l.dirty && l.active != nil {
 				if err := l.syncActive(); err != nil {
-					l.logf("ledger: interval fsync: %v", err)
+					// fsyncgate again: the interval syncer must not
+					// keep retrying a sync the kernel may have already
+					// "absorbed" — degrade so no further charge is
+					// acked against a segment of unknown durability.
+					_ = l.degrade(fmt.Errorf("interval fsync: %w", err))
 				}
 			}
 			l.mu.Unlock()
@@ -494,13 +580,21 @@ func (l *Ledger) fsyncLoop() {
 }
 
 // Sync forces buffered appends to stable storage regardless of policy.
+// Under FsyncInterval it closes the crash window at the moment it
+// returns nil. A failure degrades the ledger (fsyncgate).
 func (l *Ledger) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.degraded != nil {
+		return fmt.Errorf("%w: %v", ErrDegraded, l.degraded)
+	}
 	if l.closed || l.active == nil {
 		return nil
 	}
-	return l.syncActive()
+	if err := l.syncActive(); err != nil {
+		return l.degrade(fmt.Errorf("sync: %w", err))
+	}
+	return nil
 }
 
 // Snapshot checkpoints the current state and compacts the WAL: older
@@ -510,6 +604,9 @@ func (l *Ledger) Snapshot() error {
 	defer l.mu.Unlock()
 	if l.frozen != nil {
 		return fmt.Errorf("%w: %v", ErrFrozen, l.frozen)
+	}
+	if l.degraded != nil {
+		return fmt.Errorf("%w: %v", ErrDegraded, l.degraded)
 	}
 	if l.closed {
 		return ErrClosed
@@ -522,7 +619,9 @@ func (l *Ledger) snapshotLocked() error {
 	// segments become deletable.
 	if l.dirty {
 		if err := l.syncActive(); err != nil {
-			return err
+			// The WAL's durability is now unknown — this is an append
+			// path failure, not a snapshot one.
+			return l.degrade(fmt.Errorf("pre-snapshot fsync: %w", err))
 		}
 	}
 	l.state.pruneIdem(l.now().UnixNano())
@@ -538,31 +637,35 @@ func (l *Ledger) snapshotLocked() error {
 	}
 	final := filepath.Join(l.dir, snapshotName(seq))
 	tmp := final + ".tmp"
-	if err := writeFileSync(tmp, buf); err != nil {
+	// Snapshot-file failures are best-effort: the WAL still holds every
+	// event, so the ledger keeps appending and retries at the next
+	// SnapshotEvery boundary.
+	if err := writeFileSync(l.fs, tmp, buf); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := l.fs.Rename(tmp, final); err != nil {
 		return err
 	}
-	syncDir(l.dir)
+	syncDir(l.fs, l.dir)
 	l.sinceSnap = 0
 
 	// Rotate to a fresh segment, then drop everything the snapshot
-	// covers.
+	// covers. A rotation failure leaves no active segment to append to,
+	// so it degrades the ledger rather than leaving a nil file behind.
 	if err := l.rotateLocked(); err != nil {
-		return err
+		return l.degrade(fmt.Errorf("rotate after snapshot: %w", err))
 	}
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return nil // compaction is best-effort
 	}
 	for _, e := range entries {
 		if s, ok := parseSeq(e.Name(), "wal-", ".wal"); ok && s <= seq {
-			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil {
+			if err := l.fs.Remove(filepath.Join(l.dir, e.Name())); err != nil {
 				l.logf("ledger: compaction: %v", err)
 			}
 		} else if s, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && s < seq {
-			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil {
+			if err := l.fs.Remove(filepath.Join(l.dir, e.Name())); err != nil {
 				l.logf("ledger: compaction: %v", err)
 			}
 		}
@@ -584,7 +687,7 @@ func (l *Ledger) rotateLocked() error {
 	}
 	start := l.state.Seq + 1
 	path := filepath.Join(l.dir, segmentName(start))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return fmt.Errorf("ledger: create segment: %w", err)
 	}
@@ -598,7 +701,7 @@ func (l *Ledger) rotateLocked() error {
 			return fmt.Errorf("ledger: sync segment header: %w", err)
 		}
 	}
-	syncDir(l.dir)
+	syncDir(l.fs, l.dir)
 	l.active, l.activeSize, l.activeStart = f, magicSize, start
 	return nil
 }
@@ -613,10 +716,10 @@ func (l *Ledger) Close() error {
 	l.closed = true
 	var err error
 	if l.active != nil {
-		if l.dirty {
+		if l.dirty && l.degraded == nil {
 			err = l.syncActive()
 		}
-		if cerr := l.active.Close(); err == nil {
+		if cerr := l.active.Close(); err == nil && l.degraded == nil {
 			err = cerr
 		}
 		l.active = nil
@@ -632,8 +735,8 @@ func (l *Ledger) Close() error {
 }
 
 // writeFileSync writes data to path and fsyncs it.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func writeFileSync(fsys vfs.FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -650,11 +753,8 @@ func writeFileSync(path string, data []byte) error {
 
 // syncDir fsyncs a directory so renames and creations are durable.
 // Best-effort: some platforms refuse directory syncs.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+func syncDir(fsys vfs.FS, dir string) {
+	_ = fsys.SyncDir(dir)
 }
 
 // --- metrics ---------------------------------------------------------
@@ -662,8 +762,9 @@ func syncDir(dir string) {
 // AttachMetrics exports the ledger's telemetry into reg:
 // dp_ledger_appends_total{type=...}, dp_ledger_fsync_seconds,
 // dp_ledger_recovery_events_total, dp_ledger_recovery_torn_bytes_total,
-// dp_ledger_recovery_seconds, and the live gauges dp_ledger_seq and
-// dp_ledger_frozen. Recovery totals are recorded once, at attach time.
+// dp_ledger_recovery_seconds, and the live gauges dp_ledger_seq,
+// dp_ledger_frozen, and dp_ledger_degraded. Recovery totals are
+// recorded once, at attach time.
 func (l *Ledger) AttachMetrics(reg *obs.Registry) {
 	l.metricsMu.Lock()
 	l.metrics = reg
@@ -681,6 +782,12 @@ func (l *Ledger) AttachMetrics(reg *obs.Registry) {
 	})
 	reg.GaugeFunc("dp_ledger_frozen", func() float64 {
 		if l.Frozen() != nil {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("dp_ledger_degraded", func() float64 {
+		if l.Degraded() != nil {
 			return 1
 		}
 		return 0

@@ -1,0 +1,441 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Op classifies filesystem operations for fault matching.
+type Op string
+
+const (
+	OpMkdirAll Op = "mkdirall"
+	OpOpen     Op = "open"
+	OpReadDir  Op = "readdir"
+	OpReadFile Op = "readfile"
+	OpRemove   Op = "remove"
+	OpRename   Op = "rename"
+	OpTruncate Op = "truncate"
+	OpSyncDir  Op = "syncdir"
+	OpWrite    Op = "write" // File.Write and File.WriteAt
+	OpSync     Op = "sync"  // File.Sync
+	OpClose    Op = "close" // File.Close
+)
+
+var (
+	// ErrInjected is the default error returned by a fired fault rule.
+	ErrInjected = errors.New("vfs: injected fault")
+	// ErrCrashed is returned by every operation once the FS has crashed
+	// (a Crash rule fired or SimulateCrash was called): the process is
+	// notionally dead and must "restart" on the surviving files.
+	ErrCrashed = errors.New("vfs: simulated crash")
+)
+
+// Rule schedules one deterministic fault.
+type Rule struct {
+	// Op is the operation class the rule matches.
+	Op Op
+	// Path, when non-empty, restricts the rule to paths containing it
+	// as a substring (e.g. "wal-" or ".tmp").
+	Path string
+	// N fires the rule on the Nth matching operation, 1-based; 0 means
+	// the first.
+	N int
+	// Err is the injected error; nil means ErrInjected. Use syscall
+	// errors (EIO, ENOSPC) to model specific disks.
+	Err error
+	// Short, for OpWrite, writes only the first Short bytes through to
+	// the underlying file before failing — a torn write, the on-disk
+	// shape of ENOSPC or a crash mid-append.
+	Short int
+	// Sticky keeps the rule firing on every matching operation from N
+	// onward — a disk that stays broken.
+	Sticky bool
+	// Crash flips the whole FS into the crashed state when the rule
+	// fires: this operation and all later ones fail with ErrCrashed.
+	// Combine with SimulateCrash-style recovery by reopening the
+	// directory with a fresh FS.
+	Crash bool
+}
+
+type activeRule struct {
+	Rule
+	seen int
+}
+
+// FaultFS wraps an FS with deterministic scripted fault injection,
+// optional seeded random ("chaos") faults, and crash simulation. It
+// tracks a durability watermark per file — the byte length covered by
+// the last successful Sync — so SimulateCrash can model power loss by
+// truncating every file back to what the kernel had promised was
+// stable. All methods are safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	rules    []*activeRule
+	counts   map[Op]int
+	log      []string
+	crashed  bool
+	written  map[string]int64 // current end-of-file per path
+	durable  map[string]int64 // bytes guaranteed to survive a crash
+	chaosOps map[Op]bool
+	chaosP   float64
+	chaosRnd *rand.Rand
+	chaosHit int
+}
+
+// NewFaultFS wraps inner (nil means the real OS) with fault injection.
+// With no rules installed it is a transparent pass-through that still
+// tracks durability watermarks.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &FaultFS{
+		inner:   inner,
+		counts:  make(map[Op]int),
+		written: make(map[string]int64),
+		durable: make(map[string]int64),
+	}
+}
+
+// Inject schedules fault rules. Rules are matched in installation
+// order; the first one that fires wins for that operation.
+func (f *FaultFS) Inject(rules ...Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range rules {
+		rr := r
+		f.rules = append(f.rules, &activeRule{Rule: rr})
+	}
+}
+
+// SetChaos arms seeded random fault injection: each operation in ops
+// fails with probability p, deterministically for a given seed and
+// operation sequence. Scripted rules still take precedence.
+func (f *FaultFS) SetChaos(seed int64, p float64, ops ...Op) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.chaosRnd = rand.New(rand.NewSource(seed))
+	f.chaosP = p
+	f.chaosOps = make(map[Op]bool, len(ops))
+	for _, op := range ops {
+		f.chaosOps[op] = true
+	}
+}
+
+// Counts returns how many times each operation class has been invoked
+// (including refused invocations, excluding those after a crash).
+func (f *FaultFS) Counts() map[Op]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Op]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Injected returns a human-readable log of every fired fault.
+func (f *FaultFS) Injected() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.log...)
+}
+
+// Crashed reports whether the FS is in the crashed state.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// SimulateCrash models power loss: every tracked file is truncated in
+// the underlying FS to its last-synced length (bytes the kernel never
+// promised are lost), and the FS is marked crashed so further use
+// through it fails. Reopen the directory with a fresh FS (or the real
+// OS) to "restart the machine" on the surviving files. Renames and
+// removals are treated as immediately durable — a simplification that
+// makes the model conservative about file contents, not metadata.
+func (f *FaultFS) SimulateCrash() error {
+	f.mu.Lock()
+	f.crashed = true
+	type cut struct {
+		path string
+		keep int64
+	}
+	var cuts []cut
+	for path, w := range f.written {
+		if d := f.durable[path]; d < w {
+			cuts = append(cuts, cut{path, d})
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range cuts {
+		if err := f.inner.Truncate(c.path, c.keep); err != nil {
+			return fmt.Errorf("vfs: crash truncate %s: %w", c.path, err)
+		}
+	}
+	return nil
+}
+
+// hit records one operation and returns the rule that fires for it, if
+// any. The returned rule has Err filled in.
+func (f *FaultFS) hit(op Op, path string) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return &Rule{Op: op, Err: ErrCrashed}
+	}
+	f.counts[op]++
+	for _, r := range f.rules {
+		if r.Op != op || (r.Path != "" && !strings.Contains(path, r.Path)) {
+			continue
+		}
+		r.seen++
+		n := r.N
+		if n <= 0 {
+			n = 1
+		}
+		if r.seen != n && !(r.Sticky && r.seen > n) {
+			continue
+		}
+		fired := r.Rule
+		if fired.Err == nil {
+			fired.Err = ErrInjected
+		}
+		if fired.Crash {
+			f.crashed = true
+			fired.Err = ErrCrashed
+		}
+		f.log = append(f.log, fmt.Sprintf("%s %s (match %d): %v", op, path, r.seen, fired.Err))
+		return &fired
+	}
+	if f.chaosOps[op] && f.chaosRnd != nil && f.chaosRnd.Float64() < f.chaosP {
+		f.chaosHit++
+		f.log = append(f.log, fmt.Sprintf("%s %s: chaos", op, path))
+		return &Rule{Op: op, Err: ErrInjected}
+	}
+	return nil
+}
+
+// ChaosInjected reports how many chaos (random) faults have fired.
+func (f *FaultFS) ChaosInjected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.chaosHit
+}
+
+// noteWrite advances a path's end-of-file watermark.
+func (f *FaultFS) noteWrite(path string, end int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if end > f.written[path] {
+		f.written[path] = end
+	}
+}
+
+// noteSync marks everything written to path so far as durable.
+func (f *FaultFS) noteSync(path string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.durable[path] = f.written[path]
+}
+
+// noteOpen (re)registers a path after a successful open. Preexisting
+// bytes beyond any tracked durable watermark are assumed durable —
+// they were there before this FS started observing the file.
+func (f *FaultFS) noteOpen(path string, size int64, trunc bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if trunc {
+		f.written[path] = 0
+		f.durable[path] = 0
+		return
+	}
+	if _, tracked := f.written[path]; !tracked {
+		f.written[path] = size
+		f.durable[path] = size
+	}
+}
+
+// --- FS implementation ----------------------------------------------
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if r := f.hit(OpMkdirAll, path); r != nil {
+		return r.Err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if r := f.hit(OpOpen, name); r != nil {
+		return nil, r.Err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if flag&os.O_TRUNC == 0 {
+		if end, err := file.Seek(0, io.SeekEnd); err == nil {
+			size = end
+			_, _ = file.Seek(0, io.SeekStart)
+		}
+	}
+	f.noteOpen(name, size, flag&os.O_TRUNC != 0)
+	return &faultFile{f: file, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if r := f.hit(OpReadDir, name); r != nil {
+		return nil, r.Err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if r := f.hit(OpReadFile, name); r != nil {
+		return nil, r.Err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if r := f.hit(OpRemove, name); r != nil {
+		return r.Err
+	}
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.written, name)
+	delete(f.durable, name)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if r := f.hit(OpRename, oldpath); r != nil {
+		return r.Err
+	}
+	if err := f.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if w, ok := f.written[oldpath]; ok {
+		f.written[newpath] = w
+		f.durable[newpath] = f.durable[oldpath]
+		delete(f.written, oldpath)
+		delete(f.durable, oldpath)
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if r := f.hit(OpTruncate, name); r != nil {
+		return r.Err
+	}
+	if err := f.inner.Truncate(name, size); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.written[name] = size
+	if f.durable[name] > size {
+		f.durable[name] = size
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	if r := f.hit(OpSyncDir, name); r != nil {
+		return r.Err
+	}
+	return f.inner.SyncDir(name)
+}
+
+// faultFile routes a file's writes, syncs, and close through its
+// owning FaultFS for fault matching and watermark tracking.
+type faultFile struct {
+	f    File
+	fs   *FaultFS
+	path string
+
+	mu  sync.Mutex
+	pos int64 // sequential-write position, for Write watermarks
+}
+
+func (w *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if r := w.fs.hit(OpWrite, w.path); r != nil {
+		if r.Short > 0 && r.Short < len(p) && !errors.Is(r.Err, ErrCrashed) {
+			n, _ := w.f.WriteAt(p[:r.Short], off)
+			w.fs.noteWrite(w.path, off+int64(n))
+			return n, r.Err
+		}
+		return 0, r.Err
+	}
+	n, err := w.f.WriteAt(p, off)
+	w.fs.noteWrite(w.path, off+int64(n))
+	return n, err
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if r := w.fs.hit(OpWrite, w.path); r != nil {
+		if r.Short > 0 && r.Short < len(p) && !errors.Is(r.Err, ErrCrashed) {
+			n, _ := w.f.Write(p[:r.Short])
+			w.advance(int64(n))
+			return n, r.Err
+		}
+		return 0, r.Err
+	}
+	n, err := w.f.Write(p)
+	w.advance(int64(n))
+	return n, err
+}
+
+func (w *faultFile) advance(n int64) {
+	w.mu.Lock()
+	w.pos += n
+	end := w.pos
+	w.mu.Unlock()
+	w.fs.noteWrite(w.path, end)
+}
+
+func (w *faultFile) Seek(offset int64, whence int) (int64, error) {
+	pos, err := w.f.Seek(offset, whence)
+	if err == nil {
+		w.mu.Lock()
+		w.pos = pos
+		w.mu.Unlock()
+	}
+	return pos, err
+}
+
+func (w *faultFile) Sync() error {
+	if r := w.fs.hit(OpSync, w.path); r != nil {
+		return r.Err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fs.noteSync(w.path)
+	return nil
+}
+
+func (w *faultFile) Close() error {
+	if r := w.fs.hit(OpClose, w.path); r != nil {
+		return r.Err
+	}
+	// Close does NOT advance the durability watermark: the power-loss
+	// model counts only what an fsync has promised.
+	return w.f.Close()
+}
