@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-all chaos
+.PHONY: check build test cover bench bench-all chaos
 
 # The tier-1 gate (see ROADMAP.md): build + vet + tests under -race.
 check:
@@ -9,6 +9,10 @@ build:
 
 test:
 	go test ./...
+
+# Per-package statement coverage, one line per package.
+cover:
+	go test -cover ./... | grep -v '\[no test files\]'
 
 # Engine + ledger benchmarks, parsed into BENCH_core.json
 # (cmd/benchjson) so every PR leaves a perf trajectory. Sequential and

@@ -2,7 +2,7 @@
 // directory (see internal/ledger and dpserver -ledger-dir):
 //
 //	dpledger verify  -dir /var/lib/dpserver/ledger [-q]
-//	dpledger inspect -dir /var/lib/dpserver/ledger [-events]
+//	dpledger inspect -dir /var/lib/dpserver/ledger [-events] [-json]
 //	dpledger compact -dir /var/lib/dpserver/ledger
 //
 // verify replays the full history read-only and reports whether it is
@@ -20,7 +20,9 @@
 // (Usage errors exit 64, EX_USAGE, so they cannot be mistaken for a
 // torn tail.) -q suppresses the human-readable report, leaving just
 // the exit code. inspect prints the recovered budget state as JSON
-// (-events additionally dumps every WAL record as JSON lines). compact
+// (-events additionally dumps every WAL record as JSON lines; -json
+// emits ONLY the NDJSON event stream, one object per WAL record, for
+// piping into jq or a log shipper). compact
 // opens the ledger, writes a fresh snapshot, and deletes the WAL
 // segments and snapshots it supersedes. Only run compact while no
 // dpserver has the ledger open — the ledger assumes a single writer.
@@ -51,6 +53,7 @@ func main() {
 	fs := flag.NewFlagSet("dpledger "+cmd, flag.ExitOnError)
 	dir := fs.String("dir", "", "ledger directory")
 	events := fs.Bool("events", false, "inspect: also dump every WAL event as JSON lines")
+	ndjson := fs.Bool("json", false, "inspect: emit NDJSON only — one JSON object per WAL record, no state summary")
 	quiet := fs.Bool("q", false, "verify: suppress the report, communicate via exit code only")
 	auditCap := fs.Int("audit-cap", 0, "audit-trail bound during replay (0 = server default)")
 	fs.Parse(os.Args[2:])
@@ -63,7 +66,7 @@ func main() {
 	case "verify":
 		verify(*dir, *auditCap, *quiet)
 	case "inspect":
-		inspect(*dir, *auditCap, *events)
+		inspect(*dir, *auditCap, *events, *ndjson)
 	case "compact":
 		compact(*dir, *auditCap)
 	default:
@@ -72,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dpledger {verify|inspect|compact} -dir <ledger-dir> [-q] [-events]")
+	fmt.Fprintln(os.Stderr, "usage: dpledger {verify|inspect|compact} -dir <ledger-dir> [-q] [-events] [-json]")
 	os.Exit(exitUsage)
 }
 
@@ -103,7 +106,18 @@ func verify(dir string, auditCap int, quiet bool) {
 	os.Exit(exitClean)
 }
 
-func inspect(dir string, auditCap int, dumpEvents bool) {
+func inspect(dir string, auditCap int, dumpEvents, ndjson bool) {
+	if ndjson {
+		// Machine mode: nothing but NDJSON on stdout — one JSON object
+		// per WAL record, pipeable straight into jq or a log shipper.
+		line := json.NewEncoder(os.Stdout)
+		if err := ledger.Events(dir, func(ev ledger.Event) error {
+			return line.Encode(ev)
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	state, _, err := ledger.Replay(dir, auditCap)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dpledger: warning: history corrupt after seq %d: %v\n", state.Seq, err)

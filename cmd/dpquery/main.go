@@ -25,6 +25,12 @@
 //
 // The tool prints the remaining privacy budget after each query; a
 // refused query reports the budget error instead of an answer.
+//
+// -explain additionally prints the query's execution profile — the
+// operator plan with per-step timings, execution strategies, and
+// per-aggregation ε accounting — at no extra privacy cost. In remote
+// mode this is the server's X-DP-Explain surface, so record counts are
+// redacted; in local mode (you hold the raw trace) counts are shown.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"dptrace/internal/dpclient"
 	"dptrace/internal/dpserver"
 	"dptrace/internal/noise"
+	"dptrace/internal/obs"
 	"dptrace/internal/trace"
 )
 
@@ -57,10 +64,11 @@ func main() {
 	minLen := flag.Int("minlen", -1, "filter: minimum packet length")
 	minBytes := flag.Int("minbytes", 1024, "hosts query: per-host byte threshold")
 	seed := flag.Uint64("seed", 0, "noise seed; 0 uses crypto randomness (local mode)")
+	explain := flag.Bool("explain", false, "print the query's execution profile (plan, timings, ε accounting); costs no extra ε")
 	flag.Parse()
 
 	if *server != "" {
-		remote(*server, *analyst, *dataset, *timeout, *query, *eps, *dstPort, *srcPort, *minLen, *minBytes)
+		remote(*server, *analyst, *dataset, *timeout, *query, *eps, *dstPort, *srcPort, *minLen, *minBytes, *explain)
 		return
 	}
 
@@ -85,8 +93,14 @@ func main() {
 		src = noise.NewSeededSource(*seed, *seed+1)
 	}
 	q, root := core.NewQueryable(packets, *budget, src)
+	// The profile recorder assembles the -explain plan; plain Where
+	// skips recorder hooks, so the filter goes through WhereRecorded.
+	prof := obs.NewProfileRecorder(func() float64 { return root.Spent() })
+	if *explain {
+		q = q.WithRecorder(prof)
+	}
 
-	filtered := q.Where(func(p trace.Packet) bool {
+	filtered := core.WhereRecorded(q, func(p trace.Packet) bool {
 		if *dstPort >= 0 && int(p.DstPort) != *dstPort {
 			return false
 		}
@@ -106,7 +120,7 @@ func main() {
 		fmt.Printf("noisy count: %.1f (noise std %.2f)\n", v, noise.LaplaceStd(*eps))
 	case "hosts":
 		grouped := core.GroupBy(filtered, func(p trace.Packet) trace.IPv4 { return p.SrcIP })
-		heavy := grouped.Where(func(g core.Group[trace.IPv4, trace.Packet]) bool {
+		heavy := core.WhereRecorded(grouped, func(g core.Group[trace.IPv4, trace.Packet]) bool {
 			total := 0
 			for _, p := range g.Items {
 				total += int(p.Len)
@@ -135,11 +149,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dpquery: unknown query %q\n", *query)
 		os.Exit(2)
 	}
+	if *explain {
+		fmt.Println("plan:")
+		prof.Profile().WriteText(os.Stdout)
+	}
 	fmt.Printf("budget: spent %.3f of %.3f\n", root.Spent(), *budget)
 }
 
 // remote runs one query against a dpserver through the v1 client.
-func remote(server, analyst, dataset string, timeout time.Duration, query string, eps float64, dstPort, srcPort, minLen, minBytes int) {
+func remote(server, analyst, dataset string, timeout time.Duration, query string, eps float64, dstPort, srcPort, minLen, minBytes int, explain bool) {
 	if dataset == "" {
 		fmt.Fprintln(os.Stderr, "dpquery: -dataset is required with -server")
 		os.Exit(2)
@@ -161,18 +179,27 @@ func remote(server, analyst, dataset string, timeout time.Duration, query string
 		}
 	}
 
+	run := c.Query
+	if explain {
+		run = c.Explain
+	}
+	var r *dpclient.Result
+	var err error
 	switch query {
 	case "count":
-		v, err := c.Count(ctx, dataset, eps, filter)
+		r, err = run(ctx, dpserver.QueryRequest{
+			Dataset: dataset, Query: "count", Epsilon: eps, Filter: filter})
 		report(err)
-		fmt.Printf("noisy count: %.1f (noise std %.2f)\n", v, noise.LaplaceStd(eps))
+		fmt.Printf("noisy count: %.1f (noise std %.2f)\n", r.Values[0], noise.LaplaceStd(eps))
 	case "hosts":
-		v, err := c.Hosts(ctx, dataset, eps, filter, minBytes)
+		r, err = run(ctx, dpserver.QueryRequest{
+			Dataset: dataset, Query: "hosts", Epsilon: eps, Filter: filter, MinBytes: minBytes})
 		report(err)
 		fmt.Printf("noisy distinct hosts over %d bytes: %.1f (noise std %.2f)\n",
-			minBytes, v, 2*noise.LaplaceStd(eps))
+			minBytes, r.Values[0], 2*noise.LaplaceStd(eps))
 	case "lencdf":
-		r, err := c.LengthCDF(ctx, dataset, eps, 16)
+		r, err = run(ctx, dpserver.QueryRequest{
+			Dataset: dataset, Query: "lencdf", Epsilon: eps, BucketStep: 16})
 		report(err)
 		for i, edge := range r.Buckets {
 			fmt.Printf("%d %.1f\n", edge, r.Values[i])
@@ -180,6 +207,10 @@ func remote(server, analyst, dataset string, timeout time.Duration, query string
 	default:
 		fmt.Fprintf(os.Stderr, "dpquery: unknown remote query %q (count, hosts, lencdf)\n", query)
 		os.Exit(2)
+	}
+	if explain && r.Profile != nil {
+		fmt.Println("plan:")
+		r.Profile.WriteText(os.Stdout)
 	}
 	spent, remaining, err := c.Budget(ctx, dataset)
 	report(err)

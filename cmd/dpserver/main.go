@@ -31,9 +31,19 @@
 // The server self-instruments: GET /v1/metrics (Prometheus text),
 // GET /v1/healthz (liveness), GET /v1/readyz (readiness — 503 while
 // draining or while a frozen/degraded ledger has spending shed
-// fail-closed), and GET /v1/debug/traces are always on; -pprof
-// additionally mounts net/http/pprof under /debug/pprof/. These are
-// owner-side endpoints — shield them at your ingress.
+// fail-closed), GET /v1/debug/traces, and GET /v1/debug/queries (the
+// ring of recent wide events) are always on; -pprof additionally
+// mounts net/http/pprof under /debug/pprof/. These are owner-side
+// endpoints — shield them at your ingress.
+//
+// Operational events leave the process as structured wide events: one
+// JSON object per occurrence (query completions carrying their full
+// execution profile, sheds, recovered panics, ledger freezes, drains)
+// on the -event-log stream (default stderr; a file path appends; none
+// keeps the in-memory ring only). -slow-query additionally warns on
+// queries at or above the threshold. Analysts can request their own
+// query's (redacted) profile at zero extra ε with the X-DP-Explain
+// header — see dpquery -explain.
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,6 +63,7 @@ import (
 	"dptrace/internal/dpserver"
 	"dptrace/internal/ledger"
 	"dptrace/internal/noise"
+	"dptrace/internal/obs/qlog"
 	"dptrace/internal/trace"
 )
 
@@ -81,6 +93,8 @@ func main() {
 	ledgerDir := flag.String("ledger-dir", "", "directory for the durable privacy-budget ledger (empty = in-memory budgets, lost on restart)")
 	fsyncPolicy := flag.String("fsync", "always", "ledger durability: always (sync every charge), interval, or never")
 	snapshotEvery := flag.Int("snapshot-every", 0, "ledger events between snapshots + compaction (0 = default 4096, negative = never)")
+	slowQuery := flag.Duration("slow-query", 0, "slow-query log threshold: completed queries at least this slow emit a slow_query warning event (0 = off)")
+	eventLog := flag.String("event-log", "stderr", "wide-event JSON stream destination: stderr, a file path, or 'none' (ring-only, still served at /v1/debug/queries)")
 	flag.Parse()
 
 	if len(traces) == 0 {
@@ -94,16 +108,34 @@ func main() {
 	} else {
 		src = noise.NewSeededSource(*seed, *seed+1)
 	}
+	// The wide-event stream: one JSON object per operational event
+	// (query completions with execution profiles, sheds, panics, ledger
+	// transitions). The same logger's ring serves /v1/debug/queries.
+	var eventSink io.Writer
+	switch *eventLog {
+	case "stderr":
+		eventSink = os.Stderr
+	case "none", "":
+		eventSink = nil
+	default:
+		f, err := os.OpenFile(*eventLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		eventSink = f
+	}
+	events := qlog.New(qlog.Options{W: eventSink})
+
 	opts := []dpserver.ServerOption{
 		dpserver.WithLimits(dpserver.Limits{
 			MaxConcurrent:  *maxConcurrent,
 			QueueWait:      *queueWait,
 			DefaultTimeout: *timeout,
 			MaxTimeout:     *maxTimeout,
+			SlowQuery:      *slowQuery,
 		}),
-		dpserver.WithLogf(func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}),
+		dpserver.WithEventLog(events),
 	}
 	var led *ledger.Ledger
 	if *ledgerDir != "" {
@@ -115,9 +147,7 @@ func main() {
 			Dir:           *ledgerDir,
 			Fsync:         policy,
 			SnapshotEvery: *snapshotEvery,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, format+"\n", args...)
-			},
+			Logf:          events.Logf(qlog.Warn, "ledger"),
 		})
 		if err != nil {
 			fatal(err)

@@ -79,12 +79,14 @@ func WhereRecorded[T any](q *Queryable[T], pred func(T) bool) *Queryable[T] {
 	}
 	start := opStart(q.rec)
 	var out *Queryable[T]
+	var w int
 	if q.exec.active(len(q.records)) {
 		out = whereParallel(q, pred)
+		w = q.exec.width(len(q.records))
 	} else {
 		out = q.Where(pred)
 	}
-	opDone(q.rec, "where", start, len(q.records), len(out.records))
+	opDone(q.rec, "where", start, len(q.records), len(out.records), w)
 	return out
 }
 
@@ -96,12 +98,14 @@ func SelectRecorded[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
 	}
 	start := opStart(q.rec)
 	var out *Queryable[U]
+	var w int
 	if q.exec.active(len(q.records)) {
 		out = selectParallel(q, f)
+		w = q.exec.width(len(q.records))
 	} else {
 		out = Select(q, f)
 	}
-	opDone(q.rec, "select", start, len(q.records), len(out.records))
+	opDone(q.rec, "select", start, len(q.records), len(out.records), w)
 	return out
 }
 
@@ -113,12 +117,14 @@ func opStart(rec obs.Recorder) time.Time {
 	return time.Now()
 }
 
-// opDone reports one completed transformation.
-func opDone(rec obs.Recorder, op string, start time.Time, in, out int) {
+// opDone reports one completed transformation. workers is 0 for
+// sequential execution and the shard count when the parallel engine
+// ran the operator.
+func opDone(rec obs.Recorder, op string, start time.Time, in, out, workers int) {
 	if rec == nil {
 		return
 	}
-	rec.OpDone(op, time.Since(start), in, out)
+	rec.OpDone(op, time.Since(start), in, out, workers)
 }
 
 // aggDone reports one aggregation attempt, classifying err into the

@@ -19,6 +19,7 @@ type capturedOp struct {
 	op      string
 	d       time.Duration
 	in, out int
+	workers int
 }
 
 type capturedAgg struct {
@@ -26,8 +27,8 @@ type capturedAgg struct {
 	epsilon      float64
 }
 
-func (c *captureRecorder) OpDone(op string, d time.Duration, in, out int) {
-	c.ops = append(c.ops, capturedOp{op, d, in, out})
+func (c *captureRecorder) OpDone(op string, d time.Duration, in, out, workers int) {
+	c.ops = append(c.ops, capturedOp{op, d, in, out, workers})
 }
 
 func (c *captureRecorder) AggDone(agg, outcome string, epsilon float64, d time.Duration) {

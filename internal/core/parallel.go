@@ -109,6 +109,7 @@ func selectParallel[T, U any](q *Queryable[T], f func(T) U) *Queryable[U] {
 
 // selectManyParallel is the chunked strategy for SelectMany.
 func selectManyParallel[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable[U] {
+	start := opStart(q.rec)
 	n := len(q.records)
 	w := q.exec.width(n)
 	cn := newCanceler(q.ctx)
@@ -132,13 +133,16 @@ func selectManyParallel[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Q
 		return derive(q, []U{}, newScaleAgent(q.agent, float64(fanout)))
 	}
 	parallelExecs.Add(1)
-	return derive(q, mergeChunks(parts), newScaleAgent(q.agent, float64(fanout)))
+	out := mergeChunks(parts)
+	opDone(q.rec, "selectmany", start, n, len(out), w)
+	return derive(q, out, newScaleAgent(q.agent, float64(fanout)))
 }
 
 // distinctParallel parallelizes the key computation and per-chunk
 // dedup; a sequential pass over the (much smaller) per-chunk survivors
 // restores the global first-appearance order.
 func distinctParallel[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[T] {
+	start := opStart(q.rec)
 	n := len(q.records)
 	w := q.exec.width(n)
 	cn := newCanceler(q.ctx)
@@ -187,6 +191,7 @@ func distinctParallel[T any, K comparable](q *Queryable[T], key func(T) K) *Quer
 		}
 	}
 	parallelExecs.Add(1)
+	opDone(q.rec, "distinct", start, n, len(out), w)
 	return derive(q, out, q.agent)
 }
 
@@ -297,7 +302,7 @@ func groupByParallel[T any, K comparable](q *Queryable[T], key func(T) K) *Query
 		groups[i] = Group[K, T]{Key: g.key, Items: g.items}
 	}
 	parallelExecs.Add(1)
-	opDone(q.rec, "groupby", start, n, len(groups))
+	opDone(q.rec, "groupby", start, n, len(groups), w)
 	return derive(q, groups, newScaleAgent(q.agent, 2))
 }
 
@@ -371,7 +376,7 @@ func joinParallel[T, U any, K comparable, R any](
 	}
 	out := mergeChunks(parts)
 	parallelExecs.Add(1)
-	opDone(rec, "join", start, len(a.records)+len(b.records), len(out))
+	opDone(rec, "join", start, len(a.records)+len(b.records), len(out), w)
 	res := derive(a, out, newDualAgent(a.agent, b.agent))
 	res.rec = rec
 	res.ctx = ctx
@@ -442,7 +447,7 @@ func groupJoinParallel[T, U any, K comparable, R any](
 	}
 	out := mergeChunks(parts)
 	parallelExecs.Add(1)
-	opDone(rec, "groupjoin", start, len(a.records)+len(b.records), len(out))
+	opDone(rec, "groupjoin", start, len(a.records)+len(b.records), len(out), w)
 	res := derive(a, out, agent())
 	res.rec = rec
 	res.ctx = ctx
@@ -545,7 +550,7 @@ func semiJoinParallel[T, U any, K comparable](
 	}
 	out := mergeChunks(parts)
 	parallelExecs.Add(1)
-	opDone(rec, op, start, n+len(other.records), len(out))
+	opDone(rec, op, start, n+len(other.records), len(out), w)
 	res := derive(q, out, newDualAgent(q.agent, other.agent))
 	res.rec = rec
 	res.ctx = ctx
@@ -604,6 +609,6 @@ func partitionParallel[T any, K comparable](q *Queryable[T], keys []K, keyOf fun
 		parts[k] = derive(q, buckets[i], shared.member(i))
 	}
 	parallelExecs.Add(1)
-	opDone(q.rec, "partition", start, n, matched)
+	opDone(q.rec, "partition", start, n, matched, w)
 	return parts
 }

@@ -141,6 +141,11 @@ func (p *AnalystPolicy) RemainingFor(analyst string) float64 {
 	return personal
 }
 
+// PerAnalystBudget reports the per-analyst allowance this policy was
+// created with (+Inf when unlimited) — the denominator for budget
+// burn-rate telemetry.
+func (p *AnalystPolicy) PerAnalystBudget() float64 { return p.perAnalyst }
+
 // TotalSpent reports the cumulative cost across all analysts.
 func (p *AnalystPolicy) TotalSpent() float64 { return p.total.Spent() }
 

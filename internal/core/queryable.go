@@ -83,7 +83,7 @@ func (q *Queryable[T]) Concat(other *Queryable[T]) *Queryable[T] {
 	out := make([]T, 0, len(q.records)+len(other.records))
 	out = append(out, q.records...)
 	out = append(out, other.records...)
-	opDone(rec, "concat", start, len(q.records)+len(other.records), len(out))
+	opDone(rec, "concat", start, len(q.records)+len(other.records), len(out), 0)
 	res.records = out
 	return res
 }
@@ -125,7 +125,7 @@ func SelectMany[T, U any](q *Queryable[T], fanout int, f func(T) []U) *Queryable
 		}
 		out = append(out, mapped...)
 	}
-	opDone(q.rec, "selectmany", start, len(q.records), len(out))
+	opDone(q.rec, "selectmany", start, len(q.records), len(out), 0)
 	return derive(q, out, newScaleAgent(q.agent, float64(fanout)))
 }
 
@@ -150,7 +150,7 @@ func Distinct[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[T]
 		seen[k] = struct{}{}
 		out = append(out, r)
 	}
-	opDone(q.rec, "distinct", start, len(q.records), len(out))
+	opDone(q.rec, "distinct", start, len(q.records), len(out), 0)
 	return derive(q, out, q.agent)
 }
 
@@ -188,7 +188,7 @@ func GroupBy[T any, K comparable](q *Queryable[T], key func(T) K) *Queryable[Gro
 			groups = append(groups, Group[K, T]{Key: k, Items: []T{r}})
 		}
 	}
-	opDone(q.rec, "groupby", start, len(q.records), len(groups))
+	opDone(q.rec, "groupby", start, len(q.records), len(groups), 0)
 	return derive(q, groups, newScaleAgent(q.agent, 2))
 }
 
@@ -244,7 +244,7 @@ func Join[T, U any, K comparable, R any](
 			out = append(out, result(ga[i], gb[i]))
 		}
 	}
-	opDone(rec, "join", start, len(a.records)+len(b.records), len(out))
+	opDone(rec, "join", start, len(a.records)+len(b.records), len(out), 0)
 	res := derive(a, out, newDualAgent(a.agent, b.agent))
 	res.rec = rec
 	res.ctx = ctx
@@ -298,7 +298,7 @@ func GroupJoin[T, U any, K comparable, R any](
 		}
 		out = append(out, result(k, groupsA[k], gb))
 	}
-	opDone(rec, "groupjoin", start, len(a.records)+len(b.records), len(out))
+	opDone(rec, "groupjoin", start, len(a.records)+len(b.records), len(out), 0)
 	agent := newDualAgent(newScaleAgent(a.agent, 2), newScaleAgent(b.agent, 2))
 	res := derive(a, out, agent)
 	res.rec = rec
@@ -332,7 +332,7 @@ func Intersect[T, U any, K comparable](q *Queryable[T], other *Queryable[U], key
 			out = append(out, r)
 		}
 	}
-	opDone(rec, "intersect", start, len(q.records)+len(other.records), len(out))
+	opDone(rec, "intersect", start, len(q.records)+len(other.records), len(out), 0)
 	res := derive(q, out, newDualAgent(q.agent, other.agent))
 	res.rec = rec
 	res.ctx = ctx
@@ -366,7 +366,7 @@ func Except[T, U any, K comparable](q *Queryable[T], other *Queryable[U], keyQ f
 			out = append(out, r)
 		}
 	}
-	opDone(rec, "except", start, len(q.records)+len(other.records), len(out))
+	opDone(rec, "except", start, len(q.records)+len(other.records), len(out), 0)
 	res := derive(q, out, newDualAgent(q.agent, other.agent))
 	res.rec = rec
 	res.ctx = ctx
@@ -413,6 +413,6 @@ func Partition[T any, K comparable](q *Queryable[T], keys []K, keyOf func(T) K) 
 	for i, k := range keys {
 		parts[k] = derive(q, buckets[i], shared.member(i))
 	}
-	opDone(q.rec, "partition", start, len(q.records), matched)
+	opDone(q.rec, "partition", start, len(q.records), matched, 0)
 	return parts
 }

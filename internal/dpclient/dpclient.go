@@ -31,6 +31,7 @@ import (
 
 	"dptrace/internal/dpserver"
 	"dptrace/internal/obs"
+	"dptrace/internal/obs/qlog"
 )
 
 // ErrBudgetExceeded reports a budget_exhausted refusal from the
@@ -200,6 +201,12 @@ func NewIdempotencyKey() string {
 // body on any 200. Non-200 responses become *APIError; 429/503 and
 // transport failures are retried per the policy, honouring Retry-After.
 func (c *Client) call(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	return c.callWith(ctx, method, path, body, nil)
+}
+
+// callWith is call with extra request headers (X-DP-Explain and
+// friends), applied identically on every retry attempt.
+func (c *Client) callWith(ctx context.Context, method, path string, body []byte, headers map[string]string) ([]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -230,7 +237,7 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte) ([]
 			case <-t.C:
 			}
 		}
-		out, err, retriable := c.once(ctx, method, path, body)
+		out, err, retriable := c.once(ctx, method, path, body, headers)
 		if err == nil {
 			return out, nil
 		}
@@ -245,7 +252,7 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte) ([]
 	return nil, lastErr
 }
 
-func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, error, bool) {
+func (c *Client) once(ctx context.Context, method, path string, body []byte, headers map[string]string) ([]byte, error, bool) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -256,6 +263,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
 	}
 	if deadline, ok := ctx.Deadline(); ok {
 		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
@@ -315,6 +325,10 @@ type Result struct {
 	// Trace is the server-side span tree of the executed pipeline,
 	// present when the request set Trace: true.
 	Trace *obs.Span
+	// Profile is the query's execution profile, present on Explain
+	// calls. It is redacted server-side (no record counts) and costs
+	// no extra ε.
+	Profile *obs.Profile
 }
 
 // Query runs one raw query (see dpserver.QueryRequest for fields); the
@@ -322,6 +336,18 @@ type Result struct {
 // attached when the request carries none so retries spend ε at most
 // once.
 func (c *Client) Query(ctx context.Context, req dpserver.QueryRequest) (*Result, error) {
+	return c.query(ctx, req, nil)
+}
+
+// Explain is Query with the X-DP-Explain header set: the result
+// additionally carries the server's execution profile — the operator
+// plan, timings, strategies, and per-aggregation ε accounting.
+// Explaining is free; the budget charge is identical to Query.
+func (c *Client) Explain(ctx context.Context, req dpserver.QueryRequest) (*Result, error) {
+	return c.query(ctx, req, map[string]string{dpserver.ExplainHeader: "true"})
+}
+
+func (c *Client) query(ctx context.Context, req dpserver.QueryRequest, headers map[string]string) (*Result, error) {
 	req.Analyst = c.analyst
 	if req.IdempotencyKey == "" {
 		req.IdempotencyKey = NewIdempotencyKey()
@@ -330,7 +356,7 @@ func (c *Client) Query(ctx context.Context, req dpserver.QueryRequest) (*Result,
 	if err != nil {
 		return nil, fmt.Errorf("dpclient: encoding request: %w", err)
 	}
-	out, err := c.call(ctx, http.MethodPost, "/v1/query", body)
+	out, err := c.callWith(ctx, http.MethodPost, "/v1/query", body, headers)
 	if err != nil {
 		return nil, err
 	}
@@ -341,6 +367,7 @@ func (c *Client) Query(ctx context.Context, req dpserver.QueryRequest) (*Result,
 	return &Result{
 		Values: qr.Values, Buckets: qr.Buckets, NoiseStd: qr.NoiseStd,
 		Spent: qr.Spent, Remaining: qr.Remaining, Trace: qr.Trace,
+		Profile: qr.Profile,
 	}, nil
 }
 
@@ -441,6 +468,25 @@ func (c *Client) RecentTraces(ctx context.Context, n int) ([]*obs.Span, error) {
 		return nil, fmt.Errorf("dpclient: decoding traces: %w", err)
 	}
 	return spans, nil
+}
+
+// RecentEvents fetches the server's ring of recent wide events
+// (newest first); n ≤ 0 fetches everything the server holds. Like
+// RecentTraces, this is an owner-side surface.
+func (c *Client) RecentEvents(ctx context.Context, n int) ([]qlog.Event, error) {
+	path := "/v1/debug/queries"
+	if n > 0 {
+		path += "?n=" + url.QueryEscape(fmt.Sprint(n))
+	}
+	out, err := c.call(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	var events []qlog.Event
+	if err := json.Unmarshal(out, &events); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding events: %w", err)
+	}
+	return events, nil
 }
 
 // MetricsText fetches the server's Prometheus text exposition.

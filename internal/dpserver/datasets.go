@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"time"
 
 	"dptrace/internal/core"
 	"dptrace/internal/noise"
+	"dptrace/internal/obs"
 	"dptrace/internal/trace"
 )
 
@@ -93,6 +95,9 @@ type MatrixResponse struct {
 	NoiseStd  float64   `json:"noiseStd"`
 	Spent     float64   `json:"spent"`
 	Remaining float64   `json:"remaining"`
+	// Profile is the redacted execution profile, present when the
+	// request carried the X-DP-Explain header (free of charge).
+	Profile *obs.Profile `json:"profile,omitempty"`
 }
 
 func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
@@ -116,18 +121,21 @@ func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v1 := isV1(r)
+	explain := wantsExplain(r)
 	s.serveIdempotent(w, r, req.Dataset, req.Analyst, req.IdempotencyKey,
 		func(ctx context.Context) (int, []byte, bool) {
-			return s.executeLoadMatrix(ctx, v1, d, exec, &req)
+			return s.executeLoadMatrix(ctx, v1, explain, d, exec, &req)
 		})
 }
 
-func (s *Server) executeLoadMatrix(ctx context.Context, v1 bool, d *linkDataset, exec core.ExecOptions, req *MatrixRequest) (int, []byte, bool) {
+func (s *Server) executeLoadMatrix(ctx context.Context, v1, explain bool, d *linkDataset, exec core.ExecOptions, req *MatrixRequest) (int, []byte, bool) {
 	if s.execHook != nil {
 		s.execHook(ctx)
 	}
+	start := time.Now()
+	prof := obs.NewProfileRecorder(func() float64 { return d.policy.SpentBy(req.Analyst) })
 	q := core.NewQueryableFor(d.samples, d.policy.AgentFor(req.Analyst), s.src).
-		WithRecorder(s.engineRec).WithExecOptions(exec).WithContext(ctx)
+		WithRecorder(obs.Multi(s.engineRec, prof)).WithExecOptions(exec).WithContext(ctx)
 
 	linkKeys := make([]int32, d.links)
 	for i := range linkKeys {
@@ -138,6 +146,11 @@ func (s *Server) executeLoadMatrix(ctx context.Context, v1 bool, d *linkDataset,
 		binKeys[i] = int32(i)
 	}
 	spentBefore := d.policy.SpentBy(req.Analyst)
+	done := queryOutcome{
+		endpoint: "/query/loadmatrix", analyst: req.Analyst, dataset: req.Dataset,
+		query: "loadmatrix", epsilon: req.Epsilon, started: start,
+		idempotency: idemStatus(req.IdempotencyKey), policy: d.policy,
+	}
 	data := make([]float64, d.bins*d.links)
 	byLink := core.Partition(q, linkKeys, func(x trace.LinkSample) int32 { return x.Link })
 	for l, lk := range linkKeys {
@@ -151,6 +164,8 @@ func (s *Server) executeLoadMatrix(ctx context.Context, v1 bool, d *linkDataset,
 					Query: "loadmatrix", Epsilon: req.Epsilon, Charged: charged, Outcome: outcome})
 				status, ae := classify(err, finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)), charged)
 				cacheable := !(outcome == "canceled" && charged == 0)
+				done.outcome, done.status, done.charged, done.profile = outcome, status, charged, prof.Profile()
+				s.finishQuery(done)
 				return status, marshalError(v1, ae), cacheable
 			}
 			data[b*d.links+l] = c
@@ -158,12 +173,18 @@ func (s *Server) executeLoadMatrix(ctx context.Context, v1 bool, d *linkDataset,
 	}
 	s.recordAudit(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
 		Query: "loadmatrix", Epsilon: req.Epsilon, Charged: req.Epsilon, Outcome: "ok"})
-	return http.StatusOK, marshalJSON(MatrixResponse{
+	resp := MatrixResponse{
 		Bins: d.bins, Links: d.links, Data: data,
 		NoiseStd:  noise.LaplaceStd(req.Epsilon),
 		Spent:     d.policy.SpentBy(req.Analyst),
 		Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
-	}), true
+	}
+	done.outcome, done.status, done.charged, done.profile = "ok", http.StatusOK, resp.Spent-spentBefore, prof.Profile()
+	s.finishQuery(done)
+	if explain {
+		resp.Profile = done.profile.Redact()
+	}
+	return http.StatusOK, marshalJSON(resp), true
 }
 
 // HopAveragesRequest is the POST /query/monitoravgs body: per-monitor
@@ -183,6 +204,9 @@ type HopAveragesResponse struct {
 	Averages  []float64 `json:"averages"`
 	Spent     float64   `json:"spent"`
 	Remaining float64   `json:"remaining"`
+	// Profile is the redacted execution profile, present when the
+	// request carried the X-DP-Explain header (free of charge).
+	Profile *obs.Profile `json:"profile,omitempty"`
 }
 
 func (s *Server) handleMonitorAverages(w http.ResponseWriter, r *http.Request) {
@@ -209,23 +233,31 @@ func (s *Server) handleMonitorAverages(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v1 := isV1(r)
+	explain := wantsExplain(r)
 	s.serveIdempotent(w, r, req.Dataset, req.Analyst, req.IdempotencyKey,
 		func(ctx context.Context) (int, []byte, bool) {
-			return s.executeMonitorAverages(ctx, v1, d, exec, &req)
+			return s.executeMonitorAverages(ctx, v1, explain, d, exec, &req)
 		})
 }
 
-func (s *Server) executeMonitorAverages(ctx context.Context, v1 bool, d *hopDataset, exec core.ExecOptions, req *HopAveragesRequest) (int, []byte, bool) {
+func (s *Server) executeMonitorAverages(ctx context.Context, v1, explain bool, d *hopDataset, exec core.ExecOptions, req *HopAveragesRequest) (int, []byte, bool) {
 	if s.execHook != nil {
 		s.execHook(ctx)
 	}
+	start := time.Now()
+	prof := obs.NewProfileRecorder(func() float64 { return d.policy.SpentBy(req.Analyst) })
 	q := core.NewQueryableFor(d.records, d.policy.AgentFor(req.Analyst), s.src).
-		WithRecorder(s.engineRec).WithExecOptions(exec).WithContext(ctx)
+		WithRecorder(obs.Multi(s.engineRec, prof)).WithExecOptions(exec).WithContext(ctx)
 	keys := make([]int32, d.monitors)
 	for i := range keys {
 		keys[i] = int32(i)
 	}
 	spentBefore := d.policy.SpentBy(req.Analyst)
+	done := queryOutcome{
+		endpoint: "/query/monitoravgs", analyst: req.Analyst, dataset: req.Dataset,
+		query: "monitoravgs", epsilon: req.Epsilon, started: start,
+		idempotency: idemStatus(req.IdempotencyKey), policy: d.policy,
+	}
 	parts := core.Partition(q, keys, func(rec trace.HopRecord) int32 { return rec.Monitor })
 	averages := make([]float64, d.monitors)
 	for m, key := range keys {
@@ -238,17 +270,25 @@ func (s *Server) executeMonitorAverages(ctx context.Context, v1 bool, d *hopData
 				Query: "monitoravgs", Epsilon: req.Epsilon, Charged: charged, Outcome: outcome})
 			status, ae := classify(err, finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)), charged)
 			cacheable := !(outcome == "canceled" && charged == 0)
+			done.outcome, done.status, done.charged, done.profile = outcome, status, charged, prof.Profile()
+			s.finishQuery(done)
 			return status, marshalError(v1, ae), cacheable
 		}
 		averages[m] = avg
 	}
 	s.recordAudit(AuditEntry{Analyst: req.Analyst, Dataset: req.Dataset,
 		Query: "monitoravgs", Epsilon: req.Epsilon, Charged: req.Epsilon, Outcome: "ok"})
-	return http.StatusOK, marshalJSON(HopAveragesResponse{
+	resp := HopAveragesResponse{
 		Averages:  averages,
 		Spent:     d.policy.SpentBy(req.Analyst),
 		Remaining: finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)),
-	}), true
+	}
+	done.outcome, done.status, done.charged, done.profile = "ok", http.StatusOK, resp.Spent-spentBefore, prof.Profile()
+	s.finishQuery(done)
+	if explain {
+		resp.Profile = done.profile.Redact()
+	}
+	return http.StatusOK, marshalJSON(resp), true
 }
 
 // decodeJSON decodes a strict JSON body, writing a 400 on failure.

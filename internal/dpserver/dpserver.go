@@ -60,6 +60,7 @@ import (
 	"dptrace/internal/ledger"
 	"dptrace/internal/noise"
 	"dptrace/internal/obs"
+	"dptrace/internal/obs/qlog"
 	"dptrace/internal/toolkit"
 	"dptrace/internal/trace"
 )
@@ -97,23 +98,70 @@ type Server struct {
 	// observe cancellation; production code leaves it nil.
 	execHook func(context.Context)
 
-	// log receives operational warnings (recovered panics). Nil
-	// discards them; see WithLogf.
+	// events is the server's wide-event spine: every operational
+	// occurrence — query completions, panics, sheds, degrade
+	// transitions, ledger freezes, drains — is one typed structured
+	// event (see internal/obs/qlog). Always non-nil after New; the
+	// ring behind it backs GET /debug/queries.
+	events *qlog.Logger
+
+	// degradedNoted tracks the last observed degrade state so the
+	// entered/exited transition events fire exactly once per flip.
+	degradedNoted atomic.Bool
+
+	// analystGauges remembers which (dataset, analyst) burn-rate
+	// gauges are registered, so each is created once.
+	analystGauges sync.Map // "dataset\x00analyst" -> struct{}
+
+	// log is the deprecated printf mirror (WithLogf): Warn+ events are
+	// rendered to it as text lines. Nil discards them.
 	log func(format string, args ...any)
 }
 
-// logf emits one operational warning.
+// event emits one structured wide event, mirroring Warn and Error
+// events to the deprecated WithLogf sink as rendered text.
+func (s *Server) event(level qlog.Level, name string, fields ...qlog.Field) {
+	e := qlog.Event{Level: level, Name: name}.With(fields...)
+	s.events.Emit(e)
+	if s.log != nil && level >= qlog.Warn {
+		s.log("dpserver: %s", e.Text())
+	}
+}
+
+// logf emits one operational warning through the deprecated printf
+// mirror only (used where the caller already emitted a typed event
+// with richer fields and just wants the legacy rendering).
 func (s *Server) logf(format string, args ...any) {
 	if s.log != nil {
 		s.log(format, args...)
 	}
 }
 
-// WithLogf directs the server's operational warnings — recovered
-// panics, primarily — to f (e.g. log.Printf). Nil discards them.
+// WithLogf directs a text rendering of the server's Warn and Error
+// events — recovered panics, ledger trouble, drains — to f (e.g.
+// log.Printf).
+//
+// Deprecated: WithLogf predates the structured event log and remains
+// as a shim. New code should read the JSON event stream instead: pass
+// WithEventLog a qlog.Logger writing to your sink.
 func WithLogf(f func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.log = f }
 }
+
+// WithEventLog replaces the server's structured event logger — the
+// way to direct the wide-event JSON stream at a file or stderr, tune
+// the ring size, or set sampling (see qlog.Options). Passing nil
+// keeps the default ring-only logger.
+func WithEventLog(l *qlog.Logger) ServerOption {
+	return func(s *Server) {
+		if l != nil {
+			s.events = l
+		}
+	}
+}
+
+// Events returns the server's structured event logger (never nil).
+func (s *Server) Events() *qlog.Logger { return s.events }
 
 type dataset struct {
 	packets []trace.Packet
@@ -137,6 +185,7 @@ func New(src noise.Source, opts ...ServerOption) *Server {
 		metrics:  obs.NewRegistry(),
 		traces:   obs.NewTraceBuffer(0),
 		idem:     newIdemCache(),
+		events:   qlog.New(qlog.Options{}),
 	}
 	for _, opt := range opts {
 		if opt != nil {
@@ -279,6 +328,7 @@ func (s *Server) Handler(opts ...HandlerOption) http.Handler {
 	reg("GET", "/healthz", s.handleHealthz, false)
 	reg("GET", "/readyz", s.handleReadyz, false)
 	reg("GET", "/debug/traces", s.handleDebugTraces, false)
+	reg("GET", "/debug/queries", s.handleDebugQueries, false)
 	if cfg.pprof {
 		attachPprof(mux)
 	}
@@ -361,6 +411,10 @@ type QueryResponse struct {
 	// Trace is the executed pipeline's span tree, present when the
 	// request set "trace":true.
 	Trace *obs.Span `json:"trace,omitempty"`
+	// Profile is the query's execution profile, present when the
+	// request carried the X-DP-Explain header. It is redacted (no
+	// record counts — see DESIGN.md §S31) and costs no extra ε.
+	Profile *obs.Profile `json:"profile,omitempty"`
 }
 
 // finiteOrUnlimited maps +Inf (an unlimited budget) to the JSON
@@ -502,9 +556,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v1 := isV1(r)
+	explain := wantsExplain(r)
 	s.serveIdempotent(w, r, req.Dataset, req.Analyst, req.IdempotencyKey,
 		func(ctx context.Context) (int, []byte, bool) {
-			return s.executeQuery(ctx, v1, d, &req)
+			return s.executeQuery(ctx, v1, explain, d, &req)
 		})
 }
 
@@ -513,16 +568,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // outcome may be replayed for an idempotency key. The one
 // non-replayable outcome is a cancellation that charged nothing: a
 // retry should execute, not be handed back its own timeout.
-func (s *Server) executeQuery(ctx context.Context, v1 bool, d *dataset, req *QueryRequest) (int, []byte, bool) {
+//
+// Every execution — success or failure — ends in exactly one "query"
+// wide event carrying the full execution profile (see finishQuery).
+// explain additionally returns the redacted profile to the analyst in
+// the response envelope; it changes no budget accounting and no
+// ledger traffic.
+func (s *Server) executeQuery(ctx context.Context, v1, explain bool, d *dataset, req *QueryRequest) (int, []byte, bool) {
+	start := time.Now()
 	if s.execHook != nil {
 		s.execHook(ctx)
 	}
 	// Every query executes under a trace recorder (feeding the
-	// /debug/traces ring) plus the server's metrics recorder.
+	// /debug/traces ring), a profile recorder (feeding the wide event
+	// and X-DP-Explain), and the server's metrics recorder.
 	tr := obs.NewTraceRecorder("query:" + req.Query)
 	tr.SetLabel("analyst", req.Analyst)
 	tr.SetLabel("dataset", req.Dataset)
-	rec := obs.Multi(s.engineRec, tr)
+	prof := obs.NewProfileRecorder(func() float64 { return d.policy.SpentBy(req.Analyst) })
+	rec := obs.Multi(s.engineRec, tr, prof)
 
 	q := core.NewQueryableFor(d.packets, d.policy.AgentFor(req.Analyst), s.src).
 		WithRecorder(rec).WithExecOptions(s.execFor(d)).WithContext(ctx)
@@ -533,6 +597,11 @@ func (s *Server) executeQuery(ctx context.Context, v1 bool, d *dataset, req *Que
 		Analyst: req.Analyst, Dataset: req.Dataset,
 		Query: req.Query, Epsilon: req.Epsilon,
 	}
+	done := queryOutcome{
+		endpoint: "/query", analyst: req.Analyst, dataset: req.Dataset,
+		query: req.Query, epsilon: req.Epsilon, started: start,
+		idempotency: idemStatus(req.IdempotencyKey), policy: d.policy,
+	}
 	resp, err := runQuery(filtered, req)
 	if err != nil {
 		if errors.Is(err, core.ErrInternal) {
@@ -541,8 +610,12 @@ func (s *Server) executeQuery(ctx context.Context, v1 bool, d *dataset, req *Que
 			// the process lives, but the panic is still a bug — count
 			// and log it like one the HTTP middleware caught.
 			s.metrics.Counter("dp_panics_total", "site", "aggregation").Inc()
-			s.logf("dpserver: recovered aggregation panic (analyst=%s dataset=%s query=%s): %v",
-				req.Analyst, req.Dataset, req.Query, err)
+			s.event(qlog.Error, "panic_recovered",
+				qlog.F("site", "aggregation"),
+				qlog.F("analyst", req.Analyst),
+				qlog.F("dataset", req.Dataset),
+				qlog.F("query", req.Query),
+				qlog.F("error", err.Error()))
 		}
 		charged := d.policy.SpentBy(req.Analyst) - spentBefore
 		entry.Outcome = auditOutcome(err)
@@ -552,6 +625,8 @@ func (s *Server) executeQuery(ctx context.Context, v1 bool, d *dataset, req *Que
 		s.traces.Add(tr.Finish())
 		status, ae := classify(err, finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)), charged)
 		cacheable := !(entry.Outcome == "canceled" && charged == 0)
+		done.outcome, done.status, done.charged, done.profile = entry.Outcome, status, charged, prof.Profile()
+		s.finishQuery(done)
 		return status, marshalError(v1, ae), cacheable
 	}
 	resp.Spent = d.policy.SpentBy(req.Analyst)
@@ -564,6 +639,11 @@ func (s *Server) executeQuery(ctx context.Context, v1 bool, d *dataset, req *Que
 	s.traces.Add(span)
 	if req.Trace {
 		resp.Trace = span
+	}
+	done.outcome, done.status, done.charged, done.profile = entry.Outcome, http.StatusOK, entry.Charged, prof.Profile()
+	s.finishQuery(done)
+	if explain {
+		resp.Profile = done.profile.Redact()
 	}
 	return http.StatusOK, marshalJSON(resp), true
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dptrace/internal/core"
+	"dptrace/internal/obs/qlog"
 )
 
 // This file is the request-lifecycle layer that makes the query API
@@ -43,6 +44,10 @@ type Limits struct {
 	// RetryAfter is the hint written in 429/503 Retry-After headers.
 	// Zero defaults to one second.
 	RetryAfter time.Duration
+	// SlowQuery is the slow-query log threshold: a completed execution
+	// taking at least this long additionally emits a "slow_query"
+	// warning event. Zero disables the slow-query log.
+	SlowQuery time.Duration
 }
 
 // TimeoutHeader is the request header through which a client asks for
@@ -279,7 +284,10 @@ func (s *Server) release() {
 // working while a drain is in progress.
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		endpoint := strings.TrimPrefix(r.URL.Path, "/v1")
 		if !s.enter() {
+			s.event(qlog.Warn, "query_shed",
+				qlog.F("endpoint", endpoint), qlog.F("reason", "shutting_down"))
 			w.Header().Set("Retry-After", s.limits.retryAfter())
 			s.writeError(w, r, http.StatusServiceUnavailable, apiError{
 				Code: codeShuttingDown, Message: "server is shutting down", Retryable: true,
@@ -287,12 +295,17 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer s.inflight.Done()
-		if cause := s.spendRefusal(); cause != nil {
+		cause := s.spendRefusal()
+		s.noteDegraded(cause)
+		if cause != nil {
 			// Degraded mode: the ledger refuses appends (frozen history
 			// or a runtime journal failure), so no spend can ever be
 			// journaled. Shed fail-closed before burning a concurrency
 			// slot or touching the budget; read-only endpoints are
 			// mounted without admit and keep serving.
+			s.event(qlog.Warn, "query_shed",
+				qlog.F("endpoint", endpoint), qlog.F("reason", "ledger_refused"),
+				qlog.F("cause", cause.Error()))
 			w.Header().Set("Retry-After", s.limits.retryAfter())
 			s.writeError(w, r, http.StatusServiceUnavailable, apiError{
 				Code: codeLedgerRefused, Message: "ledger refusing spends: " + cause.Error(), Retryable: true,
@@ -300,7 +313,9 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		if !s.acquire(r.Context()) {
-			s.metrics.Counter("dp_shed_total", "endpoint", strings.TrimPrefix(r.URL.Path, "/v1")).Inc()
+			s.metrics.Counter("dp_shed_total", "endpoint", endpoint).Inc()
+			s.event(qlog.Warn, "query_shed",
+				qlog.F("endpoint", endpoint), qlog.F("reason", "overloaded"))
 			w.Header().Set("Retry-After", s.limits.retryAfter())
 			s.writeError(w, r, http.StatusTooManyRequests, apiError{
 				Code: codeOverloaded, Message: "concurrency limit reached; retry later", Retryable: true,
@@ -323,8 +338,14 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 // (http.Server.Shutdown composes naturally around it).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.lifecycleMu.Lock()
+	already := s.draining
 	s.draining = true
 	s.lifecycleMu.Unlock()
+	start := time.Now()
+	if !already {
+		s.event(qlog.Info, "drain_started",
+			qlog.F("inflight", s.inflightGauge.Load()))
+	}
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -332,8 +353,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if !already {
+			s.event(qlog.Info, "drain_completed",
+				qlog.F("duration_ms", durationMs(time.Since(start))))
+		}
 		return nil
 	case <-ctx.Done():
+		if !already {
+			s.event(qlog.Warn, "drain_completed",
+				qlog.F("duration_ms", durationMs(time.Since(start))),
+				qlog.F("error", ctx.Err().Error()))
+		}
 		return ctx.Err()
 	}
 }
@@ -506,6 +536,11 @@ func (s *Server) serveIdempotent(w http.ResponseWriter, r *http.Request, dataset
 		}
 		if e.cached {
 			s.metrics.Counter("dp_idem_hits_total").Inc()
+			s.event(qlog.Info, "query_replayed",
+				qlog.F("endpoint", r.URL.Path),
+				qlog.F("analyst", analyst),
+				qlog.F("dataset", dataset),
+				qlog.F("status", e.status))
 			writeRaw(w, e.status, e.body)
 			return
 		}

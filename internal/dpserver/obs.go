@@ -1,6 +1,7 @@
 package dpserver
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 
 	"dptrace/internal/core"
 	"dptrace/internal/obs"
+	"dptrace/internal/obs/qlog"
 )
 
 // This file is the server's observability surface: per-endpoint
@@ -93,7 +95,12 @@ func (s *Server) recoverPanics(h http.HandlerFunc) http.HandlerFunc {
 			if wp, ok := rec.(*core.WorkerPanic); ok {
 				msg = wp.Error()
 			}
-			s.logf("dpserver: PANIC serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.event(qlog.Error, "panic_recovered",
+				qlog.F("site", site),
+				qlog.F("method", r.Method),
+				qlog.F("path", r.URL.Path),
+				qlog.F("panic", fmt.Sprint(rec)),
+				qlog.F("stack", string(debug.Stack())))
 			// The handler may have already written a header; if so this
 			// write fails harmlessly and the client sees a torn body.
 			s.writeError(w, r, http.StatusInternalServerError, apiError{

@@ -7,6 +7,7 @@ import (
 
 	"dptrace/internal/core"
 	"dptrace/internal/ledger"
+	"dptrace/internal/obs/qlog"
 )
 
 // This file wires the durable budget ledger (internal/ledger) through
@@ -58,6 +59,14 @@ func (s *Server) spendRefusal() error {
 func (s *Server) restoreFromLedger() {
 	led := s.ledger
 	led.AttachMetrics(s.metrics)
+	if cause := led.Refusing(); cause != nil {
+		// The recovered history could not be fully replayed (or the
+		// journal already failed): the server comes up frozen, shedding
+		// every spend until the operator intervenes. Say so loudly —
+		// this is the first thing to look for when queries 503.
+		s.event(qlog.Error, "ledger_frozen", qlog.F("cause", cause.Error()))
+		s.degradedNoted.Store(true)
+	}
 	state := led.State()
 
 	entries := make([]AuditEntry, 0, len(state.Audit))
@@ -116,7 +125,9 @@ func (s *Server) registerDataset(name, kind string, policy *core.AnalystPolicy, 
 			// without a journaled record) while the read-only surface
 			// stays up for the operator diagnosing the ledger. A
 			// healthy restart re-registers and journals normally.
-			s.logf("dpserver: cannot journal registration of %q (%v); hosting read-only, all spends shed", name, err)
+			s.event(qlog.Warn, "registration_unjournaled",
+				qlog.F("dataset", name), qlog.F("kind", kind),
+				qlog.F("error", err.Error()))
 		}
 	}
 	policy.SetSpendJournal(

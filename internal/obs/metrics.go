@@ -109,6 +109,13 @@ func DurationBuckets() []float64 {
 		2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 }
 
+// EpsilonBuckets are the default bucket bounds for per-query ε
+// histograms, spanning the 0.01..10 range the paper's analyses use.
+func EpsilonBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
 // metricKey identifies one metric instance: a base name plus a
 // canonical (sorted) label rendering.
 type metricKey struct {
@@ -125,17 +132,34 @@ func makeKey(name string, labels []string) metricKey {
 	}
 	pairs := make([]string, 0, len(labels)/2)
 	for i := 0; i < len(labels); i += 2 {
-		pairs = append(pairs, fmt.Sprintf("%s=%q", labels[i], escapeLabel(labels[i+1])))
+		pairs = append(pairs, labels[i]+`="`+escapeLabel(labels[i+1])+`"`)
 	}
 	sort.Strings(pairs)
 	return metricKey{name: name, labels: strings.Join(pairs, ",")}
 }
 
-// escapeLabel escapes a label value per the Prometheus text format.
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format (version 0.0.4): backslash, double-quote, and line feed are
+// the only characters escaped, each exactly once.
 func escapeLabel(v string) string {
-	v = strings.ReplaceAll(v, `\`, `\\`)
-	v = strings.ReplaceAll(v, "\n", `\n`)
-	return v
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
 }
 
 func (k metricKey) String() string {
@@ -186,14 +210,40 @@ func splitLabelPairs(s string) []string {
 	return append(out, s[start:])
 }
 
+// unquoteLabel reverses escapeLabel in a single pass, so values like
+// `a\nb` (an escaped backslash followed by "nb") round-trip exactly —
+// sequential ReplaceAll would corrupt them.
 func unquoteLabel(s string) (string, error) {
 	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
 		return s, fmt.Errorf("obs: not quoted")
 	}
 	s = s[1 : len(s)-1]
-	s = strings.ReplaceAll(s, `\n`, "\n")
-	s = strings.ReplaceAll(s, `\\`, `\`)
-	return s, nil
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("obs: trailing backslash in label value")
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("obs: invalid escape \\%c in label value", s[i])
+		}
+	}
+	return b.String(), nil
 }
 
 // Registry holds a process- or server-scoped set of metrics. Lookups

@@ -160,8 +160,8 @@ func TestRegistryConcurrency(t *testing.T) {
 func TestMetricsRecorder(t *testing.T) {
 	reg := NewRegistry()
 	rec := NewMetricsRecorder(reg)
-	rec.OpDone("where", 1e6, 100, 40)
-	rec.OpDone("where", 2e6, 40, 40)
+	rec.OpDone("where", 1e6, 100, 40, 0)
+	rec.OpDone("where", 2e6, 40, 40, 0)
 	rec.AggDone("count", OutcomeOK, 0.1, 5e5)
 	rec.AggDone("count", OutcomeRefused, 0.1, 0)
 
@@ -187,7 +187,7 @@ func TestMetricsRecorder(t *testing.T) {
 func TestMultiRecorder(t *testing.T) {
 	reg1, reg2 := NewRegistry(), NewRegistry()
 	rec := Multi(nil, NewMetricsRecorder(reg1), NewMetricsRecorder(reg2))
-	rec.OpDone("select", 1000, 5, 5)
+	rec.OpDone("select", 1000, 5, 5, 8)
 	for _, reg := range []*Registry{reg1, reg2} {
 		if got := reg.Counter("dp_op_records_in_total", "op", "select").Value(); got != 5 {
 			t.Fatalf("fan-out lost a recorder: got %v", got)
@@ -199,5 +199,75 @@ func TestMultiRecorder(t *testing.T) {
 	single := NewMetricsRecorder(reg1)
 	if Multi(single) != Recorder(single) {
 		t.Fatal("Multi of one should return it unchanged")
+	}
+}
+
+// TestLabelEscapingRoundTrip pins the Prometheus text exposition
+// escaping rules — backslash, double-quote, and line feed escaped
+// exactly once — and that labelMap recovers the original value.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		`a\nb`,         // escaped backslash then literal "nb" — not a newline
+		`\\`,           // two backslashes
+		`\"`,           // backslash then quote
+		"mix\\\"\nend", // all three specials
+		`trailing\`,    // ends on a backslash
+	}
+	for _, v := range values {
+		reg := NewRegistry()
+		reg.Counter("m_total", "k", v).Inc()
+
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		line := ""
+		for _, l := range strings.Split(b.String(), "\n") {
+			if strings.HasPrefix(l, "m_total{") {
+				line = l
+			}
+		}
+		if line == "" {
+			t.Fatalf("no sample line for %q:\n%s", v, b.String())
+		}
+		// The exposition value must contain no raw quote, backslash, or
+		// newline inside the quoted label (only escape sequences).
+		inner := strings.TrimSuffix(strings.TrimPrefix(line, `m_total{k="`), `"} 1`)
+		for i := 0; i < len(inner); i++ {
+			switch inner[i] {
+			case '\n':
+				t.Errorf("raw newline in exposition of %q: %q", v, inner)
+			case '"':
+				t.Errorf("unescaped quote in exposition of %q: %q", v, inner)
+			case '\\':
+				i++ // escape sequence: consumes the next byte
+				if i >= len(inner) || (inner[i] != '\\' && inner[i] != '"' && inner[i] != 'n') {
+					t.Errorf("bad escape in exposition of %q: %q", v, inner)
+				}
+			}
+		}
+		// And the canonical key must decode back to the original value.
+		snap := reg.Snapshot()
+		if len(snap.Counters) != 1 {
+			t.Fatalf("counters = %+v", snap.Counters)
+		}
+		if got := snap.Counters[0].Labels["k"]; got != v {
+			t.Errorf("round trip: got %q, want %q (line %q)", got, v, line)
+		}
+	}
+}
+
+func TestEscapeLabelDistinctValues(t *testing.T) {
+	// `a\nb` (backslash-n-b) and "a\nb" (newline) must not collide into
+	// one metric instance after escaping.
+	reg := NewRegistry()
+	reg.Counter("m_total", "k", `a\nb`).Inc()
+	reg.Counter("m_total", "k", "a\nb").Inc()
+	if got := len(reg.Snapshot().Counters); got != 2 {
+		t.Fatalf("distinct values collided: %d instances", got)
 	}
 }

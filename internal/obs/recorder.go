@@ -12,12 +12,14 @@ import (
 // the clock reads, keeping the default cost at a nil-check.
 type Recorder interface {
 	// OpDone reports one completed transformation: its operator name
-	// (lowercase, e.g. "where", "groupby"), wall time, and the record
-	// counts flowing in and out. Record counts are protected data in
-	// the aggregate exposition sense only when the owner publishes
-	// them; recorders feed owner-side surfaces, which PINQ's model
-	// trusts with the raw records themselves.
-	OpDone(op string, d time.Duration, recordsIn, recordsOut int)
+	// (lowercase, e.g. "where", "groupby"), wall time, the record
+	// counts flowing in and out, and the execution strategy — workers
+	// is 0 when the operator ran sequentially and the shard count
+	// (≥2) when the parallel engine ran it. Record counts are
+	// protected data in the aggregate exposition sense only when the
+	// owner publishes them; recorders feed owner-side surfaces, which
+	// PINQ's model trusts with the raw records themselves.
+	OpDone(op string, d time.Duration, recordsIn, recordsOut, workers int)
 	// AggDone reports one aggregation attempt: its name ("count",
 	// "sum", ...), outcome ("ok", "refused", or "error"), the ε
 	// requested by the analyst (before sensitivity scaling), and wall
@@ -33,11 +35,26 @@ const (
 	OutcomeError   = "error"
 )
 
+// Strategy names derived from OpDone's workers count.
+const (
+	StrategySequential = "sequential"
+	StrategyParallel   = "parallel"
+)
+
+// StrategyName maps an OpDone workers count to its strategy name:
+// "parallel" for shard counts ≥ 2, "sequential" otherwise.
+func StrategyName(workers int) string {
+	if workers >= 2 {
+		return StrategyParallel
+	}
+	return StrategySequential
+}
+
 // NopRecorder discards everything. The engine also accepts nil; this
 // exists for callers that want an explicit value.
 type NopRecorder struct{}
 
-func (NopRecorder) OpDone(string, time.Duration, int, int)         {}
+func (NopRecorder) OpDone(string, time.Duration, int, int, int)    {}
 func (NopRecorder) AggDone(string, string, float64, time.Duration) {}
 
 // MetricsRecorder aggregates engine telemetry into a Registry:
@@ -45,6 +62,7 @@ func (NopRecorder) AggDone(string, string, float64, time.Duration) {}
 //	dp_op_duration_seconds{op=...}    histogram of operator wall time
 //	dp_op_records_in_total{op=...}    records flowing into operators
 //	dp_op_records_out_total{op=...}   records flowing out
+//	dp_op_parallel_total{op=...}      operators run by the parallel engine
 //	dp_agg_total{agg=...,outcome=...} aggregation attempts
 //	dp_agg_duration_seconds{agg=...}  histogram of aggregation wall time
 //	dp_budget_spend_total             sum of requested ε on successful
@@ -62,10 +80,13 @@ func NewMetricsRecorder(reg *Registry) *MetricsRecorder {
 func (m *MetricsRecorder) Registry() *Registry { return m.reg }
 
 // OpDone implements Recorder.
-func (m *MetricsRecorder) OpDone(op string, d time.Duration, in, out int) {
+func (m *MetricsRecorder) OpDone(op string, d time.Duration, in, out, workers int) {
 	m.reg.Histogram("dp_op_duration_seconds", DurationBuckets(), "op", op).Observe(d.Seconds())
 	m.reg.Counter("dp_op_records_in_total", "op", op).Add(float64(in))
 	m.reg.Counter("dp_op_records_out_total", "op", op).Add(float64(out))
+	if workers >= 2 {
+		m.reg.Counter("dp_op_parallel_total", "op", op).Inc()
+	}
 }
 
 // AggDone implements Recorder.
@@ -80,9 +101,9 @@ func (m *MetricsRecorder) AggDone(agg, outcome string, epsilon float64, d time.D
 // multiRecorder fans out to several recorders.
 type multiRecorder []Recorder
 
-func (m multiRecorder) OpDone(op string, d time.Duration, in, out int) {
+func (m multiRecorder) OpDone(op string, d time.Duration, in, out, workers int) {
 	for _, r := range m {
-		r.OpDone(op, d, in, out)
+		r.OpDone(op, d, in, out, workers)
 	}
 }
 

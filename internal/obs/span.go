@@ -79,11 +79,16 @@ func (t *TraceRecorder) SetLabel(k, v string) {
 }
 
 // OpDone implements Recorder.
-func (t *TraceRecorder) OpDone(op string, d time.Duration, in, out int) {
-	t.addChild(op, d, map[string]string{
+func (t *TraceRecorder) OpDone(op string, d time.Duration, in, out, workers int) {
+	labels := map[string]string{
 		"records_in":  itoa(in),
 		"records_out": itoa(out),
-	})
+		"strategy":    StrategyName(workers),
+	}
+	if workers >= 2 {
+		labels["workers"] = itoa(workers)
+	}
+	t.addChild(op, d, labels)
 }
 
 // AggDone implements Recorder.

@@ -62,8 +62,8 @@ func TestSpanTree(t *testing.T) {
 func TestTraceRecorderBuildsChildren(t *testing.T) {
 	tr := NewTraceRecorder("query:hosts")
 	tr.SetLabel("analyst", "alice")
-	tr.OpDone("where", 2*time.Millisecond, 100, 60)
-	tr.OpDone("groupby", time.Millisecond, 60, 12)
+	tr.OpDone("where", 2*time.Millisecond, 100, 60, 0)
+	tr.OpDone("groupby", time.Millisecond, 60, 12, 4)
 	tr.AggDone("count", OutcomeOK, 0.1, 500*time.Microsecond)
 	root := tr.Finish()
 
@@ -91,12 +91,12 @@ func TestTraceRecorderBuildsChildren(t *testing.T) {
 	}
 	// Zero-duration callbacks are still visible spans.
 	tr2 := NewTraceRecorder("q")
-	tr2.OpDone("select", 0, 1, 1)
+	tr2.OpDone("select", 0, 1, 1, 0)
 	if got := tr2.Finish().Children[0].Duration; got <= 0 {
 		t.Fatalf("zero-duration op span = %v, want > 0", got)
 	}
 	// Post-Finish callbacks are dropped, not appended.
-	tr.OpDone("late", time.Millisecond, 1, 1)
+	tr.OpDone("late", time.Millisecond, 1, 1, 0)
 	if len(tr.Finish().Children) != len(names) {
 		t.Fatal("callback after Finish should be dropped")
 	}
