@@ -1,4 +1,4 @@
-.PHONY: check build test cover bench bench-all chaos
+.PHONY: check build test cover bench benchdiff bench-all chaos
 
 # The tier-1 gate (see ROADMAP.md): build + vet + tests under -race.
 check:
@@ -21,8 +21,18 @@ cover:
 # durable ε-accounting); run with e.g.
 # `make bench BENCHFLAGS='-cpu 1,4'` to add scaling points.
 bench:
-	go test -bench=. -benchmem -count=5 $(BENCHFLAGS) ./internal/core/... ./internal/ledger/... | go run ./cmd/benchjson > BENCH_core.json
+	go test -bench=. -benchmem -count=5 $(BENCHFLAGS) ./internal/core/... ./internal/sketch/... ./internal/ledger/... | go run ./cmd/benchjson > BENCH_core.json
 	@echo "wrote BENCH_core.json"
+
+# Re-run the benchmarks and diff against the checked-in baseline:
+# per-benchmark ns/op and bytes/op deltas on stderr, nonzero exit when
+# anything regressed beyond the threshold (tune with
+# `make benchdiff BENCHDIFF_THRESHOLD=0.10`). The fresh document lands
+# in BENCH_new.json for inspection; promote it with
+# `mv BENCH_new.json BENCH_core.json` when the delta is intentional.
+BENCHDIFF_THRESHOLD ?= 0.20
+benchdiff:
+	go test -bench=. -benchmem -count=5 $(BENCHFLAGS) ./internal/core/... ./internal/sketch/... ./internal/ledger/... | go run ./cmd/benchjson -prev BENCH_core.json -threshold $(BENCHDIFF_THRESHOLD) > BENCH_new.json
 
 # The original whole-repo benchmark sweep.
 bench-all:

@@ -24,9 +24,18 @@ else
 	echo "staticcheck not installed; skipping (go vet still ran)"
 fi
 go test -race -shuffle=on -timeout 10m ./...
+# Allocation-budget guards for the fused streaming path run without
+# the race detector: its instrumentation inflates allocation counts,
+# so these tests skip themselves under -race (see alloc_test.go).
+go test -run 'TestAlloc' -count=1 ./internal/core
 # Short fuzz smoke over the ledger's WAL record decoder: the recovery
 # path must classify arbitrary bytes without ever panicking.
 go test -run=. -fuzz=FuzzLedgerDecode -fuzztime=5s ./internal/ledger
+# Short fuzz smokes over the mergeable-sketch laws: arbitrary value
+# and key streams, any shard split — merges must stay commutative and
+# exact, rank bounds valid, estimates never undercounting.
+go test -run=. -fuzz=FuzzQuantileMerge -fuzztime=5s ./internal/sketch
+go test -run=. -fuzz=FuzzCountMinMerge -fuzztime=5s ./internal/sketch
 # Short chaos smoke (make chaos runs the full 30s soak): randomized
 # I/O faults + handler panics under a query storm must keep the
 # failure surface closed and the ε invariants intact.

@@ -8,11 +8,22 @@
 // min/mean/max ns/op; alloc stats and custom ReportMetric values
 // (e.g. records/op) ride along. Environment lines (goos, goarch, cpu)
 // are captured into the header so numbers are interpretable later.
+//
+// With -prev the run is additionally diffed against a checked-in
+// document:
+//
+//	go test -bench=. -benchmem ./internal/core/ | go run ./cmd/benchjson -prev BENCH_core.json
+//
+// prints per-benchmark ns/op and bytes/op deltas to stderr and exits
+// nonzero when any benchmark regressed beyond -threshold (a fraction;
+// 0.20 tolerates +20%). The JSON document still goes to stdout, so the
+// same invocation can both gate and refresh the baseline.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -56,6 +67,10 @@ type Doc struct {
 }
 
 func main() {
+	prevPath := flag.String("prev", "", "previous benchjson document to diff against (stderr report; regressions beyond -threshold exit nonzero)")
+	threshold := flag.Float64("threshold", 0.20, "fractional regression tolerated in ns/op or bytes/op before exiting nonzero (0.20 = +20%)")
+	flag.Parse()
+
 	order := []string{}
 	samples := map[string][]sample{}
 	env := map[string]string{}
@@ -102,6 +117,111 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *prevPath != "" {
+		regressed, err := diffAgainst(doc, *prevPath, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(2)
+		}
+	}
+}
+
+// benchKey identifies a benchmark across documents.
+type benchKey struct {
+	name  string
+	procs int
+}
+
+// diffAgainst loads a previous document, prints a per-benchmark delta
+// table to stderr, and reports whether any benchmark's mean ns/op or
+// bytes/op regressed beyond the fractional threshold. New benchmarks
+// (no baseline) and vanished ones are reported but never fail the
+// gate; timing noise is the caller's to manage via -count.
+func diffAgainst(cur Doc, prevPath string, threshold float64) (bool, error) {
+	raw, err := os.ReadFile(prevPath)
+	if err != nil {
+		return false, err
+	}
+	var prev Doc
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return false, fmt.Errorf("parsing %s: %w", prevPath, err)
+	}
+	base := make(map[benchKey]Result, len(prev.Benchmarks))
+	for _, r := range prev.Benchmarks {
+		base[benchKey{r.Name, r.Procs}] = r
+	}
+
+	fmt.Fprintf(os.Stderr, "benchjson: diff vs %s (threshold %+.0f%%)\n", prevPath, threshold*100)
+	regressed := false
+	seen := make(map[benchKey]bool, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		k := benchKey{r.Name, r.Procs}
+		seen[k] = true
+		b, ok := base[k]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "  %-36s new: %s  %s\n", r.Name, fmtNs(r.NsPerOpMean), fmtBytes(r.BytesPerOp))
+			continue
+		}
+		nsDelta := frac(r.NsPerOpMean, b.NsPerOpMean)
+		byDelta := frac(r.BytesPerOp, b.BytesPerOp)
+		bad := nsDelta > threshold || byDelta > threshold
+		if bad {
+			regressed = true
+		}
+		mark := ""
+		if bad {
+			mark = "  << REGRESSION"
+		}
+		fmt.Fprintf(os.Stderr, "  %-36s ns/op %s → %s (%+.1f%%)  B/op %s → %s (%+.1f%%)%s\n",
+			r.Name,
+			fmtNs(b.NsPerOpMean), fmtNs(r.NsPerOpMean), nsDelta*100,
+			fmtBytes(b.BytesPerOp), fmtBytes(r.BytesPerOp), byDelta*100,
+			mark)
+	}
+	for _, b := range prev.Benchmarks {
+		if k := (benchKey{b.Name, b.Procs}); !seen[k] {
+			fmt.Fprintf(os.Stderr, "  %-36s gone (was %s)\n", b.Name, fmtNs(b.NsPerOpMean))
+		}
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchjson: regression beyond %+.0f%% detected\n", threshold*100)
+	}
+	return regressed, nil
+}
+
+// frac is the fractional change from old to cur; a missing or zero
+// baseline never counts as a regression.
+func frac(cur, old float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return (cur - old) / old
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
 	}
 }
 

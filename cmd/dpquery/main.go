@@ -22,6 +22,10 @@
 //	         -minbytes bytes (the paper's §2.3 example)
 //	lencdf   packet length CDF (CDF2), printed as "edge count" rows
 //	portcdf  destination port CDF (CDF2; local mode only)
+//	lenquantile  noisy packet-length quantile at -fraction, from the
+//	         fused one-pass sketch build (-sketcheps tunes rank accuracy)
+//	srcfreq  noisy packet count for the source IP in -key (count-min)
+//	distinctsrc  noisy distinct source-IP count (HLL-style registers)
 //
 // The tool prints the remaining privacy budget after each query; a
 // refused query reports the budget error instead of an answer.
@@ -57,18 +61,22 @@ func main() {
 	dataset := flag.String("dataset", "", "dataset name on the server (remote mode)")
 	timeout := flag.Duration("timeout", 30*time.Second, "remote query deadline")
 	budget := flag.Float64("budget", 1.0, "total privacy budget for this session (local mode)")
-	query := flag.String("query", "count", "count, hosts, lencdf, or portcdf")
+	query := flag.String("query", "count", "count, hosts, lencdf, portcdf, lenquantile, srcfreq, or distinctsrc")
 	eps := flag.Float64("eps", 0.1, "privacy cost of this query")
 	dstPort := flag.Int("dstport", -1, "filter: destination port")
 	srcPort := flag.Int("srcport", -1, "filter: source port")
 	minLen := flag.Int("minlen", -1, "filter: minimum packet length")
 	minBytes := flag.Int("minbytes", 1024, "hosts query: per-host byte threshold")
+	fraction := flag.Float64("fraction", 0.5, "lenquantile query: rank fraction (0.5 = median)")
+	sketchEps := flag.Float64("sketcheps", 0, "lenquantile query: sketch rank-accuracy target (0 = default)")
+	key := flag.String("key", "", "srcfreq query: target source IP, e.g. 10.0.0.1")
 	seed := flag.Uint64("seed", 0, "noise seed; 0 uses crypto randomness (local mode)")
 	explain := flag.Bool("explain", false, "print the query's execution profile (plan, timings, ε accounting); costs no extra ε")
 	flag.Parse()
 
 	if *server != "" {
-		remote(*server, *analyst, *dataset, *timeout, *query, *eps, *dstPort, *srcPort, *minLen, *minBytes, *explain)
+		remote(*server, *analyst, *dataset, *timeout, *query, *eps, *dstPort, *srcPort, *minLen, *minBytes,
+			*fraction, *sketchEps, *key, *explain)
 		return
 	}
 
@@ -100,7 +108,7 @@ func main() {
 		q = q.WithRecorder(prof)
 	}
 
-	filtered := core.WhereRecorded(q, func(p trace.Packet) bool {
+	match := func(p trace.Packet) bool {
 		if *dstPort >= 0 && int(p.DstPort) != *dstPort {
 			return false
 		}
@@ -111,7 +119,48 @@ func main() {
 			return false
 		}
 		return true
-	})
+	}
+
+	// The sketch-backed kinds run the filter on the fused streaming
+	// path (one pass, no materialized intermediate; -explain shows the
+	// "fused" strategy rows). The rest filter through WhereRecorded.
+	switch *query {
+	case "lenquantile":
+		st := q.Stream().Where(match)
+		v, err := core.StreamNoisyQuantile(st, *eps, *fraction, *sketchEps,
+			func(p trace.Packet) float64 { return float64(p.Len) })
+		report(err)
+		fmt.Printf("noisy length quantile (fraction %.3f): %.1f\n", *fraction, v)
+	case "srcfreq":
+		if *key == "" {
+			fmt.Fprintln(os.Stderr, "dpquery: srcfreq requires -key (a source IP)")
+			os.Exit(2)
+		}
+		st := q.Stream().Where(match)
+		v, err := core.StreamNoisyFrequency(st, *eps,
+			func(p trace.Packet) string { return p.SrcIP.String() }, *key)
+		report(err)
+		fmt.Printf("noisy packets from %s: %.1f (noise std %.2f)\n", *key, v, noise.LaplaceStd(*eps))
+	case "distinctsrc":
+		st := q.Stream().Where(match)
+		v, err := core.StreamNoisyDistinctSketch(st, *eps,
+			func(p trace.Packet) string { return p.SrcIP.String() })
+		report(err)
+		fmt.Printf("noisy distinct source IPs: %.1f (noise std %.2f)\n", v, noise.LaplaceStd(*eps))
+	default:
+		runLocal(q, match, query, eps, minBytes)
+	}
+
+	if *explain {
+		fmt.Println("plan:")
+		prof.Profile().WriteText(os.Stdout)
+	}
+	fmt.Printf("budget: spent %.3f of %.3f\n", root.Spent(), *budget)
+}
+
+// runLocal dispatches the materializing local query kinds.
+func runLocal(q *core.Queryable[trace.Packet], match func(trace.Packet) bool, query *string, eps *float64, minBytes *int) {
+	filtered := core.WhereRecorded(q, match)
 
 	switch *query {
 	case "count":
@@ -149,15 +198,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dpquery: unknown query %q\n", *query)
 		os.Exit(2)
 	}
-	if *explain {
-		fmt.Println("plan:")
-		prof.Profile().WriteText(os.Stdout)
-	}
-	fmt.Printf("budget: spent %.3f of %.3f\n", root.Spent(), *budget)
 }
 
 // remote runs one query against a dpserver through the v1 client.
-func remote(server, analyst, dataset string, timeout time.Duration, query string, eps float64, dstPort, srcPort, minLen, minBytes int, explain bool) {
+func remote(server, analyst, dataset string, timeout time.Duration, query string, eps float64, dstPort, srcPort, minLen, minBytes int, fraction, sketchEps float64, key string, explain bool) {
 	if dataset == "" {
 		fmt.Fprintln(os.Stderr, "dpquery: -dataset is required with -server")
 		os.Exit(2)
@@ -204,8 +248,28 @@ func remote(server, analyst, dataset string, timeout time.Duration, query string
 		for i, edge := range r.Buckets {
 			fmt.Printf("%d %.1f\n", edge, r.Values[i])
 		}
+	case "lenquantile":
+		r, err = run(ctx, dpserver.QueryRequest{
+			Dataset: dataset, Query: "lenquantile", Epsilon: eps, Filter: filter,
+			Fraction: fraction, SketchEps: sketchEps})
+		report(err)
+		fmt.Printf("noisy length quantile (fraction %.3f): %.1f\n", fraction, r.Values[0])
+	case "srcfreq":
+		if key == "" {
+			fmt.Fprintln(os.Stderr, "dpquery: srcfreq requires -key (a source IP)")
+			os.Exit(2)
+		}
+		r, err = run(ctx, dpserver.QueryRequest{
+			Dataset: dataset, Query: "srcfreq", Epsilon: eps, Filter: filter, Key: key})
+		report(err)
+		fmt.Printf("noisy packets from %s: %.1f (noise std %.2f)\n", key, r.Values[0], noise.LaplaceStd(eps))
+	case "distinctsrc":
+		r, err = run(ctx, dpserver.QueryRequest{
+			Dataset: dataset, Query: "distinctsrc", Epsilon: eps, Filter: filter})
+		report(err)
+		fmt.Printf("noisy distinct source IPs: %.1f (noise std %.2f)\n", r.Values[0], noise.LaplaceStd(eps))
 	default:
-		fmt.Fprintf(os.Stderr, "dpquery: unknown remote query %q (count, hosts, lencdf)\n", query)
+		fmt.Fprintf(os.Stderr, "dpquery: unknown remote query %q (count, hosts, lencdf, lenquantile, srcfreq, distinctsrc)\n", query)
 		os.Exit(2)
 	}
 	if explain && r.Profile != nil {

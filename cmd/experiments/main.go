@@ -75,6 +75,8 @@ var all = []experiment{
 		func(s uint64) fmt.Stringer { return experiments.RunThresholdSweep(s, 0.5) }},
 	{"degrees", "in/out degree distributions (§5.3)",
 		func(s uint64) fmt.Stringer { return experiments.RunDegrees(s) }},
+	{"flowcdf", "flow-size CDF from noisy quantile sketches",
+		func(s uint64) fmt.Stringer { return experiments.RunFlowCDF(s) }},
 }
 
 func main() {

@@ -234,6 +234,91 @@ func NoisyOrderStatistic[T any](q *Queryable[T], epsilon, fraction float64, f fu
 	return core.NoisyOrderStatistic(q, epsilon, fraction, f)
 }
 
+// Sketch-backed aggregations: one-pass mergeable summaries (GK-family
+// quantile ranks, count-min frequencies, HLL-style distinct counts)
+// with calibrated noise on the released scalar. They answer the same
+// questions as NoisyOrderStatistic / per-key counts / Distinct+count
+// at trace scale in sketch-sized memory, and their parallel builds are
+// byte-identical to sequential ones.
+
+// DefaultQuantileAccuracy is the quantile summary's rank-accuracy
+// target used when NoisyQuantile's sketchEps is 0.
+const DefaultQuantileAccuracy = core.DefaultQuantileAccuracy
+
+// NoisyQuantile returns a value of rank ≈ fraction·n selected by the
+// exponential mechanism over a one-pass mergeable rank summary with
+// accuracy target sketchEps (0 selects DefaultQuantileAccuracy).
+// Memory is O(1/sketchEps) instead of a full sort.
+func NoisyQuantile[T any](q *Queryable[T], epsilon, fraction, sketchEps float64, f func(T) float64) (float64, error) {
+	return core.NoisyQuantile(q, epsilon, fraction, sketchEps, f)
+}
+
+// NoisyFrequency returns the approximate number of records whose key
+// equals target, from a one-pass count-min sketch plus Laplace noise
+// of scale 1/ε (sensitivity 1, like NoisyCount).
+func NoisyFrequency[T any](q *Queryable[T], epsilon float64, key func(T) string, target string) (float64, error) {
+	return core.NoisyFrequency(q, epsilon, key, target)
+}
+
+// NoisyDistinctSketch returns the approximate number of distinct keys
+// from one-pass HLL-style registers plus Laplace noise of scale 1/ε.
+func NoisyDistinctSketch[T any](q *Queryable[T], epsilon float64, key func(T) string) (float64, error) {
+	return core.NoisyDistinctSketch(q, epsilon, key)
+}
+
+// Fused streaming execution: a Stream is the lazy counterpart of a
+// Queryable for chains of record-wise operators — Where, StreamSelect,
+// and StreamSelectMany compile into one loop that feeds the
+// aggregation directly, with no intermediate slices. Results, noise
+// draws, and ε-charges are byte-identical to the materializing path;
+// fusion is purely an execution choice.
+
+// Stream is a lazily-fused pipeline over a protected dataset; build
+// one with Queryable.Stream(). Its Where, NoisyCount, NoisyCountInt,
+// and Materialize are methods; the type-changing stages and remaining
+// terminals are the Stream* functions below.
+type Stream[T any] = core.Stream[T]
+
+// StreamSelect fuses a one-to-one mapping stage onto a stream.
+func StreamSelect[T, U any](s Stream[T], f func(T) U) Stream[U] {
+	return core.StreamSelect(s, f)
+}
+
+// StreamSelectMany fuses a flattening stage (at most fanout outputs
+// per record), amplifying sensitivity by fanout exactly like
+// SelectMany.
+func StreamSelectMany[T, U any](s Stream[T], fanout int, f func(T) []U) Stream[U] {
+	return core.StreamSelectMany(s, fanout, f)
+}
+
+// StreamSum is Sum on the fused path: one pass, no intermediate
+// slices, byte-identical to Sum on the materialized pipeline.
+func StreamSum[T any](s Stream[T], epsilon float64, f func(T) float64, opts ...AggOption) (float64, error) {
+	c := applyAggOptions(opts)
+	return core.StreamNoisySumScaled(s, epsilon, c.bound, f)
+}
+
+// StreamAverage is Average on the fused path.
+func StreamAverage[T any](s Stream[T], epsilon float64, f func(T) float64, opts ...AggOption) (float64, error) {
+	c := applyAggOptions(opts)
+	return core.StreamNoisyAverageScaled(s, epsilon, c.bound, f)
+}
+
+// StreamNoisyQuantile is NoisyQuantile on the fused path.
+func StreamNoisyQuantile[T any](s Stream[T], epsilon, fraction, sketchEps float64, f func(T) float64) (float64, error) {
+	return core.StreamNoisyQuantile(s, epsilon, fraction, sketchEps, f)
+}
+
+// StreamNoisyFrequency is NoisyFrequency on the fused path.
+func StreamNoisyFrequency[T any](s Stream[T], epsilon float64, key func(T) string, target string) (float64, error) {
+	return core.StreamNoisyFrequency(s, epsilon, key, target)
+}
+
+// StreamNoisyDistinctSketch is NoisyDistinctSketch on the fused path.
+func StreamNoisyDistinctSketch[T any](s Stream[T], epsilon float64, key func(T) string) (float64, error) {
+	return core.StreamNoisyDistinctSketch(s, epsilon, key)
+}
+
 // Toolkit re-exports (paper §4).
 type (
 	// StringCount is a discovered frequent string with noisy count.

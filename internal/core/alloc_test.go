@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dptrace/internal/noise"
+)
+
+// Allocation-budget guards for the fused streaming path. The fused
+// engine's reason to exist is that a chained pipeline costs a constant
+// handful of heap objects instead of per-operator record slices; these
+// tests pin that contract with testing.AllocsPerRun so a regression
+// (an accidental closure capture, an interface box in the hot path)
+// fails the gate rather than silently eating the win.
+//
+// The guards skip under -race (the detector's instrumentation inflates
+// allocation counts); check.sh runs them in a dedicated non-race
+// invocation.
+
+// allocQueryable is small — allocation counts don't depend on n, and
+// AllocsPerRun runs the function many times.
+func allocQueryable(tb testing.TB) *Queryable[int] {
+	tb.Helper()
+	records := make([]int, 4096)
+	for i := range records {
+		records[i] = i
+	}
+	q, _ := NewQueryable(records, math.Inf(1), noise.NewSeededSource(1, 2))
+	// Force the unrecorded fast path regardless of any process-wide
+	// default recorder another test may have installed.
+	return q.WithRecorder(nil)
+}
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race; check.sh runs this guard without it")
+	}
+}
+
+// TestAllocFusedWhereSelectSum: the flagship fused chain is at most 2
+// allocations per run — one stage link for the type-changing Select
+// (the source Where folds into the scan loop for free) and one
+// accumulator sink for the terminal.
+func TestAllocFusedWhereSelectSum(t *testing.T) {
+	skipUnderRace(t)
+	q := allocQueryable(t)
+	allocs := testing.AllocsPerRun(20, func() {
+		s := q.Stream().Where(func(x int) bool { return x%2 == 0 })
+		m := StreamSelect(s, func(x int) float64 { return float64(x) })
+		if _, err := StreamNoisySum(m, 1.0, func(v float64) float64 { return v }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("fused Where→Select→Sum: %.0f allocs/op, budget is 2", allocs)
+	}
+}
+
+// TestAllocFusedWhereCount: a filtered count is 1 allocation — the
+// predicate folds into the source loop, leaving only the count sink.
+func TestAllocFusedWhereCount(t *testing.T) {
+	skipUnderRace(t)
+	q := allocQueryable(t)
+	allocs := testing.AllocsPerRun(20, func() {
+		s := q.Stream().Where(func(x int) bool { return x%2 == 0 })
+		if _, err := s.NoisyCount(1.0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("fused Where→Count: %.0f allocs/op, budget is 1", allocs)
+	}
+}
+
+// TestAllocUnfusedWhere / TestAllocUnfusedSelect: the materializing
+// operators stay at their long-standing 1 allocation (the output
+// slice) — the fused path must never regress the plain path, whose
+// inlining contract is documented in instrument.go.
+func TestAllocUnfusedWhere(t *testing.T) {
+	skipUnderRace(t)
+	q := allocQueryable(t)
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = q.Where(func(x int) bool { return x%2 == 0 })
+	})
+	if allocs != 1 {
+		t.Fatalf("materializing Where: %.0f allocs/op, want exactly 1 (the output slice)", allocs)
+	}
+}
+
+func TestAllocUnfusedSelect(t *testing.T) {
+	skipUnderRace(t)
+	q := allocQueryable(t)
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = Select(q, func(x int) int { return x * 2 })
+	})
+	if allocs != 1 {
+		t.Fatalf("materializing Select: %.0f allocs/op, want exactly 1 (the output slice)", allocs)
+	}
+}

@@ -225,6 +225,141 @@ func BenchmarkNoisyMedian100k(b *testing.B) {
 	reportRecords(b, 100_000)
 }
 
+// BenchmarkWhereSelectSum1M is the three-pass materializing pipeline
+// the fused engine is measured against: Where and Select each
+// materialize a full intermediate slice before NoisySum scans the
+// last one.
+func BenchmarkWhereSelectSum1M(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := q.Where(func(x int) bool { return x%2 == 0 })
+		m := Select(w, func(x int) float64 { return float64(x&1023) / 1024 })
+		if _, err := NoisySum(m, 1.0, func(v float64) float64 { return v }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b, benchRecords)
+}
+
+// BenchmarkFusedWhereSelectSum1M is the same pipeline on the fused
+// streaming path: one loop, no intermediate slices, ≤ 2 allocs/op
+// (pinned by alloc_test.go). Compare bytes/op against
+// BenchmarkWhereSelectSum1M for the memory-traffic win.
+func BenchmarkFusedWhereSelectSum1M(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := q.Stream().Where(func(x int) bool { return x%2 == 0 })
+		m := StreamSelect(s, func(x int) float64 { return float64(x&1023) / 1024 })
+		if _, err := StreamNoisySum(m, 1.0, func(v float64) float64 { return v }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b, benchRecords)
+}
+
+// benchPacket is a realistically-sized trace record (32 bytes), where
+// skipped intermediate slices translate into real memory traffic.
+type benchPacket struct {
+	Src, Dst uint32
+	Port     uint16
+	Flags    uint16
+	Len      uint32
+	Ts       int64
+	Seq      uint64
+}
+
+func benchPacketQueryable(b *testing.B) *Queryable[benchPacket] {
+	b.Helper()
+	records := make([]benchPacket, benchRecords)
+	for i := range records {
+		records[i] = benchPacket{
+			Src:  uint32(i * 2654435761),
+			Port: uint16(i % 1024),
+			Len:  uint32(i % 1500),
+		}
+	}
+	q, _ := NewQueryable(records, math.Inf(1), noise.NewSeededSource(1, 2))
+	return q
+}
+
+func BenchmarkPacketWhereSelectSum1M(b *testing.B) {
+	q := benchPacketQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := q.Where(func(p benchPacket) bool { return p.Port < 512 })
+		m := Select(w, func(p benchPacket) float64 { return float64(p.Len) / 1500 })
+		if _, err := NoisySum(m, 1.0, func(v float64) float64 { return v }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b, benchRecords)
+}
+
+func BenchmarkPacketFusedWhereSelectSum1M(b *testing.B) {
+	q := benchPacketQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := q.Stream().Where(func(p benchPacket) bool { return p.Port < 512 })
+		m := StreamSelect(s, func(p benchPacket) float64 { return float64(p.Len) / 1500 })
+		if _, err := StreamNoisySum(m, 1.0, func(v float64) float64 { return v }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b, benchRecords)
+}
+
+// Sketch-backed aggregations over 1M records: one pass, sketch-sized
+// memory instead of sort- or map-sized.
+func BenchmarkNoisyQuantile1M(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NoisyQuantile(q, 1.0, 0.5, 0.01, func(x int) float64 { return float64(x % 1500) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b, benchRecords)
+}
+
+func BenchmarkNoisyQuantile1MParallel(b *testing.B) {
+	q := benchParallel(benchQueryable(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NoisyQuantile(q, 1.0, 0.5, 0.01, func(x int) float64 { return float64(x % 1500) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b, benchRecords)
+}
+
+func BenchmarkNoisyFrequency1M(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NoisyFrequency(q, 1.0, func(x int) string {
+			return string(rune('a' + x%64))
+		}, "b"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b, benchRecords)
+}
+
+func BenchmarkNoisyDistinctSketch1M(b *testing.B) {
+	q := benchQueryable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NoisyDistinctSketch(q, 1.0, func(x int) string {
+			return string(rune('a' + x%4096))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b, benchRecords)
+}
+
 func BenchmarkBudgetAgentApply(b *testing.B) {
 	root := NewRootAgent(math.Inf(1))
 	agent := newScaleAgent(root, 2)

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled is false in ordinary builds; see race_enabled.go.
+const raceEnabled = false

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"math"
+
+	"dptrace/internal/noise"
+	"dptrace/internal/sketch"
+)
+
+// This file adds the sketch-backed aggregations: NoisyQuantile (GK
+// rank summary + exponential mechanism), NoisyFrequency (count-min +
+// Laplace), and NoisyDistinctSketch (HLL-style registers + Laplace).
+// They are what make quantile / heavy-hitter / distinct-count
+// analyses practical at trace scale — one pass, O(1/ε_sketch) or
+// O(sketch-width) memory, no full sort or giant map.
+//
+// ε-contract: identical to every other aggregation — ctx checked
+// BEFORE agent.Apply (cancelled queries charge zero ε), one Apply of
+// the analyst's ε through the pipeline's agent chain (so SelectMany /
+// GroupBy sensitivity scaling applies unchanged), one noise draw on
+// the released scalar. The sketch is internal state and is never
+// released; only the noised output leaves the privacy curtain. See
+// DESIGN.md §S32 for the sensitivity calibration of each mechanism.
+//
+// Determinism: sketch builds are deterministic functions of the
+// record sequence. The quantile build partitions the sequence into
+// fixed sketchBlock-sized blocks and folds per-block summaries in
+// block order, so the parallel build (workers each building their
+// own blocks) is byte-identical to the sequential one — the block
+// structure, not the worker count, decides every merge. Count-min
+// and distinct merges are exact (counter addition / register max), so
+// any deterministic sharding yields identical sketches. Both
+// properties are pinned by tests.
+
+// sketchBlock is the fixed number of consecutive records per
+// quantile-summary block. It is a structural constant of the build —
+// never derived from worker count — which is exactly why parallel
+// and sequential builds agree to the byte.
+const sketchBlock = 1 << 14
+
+// DefaultQuantileAccuracy is the quantile summary's rank-accuracy
+// target ε_sketch when the caller passes 0: ranks are off by at most
+// 0.5% of n, comfortably below the exponential mechanism's own noise
+// at the ε values trace analyses use.
+const DefaultQuantileAccuracy = 0.005
+
+// Frequency-sketch geometry: 4 rows × 8192 counters ≈ 256 KiB,
+// overcount ≤ ~0.025% of n with probability 1-2^-4 per query.
+const (
+	freqSketchWidth = 8192
+	freqSketchDepth = 4
+)
+
+// distinctSketchPrecision gives 2^12 registers ≈ 1.6% relative
+// standard error on distinct counts.
+const distinctSketchPrecision = 12
+
+// validFraction validates a rank fraction the way NoisyOrderStatistic
+// does.
+func validFraction(fraction float64) error {
+	if fraction < 0 || fraction > 1 || math.IsNaN(fraction) {
+		return ErrInvalidEpsilon
+	}
+	return nil
+}
+
+// resolveSketchEps applies the default and validates.
+func resolveSketchEps(sketchEps float64) (float64, error) {
+	if sketchEps == 0 {
+		return DefaultQuantileAccuracy, nil
+	}
+	if !(sketchEps > 0 && sketchEps < 1) || math.IsNaN(sketchEps) {
+		return 0, ErrInvalidEpsilon
+	}
+	return sketchEps, nil
+}
+
+// buildQuantileSketch builds the fold of fixed-block summaries over
+// records, in parallel when exec says so. Block boundaries depend
+// only on record positions, merges happen in block order, and every
+// per-block build is deterministic — so worker count never changes a
+// byte of the result.
+func buildQuantileSketch[T any](records []T, exec ExecOptions, sketchEps float64, f func(T) float64) *sketch.Quantile {
+	n := len(records)
+	merged := sketch.NewQuantile(sketchEps)
+	if n == 0 {
+		return merged
+	}
+	blocks := (n + sketchBlock - 1) / sketchBlock
+	buildBlock := func(b int) *sketch.Quantile {
+		blk := sketch.NewQuantile(sketchEps)
+		lo := b * sketchBlock
+		hi := lo + sketchBlock
+		if hi > n {
+			hi = n
+		}
+		for _, r := range records[lo:hi] {
+			blk.Insert(f(r))
+		}
+		return blk
+	}
+	if exec.active(n) {
+		w := exec.width(blocks)
+		parts := make([]*sketch.Quantile, blocks)
+		runWorkers(w, func(worker int) {
+			lo, hi := chunk(blocks, w, worker)
+			for b := lo; b < hi; b++ {
+				parts[b] = buildBlock(b)
+			}
+		})
+		parallelExecs.Add(1)
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		return merged
+	}
+	for b := 0; b < blocks; b++ {
+		merged.Merge(buildBlock(b))
+	}
+	return merged
+}
+
+// quantileChoose runs the exponential mechanism over the summary's
+// retained tuples: candidate i's score is the negated distance from
+// the target rank to the tuple's plausible rank span. Adding or
+// removing one record moves every rank bound — and hence every
+// span endpoint and the target — by at most one, so the score
+// sensitivity is 1, the same calibration NoisyMedian and
+// NoisyOrderStatistic use for their rank scores. Exactly one noise
+// draw (inside noise.Exponential).
+func quantileChoose(src noise.Source, qs *sketch.Quantile, fraction, epsilon float64) float64 {
+	tuples := qs.Tuples()
+	if len(tuples) == 0 {
+		return 0
+	}
+	target := fraction * float64(qs.Count())
+	scores := make([]float64, len(tuples))
+	for i := range tuples {
+		lo := 0.0
+		if i > 0 {
+			lo = float64(tuples[i-1].RMin)
+		}
+		hi := float64(tuples[i].RMax)
+		d := 0.0
+		switch {
+		case target < lo:
+			d = lo - target
+		case target > hi:
+			d = target - hi
+		}
+		scores[i] = -d
+	}
+	idx := noise.Exponential(src, scores, 1, epsilon)
+	return tuples[idx].Value
+}
+
+// NoisyQuantile returns a value whose rank is near fraction·n,
+// selected by the exponential mechanism over a mergeable one-pass
+// rank summary with accuracy target sketchEps (0 means
+// DefaultQuantileAccuracy). It is the sketch-backed, trace-scale
+// counterpart of NoisyOrderStatistic: O(1/sketchEps) memory instead
+// of a full sort, at the cost of candidates being summary tuples
+// rather than every distinct value. Charges ε like every aggregation.
+func NoisyQuantile[T any](q *Queryable[T], epsilon, fraction, sketchEps float64, f func(T) float64) (v float64, err error) {
+	start := opStart(q.rec)
+	defer recoverAgg(q.rec, "quantile", start, epsilon, &v, &err)
+	if cerr := q.aggCtxErr(); cerr != nil {
+		aggDone(q.rec, "quantile", start, epsilon, cerr)
+		return 0, cerr
+	}
+	if err := validEpsilon(epsilon); err != nil {
+		aggDone(q.rec, "quantile", start, epsilon, err)
+		return 0, err
+	}
+	if err := validFraction(fraction); err != nil {
+		aggDone(q.rec, "quantile", start, epsilon, err)
+		return 0, err
+	}
+	se, serr := resolveSketchEps(sketchEps)
+	if serr != nil {
+		aggDone(q.rec, "quantile", start, epsilon, serr)
+		return 0, serr
+	}
+	if err := q.agent.Apply(epsilon); err != nil {
+		aggDone(q.rec, "quantile", start, epsilon, err)
+		return 0, err
+	}
+	if len(q.records) == 0 {
+		aggDone(q.rec, "quantile", start, epsilon, nil)
+		return 0, nil
+	}
+	qs := buildQuantileSketch(q.records, q.exec, se, f)
+	v = quantileChoose(q.src, qs, fraction, epsilon)
+	aggDone(q.rec, "quantile", start, epsilon, nil)
+	return v, nil
+}
+
+// buildFrequencySketch builds the count-min sketch over keys, sharded
+// across workers when exec says so. Counter addition is exact, so the
+// merged shard sketches equal the sequential build bit for bit.
+func buildFrequencySketch[T any](records []T, exec ExecOptions, key func(T) string) *sketch.CountMin {
+	n := len(records)
+	if exec.active(n) {
+		w := exec.width(n)
+		parts := make([]*sketch.CountMin, w)
+		runWorkers(w, func(worker int) {
+			c := sketch.NewCountMin(freqSketchWidth, freqSketchDepth)
+			lo, hi := chunk(n, w, worker)
+			for _, r := range records[lo:hi] {
+				c.Add(key(r))
+			}
+			parts[worker] = c
+		})
+		parallelExecs.Add(1)
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			// Same geometry by construction; the error is impossible.
+			if err := merged.Merge(p); err != nil {
+				panic(err)
+			}
+		}
+		return merged
+	}
+	c := sketch.NewCountMin(freqSketchWidth, freqSketchDepth)
+	for _, r := range records {
+		c.Add(key(r))
+	}
+	return c
+}
+
+// NoisyFrequency returns the approximate number of records whose key
+// equals target, from a one-pass count-min sketch, perturbed with
+// Laplace noise of scale 1/ε. One record contributes one increment,
+// so the estimate's sensitivity is 1 — the same calibration as
+// NoisyCount — and the sketch's (public-geometry) overcount is a
+// bias, not a privacy cost. Charges ε like every aggregation.
+func NoisyFrequency[T any](q *Queryable[T], epsilon float64, key func(T) string, target string) (v float64, err error) {
+	start := opStart(q.rec)
+	defer recoverAgg(q.rec, "frequency", start, epsilon, &v, &err)
+	if cerr := q.aggCtxErr(); cerr != nil {
+		aggDone(q.rec, "frequency", start, epsilon, cerr)
+		return 0, cerr
+	}
+	if err := validEpsilon(epsilon); err != nil {
+		aggDone(q.rec, "frequency", start, epsilon, err)
+		return 0, err
+	}
+	if err := q.agent.Apply(epsilon); err != nil {
+		aggDone(q.rec, "frequency", start, epsilon, err)
+		return 0, err
+	}
+	c := buildFrequencySketch(q.records, q.exec, key)
+	v = float64(c.Estimate(target)) + noise.LaplaceForEpsilon(q.src, 1, epsilon)
+	aggDone(q.rec, "frequency", start, epsilon, nil)
+	return v, nil
+}
+
+// buildDistinctSketch builds the HLL-style registers over keys,
+// sharded across workers when exec says so; register-max merge is
+// exact, so shard builds equal the sequential build bit for bit.
+func buildDistinctSketch[T any](records []T, exec ExecOptions, key func(T) string) *sketch.Distinct {
+	n := len(records)
+	if exec.active(n) {
+		w := exec.width(n)
+		parts := make([]*sketch.Distinct, w)
+		runWorkers(w, func(worker int) {
+			d := sketch.NewDistinct(distinctSketchPrecision)
+			lo, hi := chunk(n, w, worker)
+			for _, r := range records[lo:hi] {
+				d.Add(key(r))
+			}
+			parts[worker] = d
+		})
+		parallelExecs.Add(1)
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			if err := merged.Merge(p); err != nil {
+				panic(err)
+			}
+		}
+		return merged
+	}
+	d := sketch.NewDistinct(distinctSketchPrecision)
+	for _, r := range records {
+		d.Add(key(r))
+	}
+	return d
+}
+
+// NoisyDistinctSketch returns the approximate number of distinct keys
+// among the records, from one-pass HLL-style registers, perturbed
+// with Laplace noise of scale 1/ε. The released quantity is a
+// distinct count, whose ideal sensitivity is 1 (one record adds or
+// removes at most one distinct key); the registers themselves are
+// never released. The estimator's deviation from the true distinct
+// count is public-geometry bias, like count-min's overcount. Charges
+// ε like every aggregation. See DESIGN.md §S32 for the honest caveat
+// on estimator-level vs ideal sensitivity.
+func NoisyDistinctSketch[T any](q *Queryable[T], epsilon float64, key func(T) string) (v float64, err error) {
+	start := opStart(q.rec)
+	defer recoverAgg(q.rec, "distinctcount", start, epsilon, &v, &err)
+	if cerr := q.aggCtxErr(); cerr != nil {
+		aggDone(q.rec, "distinctcount", start, epsilon, cerr)
+		return 0, cerr
+	}
+	if err := validEpsilon(epsilon); err != nil {
+		aggDone(q.rec, "distinctcount", start, epsilon, err)
+		return 0, err
+	}
+	if err := q.agent.Apply(epsilon); err != nil {
+		aggDone(q.rec, "distinctcount", start, epsilon, err)
+		return 0, err
+	}
+	d := buildDistinctSketch(q.records, q.exec, key)
+	v = d.Estimate() + noise.LaplaceForEpsilon(q.src, 1, epsilon)
+	aggDone(q.rec, "distinctcount", start, epsilon, nil)
+	return v, nil
+}
+
+// quantileSink feeds a fused stream into the same fixed-block
+// quantile fold the materializing build uses: a fresh block summary
+// every sketchBlock accepted records, folded in order. Record
+// positions in the fused output stream line up with positions in the
+// materialized slice, so the sketches — and every noisy output — are
+// byte-identical across the two paths.
+type quantileSink[T any] struct {
+	f      func(T) float64
+	merged *sketch.Quantile
+	cur    *sketch.Quantile
+	se     float64
+	inCur  int
+	n      int
+}
+
+func (k *quantileSink[T]) accept(v T) {
+	if k.inCur == sketchBlock {
+		k.merged.Merge(k.cur)
+		k.cur = sketch.NewQuantile(k.se)
+		k.inCur = 0
+	}
+	k.cur.Insert(k.f(v))
+	k.inCur++
+	k.n++
+}
+
+func (k *quantileSink[T]) finish() *sketch.Quantile {
+	if k.inCur > 0 {
+		k.merged.Merge(k.cur)
+		k.inCur = 0
+	}
+	return k.merged
+}
+
+// StreamNoisyQuantile is the fused NoisyQuantile: the summary is
+// built directly from the fused pipeline's output, one pass, no
+// intermediate slices, byte-identical to the materializing path.
+func StreamNoisyQuantile[T any](s Stream[T], epsilon, fraction, sketchEps float64, f func(T) float64) (v float64, err error) {
+	start := opStart(s.rec)
+	defer recoverAgg(s.rec, "quantile", start, epsilon, &v, &err)
+	if cerr := s.aggCtxErr(); cerr != nil {
+		aggDone(s.rec, "quantile", start, epsilon, cerr)
+		return 0, cerr
+	}
+	if err := validEpsilon(epsilon); err != nil {
+		aggDone(s.rec, "quantile", start, epsilon, err)
+		return 0, err
+	}
+	if err := validFraction(fraction); err != nil {
+		aggDone(s.rec, "quantile", start, epsilon, err)
+		return 0, err
+	}
+	se, serr := resolveSketchEps(sketchEps)
+	if serr != nil {
+		aggDone(s.rec, "quantile", start, epsilon, serr)
+		return 0, serr
+	}
+	if err := s.agent.Apply(epsilon); err != nil {
+		aggDone(s.rec, "quantile", start, epsilon, err)
+		return 0, err
+	}
+	k := &quantileSink[T]{f: f, se: se, merged: sketch.NewQuantile(se), cur: sketch.NewQuantile(se)}
+	s.consume(k)
+	if k.n == 0 {
+		aggDone(s.rec, "quantile", start, epsilon, nil)
+		return 0, nil
+	}
+	v = quantileChoose(s.nsrc, k.finish(), fraction, epsilon)
+	aggDone(s.rec, "quantile", start, epsilon, nil)
+	return v, nil
+}
+
+// freqSink feeds a fused stream into a count-min sketch.
+type freqSink[T any] struct {
+	key func(T) string
+	c   *sketch.CountMin
+}
+
+func (k *freqSink[T]) accept(v T) { k.c.Add(k.key(v)) }
+
+// StreamNoisyFrequency is the fused NoisyFrequency.
+func StreamNoisyFrequency[T any](s Stream[T], epsilon float64, key func(T) string, target string) (v float64, err error) {
+	start := opStart(s.rec)
+	defer recoverAgg(s.rec, "frequency", start, epsilon, &v, &err)
+	if cerr := s.aggCtxErr(); cerr != nil {
+		aggDone(s.rec, "frequency", start, epsilon, cerr)
+		return 0, cerr
+	}
+	if err := validEpsilon(epsilon); err != nil {
+		aggDone(s.rec, "frequency", start, epsilon, err)
+		return 0, err
+	}
+	if err := s.agent.Apply(epsilon); err != nil {
+		aggDone(s.rec, "frequency", start, epsilon, err)
+		return 0, err
+	}
+	k := &freqSink[T]{key: key, c: sketch.NewCountMin(freqSketchWidth, freqSketchDepth)}
+	s.consume(k)
+	v = float64(k.c.Estimate(target)) + noise.LaplaceForEpsilon(s.nsrc, 1, epsilon)
+	aggDone(s.rec, "frequency", start, epsilon, nil)
+	return v, nil
+}
+
+// distinctSink feeds a fused stream into HLL-style registers.
+type distinctSink[T any] struct {
+	key func(T) string
+	d   *sketch.Distinct
+}
+
+func (k *distinctSink[T]) accept(v T) { k.d.Add(k.key(v)) }
+
+// StreamNoisyDistinctSketch is the fused NoisyDistinctSketch.
+func StreamNoisyDistinctSketch[T any](s Stream[T], epsilon float64, key func(T) string) (v float64, err error) {
+	start := opStart(s.rec)
+	defer recoverAgg(s.rec, "distinctcount", start, epsilon, &v, &err)
+	if cerr := s.aggCtxErr(); cerr != nil {
+		aggDone(s.rec, "distinctcount", start, epsilon, cerr)
+		return 0, cerr
+	}
+	if err := validEpsilon(epsilon); err != nil {
+		aggDone(s.rec, "distinctcount", start, epsilon, err)
+		return 0, err
+	}
+	if err := s.agent.Apply(epsilon); err != nil {
+		aggDone(s.rec, "distinctcount", start, epsilon, err)
+		return 0, err
+	}
+	k := &distinctSink[T]{key: key, d: sketch.NewDistinct(distinctSketchPrecision)}
+	s.consume(k)
+	v = k.d.Estimate() + noise.LaplaceForEpsilon(s.nsrc, 1, epsilon)
+	aggDone(s.rec, "distinctcount", start, epsilon, nil)
+	return v, nil
+}

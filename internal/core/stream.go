@@ -1,0 +1,492 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"dptrace/internal/noise"
+	"dptrace/internal/obs"
+)
+
+// This file is the fused streaming execution path of the engine. The
+// materializing operators in queryable.go allocate one output slice
+// per transformation, so a Where→Select→NoisySum pipeline makes three
+// full passes and three heap copies over data it could scan once. A
+// Stream is the lazy alternative for chains of record-wise operators
+// (Where, Select, SelectMany): stages compose into a single loop that
+// feeds the aggregation directly, with no intermediate slices.
+//
+// The hard invariant is that fusion is purely an execution choice:
+// for the same pipeline and the same noise-source state, the fused
+// and materializing paths produce byte-identical results, identical
+// noise draws (same number of Source.Float64 calls in the same
+// order), and identical ε-charges including refusal boundaries. That
+// holds by construction —
+//
+//   - stages visit records in input order, exactly like the
+//     sequential loops (and therefore like the parallel strategies,
+//     which are themselves byte-identical to sequential — the PR2
+//     invariant), so floating-point accumulation order is unchanged;
+//   - SelectMany truncates to fanout and wraps the budget agent in
+//     the same newScaleAgent call the materializing operator uses, so
+//     the ε arithmetic is the same float64 expression;
+//   - aggregation terminals run the same contract in the same order
+//     as aggregate.go: recoverAgg guard, ctx check BEFORE
+//     agent.Apply (a cancelled query charges zero ε), ε/bound
+//     validation, Apply, scan, one calibrated noise draw
+//
+// — and is pinned by the differential tests in stream_test.go at
+// GOMAXPROCS {1,4} under -race.
+//
+// One deliberate divergence, in the conservative direction: fusion is
+// lazy, so analyst-supplied predicates/selectors execute during the
+// terminal scan, which happens AFTER agent.Apply. A stage that panics
+// therefore surfaces as ErrInternal with the charge standing, where
+// the materializing path would have panicked while transforming —
+// before any charge. Never less is charged than the materializing
+// path would charge (DESIGN.md §S32).
+//
+// Allocation budget: constructing a Stream and folding the first
+// Where into it are allocation-free; each further stage is exactly
+// one heap object (the stage link, or a composed predicate closure);
+// each terminal allocates one accumulator sink. Where→Select→Sum is
+// 2 allocs/op total, pinned by alloc_test.go. Recorded pipelines
+// (rec != nil) trade that for per-stage record counting: every stage
+// becomes a counted link and appears in the profile with the "fused"
+// strategy tag (obs.FusedWorkers) and zero duration — the single
+// pass's wall time lands on the aggregation row.
+//
+// Streams may be freely derived from (each derivation owns its
+// chain), but a single Stream must not be consumed by two
+// aggregations concurrently: stage links hold per-run state.
+
+// sink consumes a fused stream one record at a time.
+type sink[T any] interface{ accept(T) }
+
+// feeder replays a derived stream's fused chain into a sink.
+type feeder[T any] interface{ feedInto(down sink[T]) }
+
+// fusedStage is the per-stage record counter behind profile rows; it
+// is only allocated (and only counted) on recorded pipelines.
+type fusedStage struct {
+	op      string
+	in, out int
+}
+
+// Stream is a lazily-fused pipeline over a Queryable's records:
+// transformations accumulate into a single loop that runs when an
+// aggregation terminal consumes the stream. Construct one with
+// Queryable.Stream.
+//
+// Streams are values: deriving a new stage never mutates its input
+// stream, so a Stream can be reused as the base of several pipelines.
+type Stream[T any] struct {
+	recs   []T          // source records (source mode; feed == nil)
+	pred   func(T) bool // filter folded onto the source, nil = none
+	feed   feeder[T]    // fused chain replay (derived mode)
+	agent  Agent
+	nsrc   noise.Source
+	rec    obs.Recorder
+	exec   ExecOptions
+	ctx    context.Context
+	stages []*fusedStage // profile rows, recorded pipelines only
+}
+
+// Stream returns a fused streaming view of this Queryable: the same
+// records, budget agent, noise source, recorder, execution options,
+// and context, consumed lazily in one pass instead of per-operator
+// materialized slices.
+func (q *Queryable[T]) Stream() Stream[T] {
+	return Stream[T]{
+		recs:  q.records,
+		agent: q.agent,
+		nsrc:  q.src,
+		rec:   q.rec,
+		exec:  q.exec,
+		ctx:   q.ctx,
+	}
+}
+
+// appendStage returns a fresh slice so sibling derivations never
+// share a tail (streams are values; their stage lists must be too).
+func appendStage(stages []*fusedStage, st *fusedStage) []*fusedStage {
+	out := make([]*fusedStage, len(stages)+1)
+	copy(out, stages)
+	out[len(stages)] = st
+	return out
+}
+
+// Where fuses a filter stage onto the stream. On an unrecorded source
+// stream the predicate folds directly into the source loop
+// (allocation-free for the first Where, one composed closure per
+// further Where); recorded or derived streams add one stage link.
+// Filtering does not amplify sensitivity, so the agent is unchanged —
+// exactly like the materializing Where.
+func (s Stream[T]) Where(pred func(T) bool) Stream[T] {
+	if s.rec == nil && s.feed == nil {
+		if s.pred == nil {
+			s.pred = pred
+			return s
+		}
+		prev := s.pred
+		s.pred = func(v T) bool { return prev(v) && pred(v) }
+		return s
+	}
+	k := &whereLink[T]{src: s, pred: pred}
+	if s.rec != nil {
+		k.st = &fusedStage{op: "where"}
+		s.stages = appendStage(s.stages, k.st)
+	}
+	s.feed = k
+	s.recs, s.pred = nil, nil
+	return s
+}
+
+// StreamSelect fuses a one-to-one mapping stage onto the stream,
+// yielding a stream of the mapped type. One stage link is allocated;
+// no records are. Sensitivity and agent are unchanged, exactly like
+// the materializing Select.
+func StreamSelect[T, U any](s Stream[T], f func(T) U) Stream[U] {
+	out := Stream[U]{agent: s.agent, nsrc: s.nsrc, rec: s.rec, exec: s.exec, ctx: s.ctx, stages: s.stages}
+	k := &selectLink[T, U]{src: s, f: f}
+	if s.rec != nil {
+		k.st = &fusedStage{op: "select"}
+		out.stages = appendStage(s.stages, k.st)
+	}
+	out.feed = k
+	return out
+}
+
+// StreamSelectMany fuses a flattening stage: f maps each record to a
+// slice, truncated to at most fanout outputs. Exactly like the
+// materializing SelectMany, one input record can influence up to
+// fanout output records, so the stream's agent is wrapped in the
+// same sensitivity scaling (the identical newScaleAgent call, so the
+// downstream ε arithmetic is bit-for-bit the same expression).
+func StreamSelectMany[T, U any](s Stream[T], fanout int, f func(T) []U) Stream[U] {
+	if fanout < 1 {
+		panic("core: SelectMany fanout must be >= 1")
+	}
+	out := Stream[U]{agent: newScaleAgent(s.agent, float64(fanout)), nsrc: s.nsrc, rec: s.rec, exec: s.exec, ctx: s.ctx, stages: s.stages}
+	k := &selectManyLink[T, U]{src: s, fanout: fanout, f: f}
+	if s.rec != nil {
+		k.st = &fusedStage{op: "selectmany"}
+		out.stages = appendStage(s.stages, k.st)
+	}
+	out.feed = k
+	return out
+}
+
+// whereLink is a fused filter stage. It is both the feeder of its
+// output stream and the sink its source pushes into — one object per
+// stage, which is what keeps fused chains at one alloc per stage.
+type whereLink[T any] struct {
+	src  Stream[T]
+	pred func(T) bool
+	st   *fusedStage
+	down sink[T]
+}
+
+func (k *whereLink[T]) feedInto(down sink[T]) {
+	k.down = down
+	k.src.feedSink(k)
+}
+
+func (k *whereLink[T]) accept(v T) {
+	if k.st != nil {
+		k.st.in++
+	}
+	if k.pred(v) {
+		if k.st != nil {
+			k.st.out++
+		}
+		k.down.accept(v)
+	}
+}
+
+// selectLink is a fused mapping stage (see whereLink).
+type selectLink[T, U any] struct {
+	src  Stream[T]
+	f    func(T) U
+	st   *fusedStage
+	down sink[U]
+}
+
+func (k *selectLink[T, U]) feedInto(down sink[U]) {
+	k.down = down
+	k.src.feedSink(k)
+}
+
+func (k *selectLink[T, U]) accept(v T) {
+	if k.st != nil {
+		k.st.in++
+		k.st.out++
+	}
+	k.down.accept(k.f(v))
+}
+
+// selectManyLink is a fused flattening stage (see whereLink). The
+// truncation order matches the materializing SelectMany: f's result
+// is cut to fanout, then emitted in order.
+type selectManyLink[T, U any] struct {
+	src    Stream[T]
+	fanout int
+	f      func(T) []U
+	st     *fusedStage
+	down   sink[U]
+}
+
+func (k *selectManyLink[T, U]) feedInto(down sink[U]) {
+	k.down = down
+	k.src.feedSink(k)
+}
+
+func (k *selectManyLink[T, U]) accept(v T) {
+	if k.st != nil {
+		k.st.in++
+	}
+	mapped := k.f(v)
+	if len(mapped) > k.fanout {
+		mapped = mapped[:k.fanout]
+	}
+	if k.st != nil {
+		k.st.out += len(mapped)
+	}
+	for _, u := range mapped {
+		k.down.accept(u)
+	}
+}
+
+// feedSink pushes the stream's records into down: derived streams
+// replay their chain, source streams loop the records (with the
+// folded predicate hoisted out of the loop).
+func (s *Stream[T]) feedSink(down sink[T]) {
+	if s.feed != nil {
+		s.feed.feedInto(down)
+		return
+	}
+	if s.pred == nil {
+		for _, r := range s.recs {
+			down.accept(r)
+		}
+		return
+	}
+	for _, r := range s.recs {
+		if s.pred(r) {
+			down.accept(r)
+		}
+	}
+}
+
+// consume runs the fused loop into down and, on recorded pipelines,
+// emits one OpDone per fused stage in pipeline order with the
+// obs.FusedWorkers sentinel. Per-stage durations are reported as
+// zero: the stages ran interleaved in one loop whose wall time the
+// aggregation row carries.
+func (s *Stream[T]) consume(down sink[T]) {
+	if s.rec == nil {
+		s.feedSink(down)
+		return
+	}
+	for _, st := range s.stages {
+		st.in, st.out = 0, 0
+	}
+	s.feedSink(down)
+	for _, st := range s.stages {
+		s.rec.OpDone(st.op, 0, st.in, st.out, obs.FusedWorkers)
+	}
+}
+
+// aggCtxErr mirrors Queryable.aggCtxErr for stream terminals.
+func (s *Stream[T]) aggCtxErr() error {
+	if err := ctxErr(s.ctx); err != nil {
+		return canceledErr(err)
+	}
+	return nil
+}
+
+// countSink tallies records.
+type countSink[T any] struct{ n int }
+
+func (k *countSink[T]) accept(T) { k.n++ }
+
+// sumSink accumulates clamped values in stream order — the same
+// float64 additions, in the same order, as the materializing
+// NoisySumScaled loop.
+type sumSink[T any] struct {
+	sum, bound float64
+	f          func(T) float64
+}
+
+func (k *sumSink[T]) accept(v T) { k.sum += clamp(k.f(v), k.bound) }
+
+// avgSink is sumSink plus the record count NoisyAverage divides by.
+type avgSink[T any] struct {
+	sum, bound float64
+	n          int
+	f          func(T) float64
+}
+
+func (k *avgSink[T]) accept(v T) {
+	k.n++
+	k.sum += clamp(k.f(v), k.bound)
+}
+
+// collectSink materializes the stream.
+type collectSink[T any] struct{ out []T }
+
+func (k *collectSink[T]) accept(v T) { k.out = append(k.out, v) }
+
+// NoisyCount runs the fused pipeline once and returns the record
+// count perturbed with Laplace noise of scale 1/ε, charging ε exactly
+// like Queryable.NoisyCount: same validation order, same ctx-before-
+// Apply contract, same single noise draw.
+func (s Stream[T]) NoisyCount(epsilon float64) (v float64, err error) {
+	start := opStart(s.rec)
+	defer recoverAgg(s.rec, "count", start, epsilon, &v, &err)
+	if cerr := s.aggCtxErr(); cerr != nil {
+		aggDone(s.rec, "count", start, epsilon, cerr)
+		return 0, cerr
+	}
+	if err := validEpsilon(epsilon); err != nil {
+		aggDone(s.rec, "count", start, epsilon, err)
+		return 0, err
+	}
+	if err := s.agent.Apply(epsilon); err != nil {
+		aggDone(s.rec, "count", start, epsilon, err)
+		return 0, err
+	}
+	k := &countSink[T]{}
+	s.consume(k)
+	v = float64(k.n) + noise.LaplaceForEpsilon(s.nsrc, 1, epsilon)
+	aggDone(s.rec, "count", start, epsilon, nil)
+	return v, nil
+}
+
+// NoisyCountInt is NoisyCount with the geometric (discrete Laplace)
+// mechanism, mirroring Queryable.NoisyCountInt.
+func (s Stream[T]) NoisyCountInt(epsilon float64) (v int64, err error) {
+	start := opStart(s.rec)
+	defer recoverAgg(s.rec, "countint", start, epsilon, &v, &err)
+	if cerr := s.aggCtxErr(); cerr != nil {
+		aggDone(s.rec, "countint", start, epsilon, cerr)
+		return 0, cerr
+	}
+	if err := validEpsilon(epsilon); err != nil {
+		aggDone(s.rec, "countint", start, epsilon, err)
+		return 0, err
+	}
+	if err := s.agent.Apply(epsilon); err != nil {
+		aggDone(s.rec, "countint", start, epsilon, err)
+		return 0, err
+	}
+	k := &countSink[T]{}
+	s.consume(k)
+	v = int64(k.n) + noise.Geometric(s.nsrc, 1, epsilon)
+	aggDone(s.rec, "countint", start, epsilon, nil)
+	return v, nil
+}
+
+// StreamNoisySum is the fused NoisySum: values clamped to [-1, 1],
+// summed in one pass, Laplace noise of scale 1/ε.
+func StreamNoisySum[T any](s Stream[T], epsilon float64, f func(T) float64) (float64, error) {
+	return StreamNoisySumScaled(s, epsilon, 1, f)
+}
+
+// StreamNoisySumScaled is the fused NoisySumScaled: one pass, byte-
+// identical result, noise draw, and ε-charge to the materializing
+// path on the same pipeline and noise-source state.
+func StreamNoisySumScaled[T any](s Stream[T], epsilon, bound float64, f func(T) float64) (v float64, err error) {
+	start := opStart(s.rec)
+	defer recoverAgg(s.rec, "sum", start, epsilon, &v, &err)
+	if cerr := s.aggCtxErr(); cerr != nil {
+		aggDone(s.rec, "sum", start, epsilon, cerr)
+		return 0, cerr
+	}
+	if err := validEpsilon(epsilon); err != nil {
+		aggDone(s.rec, "sum", start, epsilon, err)
+		return 0, err
+	}
+	if err := validBound(bound); err != nil {
+		aggDone(s.rec, "sum", start, epsilon, err)
+		return 0, err
+	}
+	if err := s.agent.Apply(epsilon); err != nil {
+		aggDone(s.rec, "sum", start, epsilon, err)
+		return 0, err
+	}
+	k := &sumSink[T]{bound: bound, f: f}
+	s.consume(k)
+	v = k.sum + noise.LaplaceForEpsilon(s.nsrc, bound, epsilon)
+	aggDone(s.rec, "sum", start, epsilon, nil)
+	return v, nil
+}
+
+// StreamNoisyAverage is the fused NoisyAverage (clamp to [-1, 1]).
+func StreamNoisyAverage[T any](s Stream[T], epsilon float64, f func(T) float64) (float64, error) {
+	return StreamNoisyAverageScaled(s, epsilon, 1, f)
+}
+
+// StreamNoisyAverageScaled is the fused NoisyAverageScaled: the count
+// and the clamped sum come from the same single pass, and the empty-
+// stream noise floor matches the materializing path.
+func StreamNoisyAverageScaled[T any](s Stream[T], epsilon, bound float64, f func(T) float64) (v float64, err error) {
+	start := opStart(s.rec)
+	defer recoverAgg(s.rec, "average", start, epsilon, &v, &err)
+	if cerr := s.aggCtxErr(); cerr != nil {
+		aggDone(s.rec, "average", start, epsilon, cerr)
+		return 0, cerr
+	}
+	if err := validEpsilon(epsilon); err != nil {
+		aggDone(s.rec, "average", start, epsilon, err)
+		return 0, err
+	}
+	if err := validBound(bound); err != nil {
+		aggDone(s.rec, "average", start, epsilon, err)
+		return 0, err
+	}
+	if err := s.agent.Apply(epsilon); err != nil {
+		aggDone(s.rec, "average", start, epsilon, err)
+		return 0, err
+	}
+	k := &avgSink[T]{bound: bound, f: f}
+	s.consume(k)
+	if k.n == 0 {
+		v = noise.LaplaceForEpsilon(s.nsrc, 2*bound, epsilon)
+		aggDone(s.rec, "average", start, epsilon, nil)
+		return v, nil
+	}
+	v = k.sum/float64(k.n) + noise.LaplaceForEpsilon(s.nsrc, 2*bound/float64(k.n), epsilon)
+	aggDone(s.rec, "average", start, epsilon, nil)
+	return v, nil
+}
+
+// Materialize runs the fused pipeline once and returns its records as
+// an ordinary Queryable — the escape hatch for continuing into
+// operators the streaming path does not fuse (GroupBy, Join,
+// Partition, the order-statistic aggregations). The result carries
+// the stream's agent, noise source, recorder, execution options, and
+// context, so the rest of the pipeline behaves as if it had been
+// built from materializing operators all along. On a cancelled
+// context it short-circuits to an empty Queryable, exactly like the
+// materializing transformations.
+func (s Stream[T]) Materialize() *Queryable[T] {
+	out := &Queryable[T]{agent: s.agent, src: s.nsrc, rec: s.rec, exec: s.exec, ctx: s.ctx}
+	if ctxErr(s.ctx) != nil {
+		out.records = []T{}
+		return out
+	}
+	k := &collectSink[T]{out: make([]T, 0)}
+	s.consume(k)
+	out.records = k.out
+	return out
+}
+
+// validBound validates a clamp bound the way the materializing
+// aggregations do.
+func validBound(bound float64) error {
+	if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return ErrInvalidEpsilon
+	}
+	return nil
+}

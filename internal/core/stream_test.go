@@ -1,0 +1,459 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dptrace/internal/noise"
+	"dptrace/internal/obs"
+)
+
+// Differential tests for the fused streaming path: for the same
+// pipeline and the same noise-source seed, the fused and
+// materializing executions must produce byte-identical values,
+// identical errors, and identical ε-charges — including refusal
+// boundaries and cancellation — at GOMAXPROCS 1 and 4 and across the
+// parallel strategies' worker counts. These run under -race in the
+// tier-1 gate, like the PR2 parallel differential tests they mirror.
+
+// fusedCase is one pipeline expressed both ways.
+type fusedCase struct {
+	name  string
+	mat   func(q *Queryable[flowRec]) (float64, error)
+	fused func(s Stream[flowRec]) (float64, error)
+}
+
+var fusedCases = []fusedCase{
+	{
+		name: "where/count",
+		mat: func(q *Queryable[flowRec]) (float64, error) {
+			return q.Where(func(f flowRec) bool { return f.Len%3 == 0 }).NoisyCount(0.4)
+		},
+		fused: func(s Stream[flowRec]) (float64, error) {
+			return s.Where(func(f flowRec) bool { return f.Len%3 == 0 }).NoisyCount(0.4)
+		},
+	},
+	{
+		name: "where/select/sum",
+		mat: func(q *Queryable[flowRec]) (float64, error) {
+			w := q.Where(func(f flowRec) bool { return f.Port%2 == 0 })
+			m := Select(w, func(f flowRec) float64 { return float64(f.Len) / 1500 })
+			return NoisySum(m, 0.3, func(v float64) float64 { return v })
+		},
+		fused: func(s Stream[flowRec]) (float64, error) {
+			w := s.Where(func(f flowRec) bool { return f.Port%2 == 0 })
+			m := StreamSelect(w, func(f flowRec) float64 { return float64(f.Len) / 1500 })
+			return StreamNoisySum(m, 0.3, func(v float64) float64 { return v })
+		},
+	},
+	{
+		name: "where/where/sumscaled",
+		mat: func(q *Queryable[flowRec]) (float64, error) {
+			w := q.Where(func(f flowRec) bool { return f.Len > 100 }).
+				Where(func(f flowRec) bool { return f.Port != 3 })
+			return NoisySumScaled(w, 0.25, 1500, func(f flowRec) float64 { return float64(f.Len) })
+		},
+		fused: func(s Stream[flowRec]) (float64, error) {
+			w := s.Where(func(f flowRec) bool { return f.Len > 100 }).
+				Where(func(f flowRec) bool { return f.Port != 3 })
+			return StreamNoisySumScaled(w, 0.25, 1500, func(f flowRec) float64 { return float64(f.Len) })
+		},
+	},
+	{
+		name: "selectmany/count",
+		mat: func(q *Queryable[flowRec]) (float64, error) {
+			m := SelectMany(q, 2, func(f flowRec) []flowRec {
+				if f.Port%2 == 0 {
+					return []flowRec{f, f, f} // truncated to fanout
+				}
+				return []flowRec{f}
+			})
+			return m.NoisyCount(0.2)
+		},
+		fused: func(s Stream[flowRec]) (float64, error) {
+			m := StreamSelectMany(s, 2, func(f flowRec) []flowRec {
+				if f.Port%2 == 0 {
+					return []flowRec{f, f, f}
+				}
+				return []flowRec{f}
+			})
+			return m.NoisyCount(0.2)
+		},
+	},
+	{
+		name: "where/select/average",
+		mat: func(q *Queryable[flowRec]) (float64, error) {
+			w := q.Where(func(f flowRec) bool { return f.Len%5 != 0 })
+			m := Select(w, func(f flowRec) float64 { return float64(f.Port) })
+			return NoisyAverageScaled(m, 0.3, 64, func(v float64) float64 { return v })
+		},
+		fused: func(s Stream[flowRec]) (float64, error) {
+			w := s.Where(func(f flowRec) bool { return f.Len%5 != 0 })
+			m := StreamSelect(w, func(f flowRec) float64 { return float64(f.Port) })
+			return StreamNoisyAverageScaled(m, 0.3, 64, func(v float64) float64 { return v })
+		},
+	},
+	{
+		name: "select/where/quantile",
+		mat: func(q *Queryable[flowRec]) (float64, error) {
+			m := Select(q, func(f flowRec) float64 { return float64(f.Len) })
+			w := m.Where(func(v float64) bool { return v > 10 })
+			return NoisyQuantile(w, 0.5, 0.9, 0.01, func(v float64) float64 { return v })
+		},
+		fused: func(s Stream[flowRec]) (float64, error) {
+			m := StreamSelect(s, func(f flowRec) float64 { return float64(f.Len) })
+			w := m.Where(func(v float64) bool { return v > 10 })
+			return StreamNoisyQuantile(w, 0.5, 0.9, 0.01, func(v float64) float64 { return v })
+		},
+	},
+	{
+		name: "where/frequency",
+		mat: func(q *Queryable[flowRec]) (float64, error) {
+			w := q.Where(func(f flowRec) bool { return f.Len > 50 })
+			return NoisyFrequency(w, 0.4, func(f flowRec) string {
+				return string(rune('a' + f.Port%16))
+			}, "c")
+		},
+		fused: func(s Stream[flowRec]) (float64, error) {
+			w := s.Where(func(f flowRec) bool { return f.Len > 50 })
+			return StreamNoisyFrequency(w, 0.4, func(f flowRec) string {
+				return string(rune('a' + f.Port%16))
+			}, "c")
+		},
+	},
+	{
+		name: "where/distinctcount",
+		mat: func(q *Queryable[flowRec]) (float64, error) {
+			w := q.Where(func(f flowRec) bool { return f.Len > 50 })
+			return NoisyDistinctSketch(w, 0.4, func(f flowRec) string {
+				return string(rune('A' + f.Src%64))
+			})
+		},
+		fused: func(s Stream[flowRec]) (float64, error) {
+			w := s.Where(func(f flowRec) bool { return f.Len > 50 })
+			return StreamNoisyDistinctSketch(w, 0.4, func(f flowRec) string {
+				return string(rune('A' + f.Src%64))
+			})
+		},
+	},
+}
+
+// TestFusedMatchesMaterializing is the headline differential test: the
+// fused value, error, and ε-charge must equal the materializing path's
+// bit for bit, at every input size, with the materializing side run
+// both sequentially and under the parallel strategies.
+func TestFusedMatchesMaterializing(t *testing.T) {
+	for _, gmp := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(gmp)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+
+		rng := rand.New(rand.NewSource(int64(90 + gmp)))
+		for _, n := range inputSizes {
+			flows := randomFlows(rng, n)
+			for _, tc := range fusedCases {
+				for _, workers := range []int{1, 4} {
+					q, root := NewQueryable(flows, 100, noise.NewSeededSource(11, 13))
+					matV, matErr := tc.mat(q.WithExecOptions(parExec(workers)))
+					matSpent := root.Spent()
+
+					q2, root2 := NewQueryable(flows, 100, noise.NewSeededSource(11, 13))
+					fusedV, fusedErr := tc.fused(q2.WithExecOptions(parExec(workers)).Stream())
+					fusedSpent := root2.Spent()
+
+					if math.Float64bits(matV) != math.Float64bits(fusedV) {
+						t.Fatalf("%s (n=%d, workers=%d, gmp=%d): fused value %v differs from materializing %v",
+							tc.name, n, workers, gmp, fusedV, matV)
+					}
+					if !errors.Is(fusedErr, matErr) && !errors.Is(matErr, fusedErr) {
+						t.Fatalf("%s (n=%d): fused err %v, materializing err %v", tc.name, n, fusedErr, matErr)
+					}
+					if matSpent != fusedSpent {
+						t.Fatalf("%s (n=%d): fused charge %v differs from materializing %v",
+							tc.name, n, fusedSpent, matSpent)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedCountIntMatches covers the integral-count terminal, whose
+// geometric draw consumes a different number of uniforms than Laplace.
+func TestFusedCountIntMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	flows := randomFlows(rng, 4096)
+	q, root := NewQueryable(flows, 10, noise.NewSeededSource(5, 6))
+	matV, matErr := q.Where(func(f flowRec) bool { return f.Len > 700 }).NoisyCountInt(0.5)
+
+	q2, root2 := NewQueryable(flows, 10, noise.NewSeededSource(5, 6))
+	fusedV, fusedErr := q2.Stream().Where(func(f flowRec) bool { return f.Len > 700 }).NoisyCountInt(0.5)
+
+	if matV != fusedV || !errors.Is(fusedErr, matErr) && !errors.Is(matErr, fusedErr) {
+		t.Fatalf("countint: fused (%d, %v) vs materializing (%d, %v)", fusedV, fusedErr, matV, matErr)
+	}
+	if root.Spent() != root2.Spent() {
+		t.Fatalf("countint: charges differ: %v vs %v", root2.Spent(), root.Spent())
+	}
+}
+
+// TestFusedRefusalBoundary pins the refusal behavior: when the budget
+// runs out mid-sequence, the fused path refuses at exactly the same
+// aggregation, with the same error and the same final ledger, as the
+// materializing path — including the sensitivity-scaled charge of a
+// fused SelectMany.
+func TestFusedRefusalBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	flows := randomFlows(rng, 1000)
+
+	run := func(useFused bool) ([]error, float64) {
+		q, root := NewQueryable(flows, 1.0, noise.NewSeededSource(2, 3))
+		var errs []error
+		// Plain count at ε=0.6, then a fanout-3 SelectMany count at
+		// ε=0.2 (charges 0.6 > remaining 0.4 — must refuse), then a
+		// plain count at ε=0.4 (exactly exhausts the budget).
+		if useFused {
+			_, e1 := q.Stream().NoisyCount(0.6)
+			m := StreamSelectMany(q.Stream(), 3, func(f flowRec) []flowRec { return []flowRec{f} })
+			_, e2 := m.NoisyCount(0.2)
+			_, e3 := q.Stream().NoisyCount(0.4)
+			errs = []error{e1, e2, e3}
+		} else {
+			_, e1 := q.NoisyCount(0.6)
+			m := SelectMany(q, 3, func(f flowRec) []flowRec { return []flowRec{f} })
+			_, e2 := m.NoisyCount(0.2)
+			_, e3 := q.NoisyCount(0.4)
+			errs = []error{e1, e2, e3}
+		}
+		return errs, root.Spent()
+	}
+
+	matErrs, matSpent := run(false)
+	fusedErrs, fusedSpent := run(true)
+
+	for i := range matErrs {
+		if (matErrs[i] == nil) != (fusedErrs[i] == nil) ||
+			(matErrs[i] != nil && !errors.Is(fusedErrs[i], ErrBudgetExceeded)) {
+			t.Fatalf("agg %d: fused err %v, materializing err %v", i, fusedErrs[i], matErrs[i])
+		}
+	}
+	if matErrs[1] == nil || !errors.Is(matErrs[1], ErrBudgetExceeded) {
+		t.Fatalf("scenario broken: second aggregation should refuse, got %v", matErrs[1])
+	}
+	if matSpent != fusedSpent {
+		t.Fatalf("final ledger differs: fused %v, materializing %v", fusedSpent, matSpent)
+	}
+	if matSpent != 1.0 {
+		t.Fatalf("scenario broken: want budget exactly exhausted, spent %v", matSpent)
+	}
+}
+
+// TestFusedCancellation pins the PR3 contract on the fused path: a
+// stream whose context is cancelled before the aggregation returns
+// ErrCanceled and charges zero ε, for every terminal.
+func TestFusedCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	flows := randomFlows(rng, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	q, root := NewQueryable(flows, 10, noise.NewSeededSource(1, 2))
+	s := q.WithContext(ctx).Stream().Where(func(f flowRec) bool { return f.Len > 0 })
+
+	checks := []struct {
+		name string
+		run  func() error
+	}{
+		{"count", func() error { _, err := s.NoisyCount(0.5); return err }},
+		{"countint", func() error { _, err := s.NoisyCountInt(0.5); return err }},
+		{"sum", func() error { _, err := StreamNoisySum(s, 0.5, func(f flowRec) float64 { return 1 }); return err }},
+		{"average", func() error { _, err := StreamNoisyAverage(s, 0.5, func(f flowRec) float64 { return 1 }); return err }},
+		{"quantile", func() error {
+			_, err := StreamNoisyQuantile(s, 0.5, 0.5, 0, func(f flowRec) float64 { return float64(f.Len) })
+			return err
+		}},
+		{"frequency", func() error {
+			_, err := StreamNoisyFrequency(s, 0.5, func(f flowRec) string { return "k" }, "k")
+			return err
+		}},
+		{"distinctcount", func() error {
+			_, err := StreamNoisyDistinctSketch(s, 0.5, func(f flowRec) string { return "k" })
+			return err
+		}},
+	}
+	for _, c := range checks {
+		err := c.run()
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want ErrCanceled wrapping context.Canceled, got %v", c.name, err)
+		}
+	}
+	if spent := root.Spent(); spent != 0 {
+		t.Fatalf("cancelled stream aggregations charged ε=%v, want 0", spent)
+	}
+
+	// Materialize on a cancelled context short-circuits to empty,
+	// exactly like the materializing transformations.
+	if out := s.Materialize(); len(out.records) != 0 {
+		t.Fatalf("Materialize on cancelled ctx produced %d records, want 0", len(out.records))
+	}
+}
+
+// TestFusedInvalidParams: parameter validation happens before the
+// charge, identically to the materializing path.
+func TestFusedInvalidParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	flows := randomFlows(rng, 100)
+	q, root := NewQueryable(flows, 10, noise.NewSeededSource(1, 2))
+	s := q.Stream()
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"count/eps<0", func() error { _, err := s.NoisyCount(-1); return err }},
+		{"count/eps=0", func() error { _, err := s.NoisyCount(0); return err }},
+		{"count/eps=NaN", func() error { _, err := s.NoisyCount(math.NaN()); return err }},
+		{"sum/bound<0", func() error {
+			_, err := StreamNoisySumScaled(s, 0.5, -2, func(f flowRec) float64 { return 1 })
+			return err
+		}},
+		{"average/bound=Inf", func() error {
+			_, err := StreamNoisyAverageScaled(s, 0.5, math.Inf(1), func(f flowRec) float64 { return 1 })
+			return err
+		}},
+		{"quantile/fraction>1", func() error {
+			_, err := StreamNoisyQuantile(s, 0.5, 1.5, 0, func(f flowRec) float64 { return 1 })
+			return err
+		}},
+		{"quantile/sketcheps>=1", func() error {
+			_, err := StreamNoisyQuantile(s, 0.5, 0.5, 1.5, func(f flowRec) float64 { return 1 })
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if err := c.run(); !errors.Is(err, ErrInvalidEpsilon) {
+			t.Errorf("%s: want ErrInvalidEpsilon, got %v", c.name, err)
+		}
+	}
+	if spent := root.Spent(); spent != 0 {
+		t.Fatalf("invalid-parameter aggregations charged ε=%v, want 0", spent)
+	}
+}
+
+// TestFusedPanicContained: a panicking stage surfaces as ErrInternal
+// with the charge standing — the conservative divergence documented in
+// stream.go (the stage runs post-Apply on the fused path).
+func TestFusedPanicContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	flows := randomFlows(rng, 100)
+	q, root := NewQueryable(flows, 10, noise.NewSeededSource(1, 2))
+	s := q.Stream().Where(func(f flowRec) bool { panic("analyst bug") })
+	_, err := s.NoisyCount(0.5)
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("want ErrInternal, got %v", err)
+	}
+	if spent := root.Spent(); spent != 0.5 {
+		t.Fatalf("post-Apply panic should leave the charge standing: spent %v, want 0.5", spent)
+	}
+}
+
+// TestFusedProfile: on a recorded pipeline every fused stage appears
+// in the profile, in pipeline order, tagged with the fused strategy
+// and zero duration, with correct record counts; the pass's wall time
+// lands on the aggregation row.
+func TestFusedProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	flows := randomFlows(rng, 1000)
+	pr := obs.NewProfileRecorder(nil)
+	q, _ := NewQueryable(flows, 10, noise.NewSeededSource(1, 2))
+	s := q.WithRecorder(pr).Stream().Where(func(f flowRec) bool { return f.Len%2 == 0 })
+	m := StreamSelect(s, func(f flowRec) int { return f.Len })
+	if _, err := StreamNoisySum(m, 0.5, func(v int) float64 { return float64(v) / 1500 }); err != nil {
+		t.Fatal(err)
+	}
+
+	want := 0
+	for _, f := range flows {
+		if f.Len%2 == 0 {
+			want++
+		}
+	}
+	p := pr.Profile()
+	if len(p.Ops) != 2 {
+		t.Fatalf("profile has %d op rows, want 2: %+v", len(p.Ops), p.Ops)
+	}
+	wantOps := []obs.ProfileOp{
+		{Op: "where", Strategy: obs.StrategyFused, RecordsIn: float64(len(flows)), RecordsOut: float64(want)},
+		{Op: "select", Strategy: obs.StrategyFused, RecordsIn: float64(want), RecordsOut: float64(want)},
+	}
+	if !reflect.DeepEqual(p.Ops, wantOps) {
+		t.Fatalf("fused op rows:\n got %+v\nwant %+v", p.Ops, wantOps)
+	}
+	if got := p.FusedOps(); got != 2 {
+		t.Fatalf("FusedOps() = %d, want 2", got)
+	}
+	if len(p.Aggs) != 1 || p.Aggs[0].Agg != "sum" || p.Aggs[0].Outcome != obs.OutcomeOK {
+		t.Fatalf("aggregation row: %+v", p.Aggs)
+	}
+}
+
+// TestStreamMaterialize: the escape hatch yields exactly the records
+// the materializing operators would, and the result continues into
+// unfused operators (GroupBy) with the stream's agent and source.
+func TestStreamMaterialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	flows := randomFlows(rng, 2000)
+
+	q, root := NewQueryable(flows, 10, noise.NewSeededSource(9, 9))
+	mat := q.Where(func(f flowRec) bool { return f.Port < 10 })
+	g1 := GroupBy(mat, func(f flowRec) uint16 { return f.Port })
+	v1, err1 := g1.NoisyCount(0.5)
+
+	q2, root2 := NewQueryable(flows, 10, noise.NewSeededSource(9, 9))
+	st := q2.Stream().Where(func(f flowRec) bool { return f.Port < 10 }).Materialize()
+	if !reflect.DeepEqual(st.records, mat.records) {
+		t.Fatalf("Materialize records differ from materializing Where")
+	}
+	g2 := GroupBy(st, func(f flowRec) uint16 { return f.Port })
+	v2, err2 := g2.NoisyCount(0.5)
+
+	if math.Float64bits(v1) != math.Float64bits(v2) || (err1 == nil) != (err2 == nil) {
+		t.Fatalf("GroupBy after Materialize: (%v, %v) vs (%v, %v)", v2, err2, v1, err1)
+	}
+	if root.Spent() != root2.Spent() {
+		t.Fatalf("charges differ: %v vs %v", root2.Spent(), root.Spent())
+	}
+}
+
+// TestStreamValueSemantics: deriving two pipelines from one base
+// stream must not cross-contaminate — streams are values.
+func TestStreamValueSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	flows := randomFlows(rng, 1000)
+	q, _ := NewQueryable(flows, 100, noise.NewSeededSource(4, 4))
+	base := q.Stream().Where(func(f flowRec) bool { return f.Len > 100 })
+
+	a := base.Where(func(f flowRec) bool { return f.Port%2 == 0 })
+	b := base.Where(func(f flowRec) bool { return f.Port%2 == 1 })
+
+	na := a.Materialize()
+	nb := b.Materialize()
+	wantA, wantB := 0, 0
+	for _, f := range flows {
+		if f.Len > 100 {
+			if f.Port%2 == 0 {
+				wantA++
+			} else {
+				wantB++
+			}
+		}
+	}
+	if len(na.records) != wantA || len(nb.records) != wantB {
+		t.Fatalf("sibling pipelines interfered: a=%d (want %d), b=%d (want %d)",
+			len(na.records), wantA, len(nb.records), wantB)
+	}
+}

@@ -395,6 +395,47 @@ func (c *Client) Hosts(ctx context.Context, dataset string, epsilon float64, fil
 	return r.Values[0], nil
 }
 
+// LengthQuantile returns a noisy packet-length quantile at the given
+// rank fraction (0.5 = median), served from the engine's fused
+// streaming path over a mergeable rank sketch. sketchEps sets the
+// sketch's rank-accuracy target; 0 selects the server default.
+func (c *Client) LengthQuantile(ctx context.Context, dataset string, epsilon, fraction, sketchEps float64, filter *dpserver.Filter) (float64, error) {
+	r, err := c.Query(ctx, dpserver.QueryRequest{
+		Dataset: dataset, Query: "lenquantile", Epsilon: epsilon,
+		Fraction: fraction, SketchEps: sketchEps, Filter: filter,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.Values[0], nil
+}
+
+// SourceFrequency returns the noisy approximate number of packets sent
+// by the source IP key (dotted form, e.g. "10.0.0.1"), from a
+// count-min sketch built on the fused path.
+func (c *Client) SourceFrequency(ctx context.Context, dataset string, epsilon float64, key string, filter *dpserver.Filter) (float64, error) {
+	r, err := c.Query(ctx, dpserver.QueryRequest{
+		Dataset: dataset, Query: "srcfreq", Epsilon: epsilon,
+		Key: key, Filter: filter,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.Values[0], nil
+}
+
+// DistinctSources returns the noisy approximate number of distinct
+// source IPs, from HLL-style registers built on the fused path.
+func (c *Client) DistinctSources(ctx context.Context, dataset string, epsilon float64, filter *dpserver.Filter) (float64, error) {
+	r, err := c.Query(ctx, dpserver.QueryRequest{
+		Dataset: dataset, Query: "distinctsrc", Epsilon: epsilon, Filter: filter,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.Values[0], nil
+}
+
 // LengthCDF returns the packet-length CDF at the given bucket step.
 func (c *Client) LengthCDF(ctx context.Context, dataset string, epsilon float64, bucketStep int64) (*Result, error) {
 	return c.Query(ctx, dpserver.QueryRequest{

@@ -227,6 +227,64 @@ func TestClientObservability(t *testing.T) {
 	}
 }
 
+// TestClientSketchQueries drives the sketch-backed kinds end-to-end —
+// quantile, per-source frequency, distinct sources — and checks via
+// Explain that they executed on the fused streaming path.
+func TestClientSketchQueries(t *testing.T) {
+	ctx := context.Background()
+	c := clientAndServer(t, math.Inf(1), math.Inf(1))
+
+	median, err := c.LengthQuantile(ctx, "hotspot", 5, 0.5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if median <= 0 || median > 1500 {
+		t.Errorf("implausible median packet length %v", median)
+	}
+	p99, err := c.LengthQuantile(ctx, "hotspot", 5, 0.99, 0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99 < median {
+		t.Errorf("p99 %v below median %v", p99, median)
+	}
+
+	if _, err := c.SourceFrequency(ctx, "hotspot", 5, "10.0.0.1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, dpserver.QueryRequest{
+		Dataset: "hotspot", Query: "srcfreq", Epsilon: 1,
+	}); err == nil {
+		t.Error("srcfreq without key should fail")
+	}
+
+	distinct, err := c.DistinctSources(ctx, "hotspot", 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distinct < 2 {
+		t.Errorf("implausible distinct sources %v", distinct)
+	}
+
+	// The filter runs as a fused stage: Explain shows a "fused" where
+	// row and the quantile aggregation row, with the ε charge intact.
+	r, err := c.Explain(ctx, dpserver.QueryRequest{
+		Dataset: "hotspot", Query: "lenquantile", Epsilon: 2, Fraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Profile == nil {
+		t.Fatal("Explain returned no profile")
+	}
+	if got := r.Profile.FusedOps(); got != 1 {
+		t.Errorf("fused ops = %d, want 1 (profile %+v)", got, r.Profile)
+	}
+	if len(r.Profile.Aggs) != 1 || r.Profile.Aggs[0].Agg != "quantile" {
+		t.Errorf("agg rows %+v, want one quantile row", r.Profile.Aggs)
+	}
+}
+
 // TestClientRetriesShedsOnce stands up a fake server that sheds the
 // first attempt with 429 + Retry-After and succeeds on the second; the
 // client must retry with the SAME idempotency key and surface success.

@@ -16,7 +16,7 @@ type ProfileOp struct {
 	DurationNs int64   `json:"durationNs"`
 	RecordsIn  float64 `json:"recordsIn"`
 	RecordsOut float64 `json:"recordsOut"`
-	Strategy   string  `json:"strategy"`          // "sequential" or "parallel"
+	Strategy   string  `json:"strategy"`          // "sequential", "parallel", or "fused"
 	Workers    int     `json:"workers,omitempty"` // shard count when parallel
 	Redacted   bool    `json:"redacted,omitempty"`
 }
@@ -70,6 +70,22 @@ func (p *Profile) ParallelOps() int {
 	n := 0
 	for _, op := range p.Ops {
 		if op.Strategy == StrategyParallel {
+			n++
+		}
+	}
+	return n
+}
+
+// FusedOps counts rows run inside a fused streaming loop. Fused rows
+// report zero duration — the single pass's wall time lands on the
+// aggregation row that consumed the stream.
+func (p *Profile) FusedOps() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, op := range p.Ops {
+		if op.Strategy == StrategyFused {
 			n++
 		}
 	}

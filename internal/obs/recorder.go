@@ -39,13 +39,25 @@ const (
 const (
 	StrategySequential = "sequential"
 	StrategyParallel   = "parallel"
+	StrategyFused      = "fused"
 )
 
+// FusedWorkers is the OpDone workers sentinel the fused streaming
+// engine reports: the stage ran inside a single fused loop rather
+// than as its own pass, so neither "sequential" (its own pass) nor a
+// shard count describes it. Recorders that only branch on workers ≥ 2
+// need no change.
+const FusedWorkers = -1
+
 // StrategyName maps an OpDone workers count to its strategy name:
-// "parallel" for shard counts ≥ 2, "sequential" otherwise.
+// "parallel" for shard counts ≥ 2, "fused" for the FusedWorkers
+// sentinel, "sequential" otherwise.
 func StrategyName(workers int) string {
 	if workers >= 2 {
 		return StrategyParallel
+	}
+	if workers == FusedWorkers {
+		return StrategyFused
 	}
 	return StrategySequential
 }

@@ -1,0 +1,71 @@
+package sketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks for the sketch building blocks themselves; the end-to-end
+// aggregation costs (engine contract, noise, parallel builds) live in
+// internal/core's bench suite.
+
+func BenchmarkQuantileInsert1M(b *testing.B) {
+	const n = 1 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewQuantile(0.01)
+		for j := 0; j < n; j++ {
+			q.Insert(float64(j % 1500))
+		}
+	}
+	b.ReportMetric(float64(n), "records/op")
+}
+
+func BenchmarkQuantileMerge(b *testing.B) {
+	mk := func(lo int) *Quantile {
+		q := NewQuantile(0.01)
+		for j := 0; j < 1<<16; j++ {
+			q.Insert(float64((lo + j) % 997))
+		}
+		return q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a, c := mk(0), mk(1<<15)
+		b.StartTimer()
+		a.Merge(c)
+	}
+}
+
+func BenchmarkCountMinAdd1M(b *testing.B) {
+	const n = 1 << 20
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("host-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCountMin(8192, 4)
+		for j := 0; j < n; j++ {
+			c.Add(keys[j&1023])
+		}
+	}
+	b.ReportMetric(float64(n), "records/op")
+}
+
+func BenchmarkDistinctAdd1M(b *testing.B) {
+	const n = 1 << 20
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("10.0.%d.%d", i/256, i%256)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDistinct(12)
+		for j := 0; j < n; j++ {
+			d.Add(keys[j&4095])
+		}
+	}
+	b.ReportMetric(float64(n), "records/op")
+}

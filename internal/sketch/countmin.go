@@ -1,0 +1,105 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// CountMin is a count-min frequency sketch: depth rows of width
+// counters, each row indexed by an independent deterministic hash of
+// the key. Estimate never undercounts; it overcounts by at most
+// 2n/width with probability 1 − 2^−depth (the classic bound with
+// e/width tightened to the pairwise-independent form).
+//
+// Merging adds counters position-wise, which is exact: the merge of
+// the sketches of two streams IS the sketch of their concatenation,
+// independent of how the stream was split. That makes Merge
+// associative and commutative to the byte, the property the parallel
+// engine's shard builds rely on.
+//
+// Not safe for concurrent use.
+type CountMin struct {
+	width, depth int
+	rows         [][]uint64
+}
+
+// NewCountMin returns an empty sketch with the given geometry.
+// width ≥ 1 counter per row, 1 ≤ depth ≤ 16 rows.
+func NewCountMin(width, depth int) *CountMin {
+	if width < 1 || depth < 1 || depth > 16 {
+		panic(fmt.Sprintf("sketch: bad count-min geometry %dx%d", width, depth))
+	}
+	rows := make([][]uint64, depth)
+	for i := range rows {
+		rows[i] = make([]uint64, width)
+	}
+	return &CountMin{width: width, depth: depth, rows: rows}
+}
+
+// NewCountMinForError returns a sketch sized so the additive
+// overcount is at most errFrac·n with failure probability ≤ delta:
+// width = ⌈2/errFrac⌉, depth = ⌈log2(1/delta)⌉.
+func NewCountMinForError(errFrac, delta float64) *CountMin {
+	if !(errFrac > 0 && errFrac < 1) || !(delta > 0 && delta < 1) {
+		panic("sketch: count-min errFrac and delta must be in (0,1)")
+	}
+	width := int(math.Ceil(2 / errFrac))
+	depth := int(math.Ceil(math.Log2(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 16 {
+		depth = 16
+	}
+	return NewCountMin(width, depth)
+}
+
+// Width returns the per-row counter count.
+func (c *CountMin) Width() int { return c.width }
+
+// Depth returns the row count.
+func (c *CountMin) Depth() int { return c.depth }
+
+// index returns the counter index of key in row.
+func (c *CountMin) index(h uint64, row int) int {
+	return int(mix64(h^uint64(row+1)) % uint64(c.width))
+}
+
+// Add counts one occurrence of key.
+func (c *CountMin) Add(key string) { c.AddN(key, 1) }
+
+// AddN counts n occurrences of key.
+func (c *CountMin) AddN(key string, n uint64) {
+	h := fnv64a(key)
+	for row := 0; row < c.depth; row++ {
+		c.rows[row][c.index(h, row)] += n
+	}
+}
+
+// Estimate returns the sketch's frequency estimate for key: the
+// minimum counter across rows. Never below the true count.
+func (c *CountMin) Estimate(key string) uint64 {
+	h := fnv64a(key)
+	est := uint64(math.MaxUint64)
+	for row := 0; row < c.depth; row++ {
+		if v := c.rows[row][c.index(h, row)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Merge adds other's counters into c. The geometries must match
+// (shard sketches are built from the same constructor parameters).
+func (c *CountMin) Merge(other *CountMin) error {
+	if c.width != other.width || c.depth != other.depth {
+		return fmt.Errorf("sketch: count-min geometry mismatch: %dx%d vs %dx%d",
+			c.width, c.depth, other.width, other.depth)
+	}
+	for row := range c.rows {
+		for i := range c.rows[row] {
+			c.rows[row][i] += other.rows[row][i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	c := NewCountMin(256, 4)
+	truth := map[string]uint64{}
+	for i := 0; i < 50000; i++ {
+		k := fmt.Sprintf("key-%d", int(rng.ExpFloat64()*100))
+		c.Add(k)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := c.Estimate(k); got < want {
+			t.Errorf("Estimate(%q) = %d, undercounts true %d", k, got, want)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// width=2/errFrac gives overcount ≤ errFrac·n with high
+	// probability; check the typical case with margin.
+	const n = 100000
+	c := NewCountMinForError(0.01, 0.01)
+	rng := rand.New(rand.NewPCG(3, 7))
+	truth := map[string]uint64{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%d", rng.IntN(5000))
+		c.Add(k)
+		truth[k]++
+	}
+	bad := 0
+	for k, want := range truth {
+		if got := c.Estimate(k); float64(got-want) > 0.02*n {
+			bad++
+		}
+	}
+	if bad > len(truth)/20 {
+		t.Errorf("%d/%d keys overcounted beyond 2%%·n", bad, len(truth))
+	}
+}
+
+func TestCountMinMergeExact(t *testing.T) {
+	// The merge of two shard sketches must equal the sketch of the
+	// whole stream, bit for bit — counter addition is exact.
+	rng := rand.New(rand.NewPCG(9, 9))
+	keys := make([]string, 30000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("host-%d", rng.IntN(700))
+	}
+	whole := NewCountMin(512, 4)
+	for _, k := range keys {
+		whole.Add(k)
+	}
+	for _, shards := range []int{2, 3, 5} {
+		merged := NewCountMin(512, 4)
+		for s := 0; s < shards; s++ {
+			part := NewCountMin(512, 4)
+			lo, hi := s*len(keys)/shards, (s+1)*len(keys)/shards
+			for _, k := range keys[lo:hi] {
+				part.Add(k)
+			}
+			if err := merged.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(whole.rows, merged.rows) {
+			t.Fatalf("shards=%d: merged sketch differs from whole-stream sketch", shards)
+		}
+	}
+}
+
+func TestCountMinMergeCommutativeAssociative(t *testing.T) {
+	mk := func(seed uint64) *CountMin {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		c := NewCountMin(128, 3)
+		for i := 0; i < 5000; i++ {
+			c.Add(fmt.Sprintf("k%d", rng.IntN(300)))
+		}
+		return c
+	}
+	// Commutative: a+b == b+a.
+	ab, ba := mk(1), mk(2)
+	if err := ab.Merge(mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Merge(mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ab.rows, ba.rows) {
+		t.Fatal("count-min merge is not commutative")
+	}
+	// Associative: (a+b)+c == a+(b+c).
+	left := mk(1)
+	_ = left.Merge(mk(2))
+	_ = left.Merge(mk(3))
+	bc := mk(2)
+	_ = bc.Merge(mk(3))
+	right := mk(1)
+	_ = right.Merge(bc)
+	if !reflect.DeepEqual(left.rows, right.rows) {
+		t.Fatal("count-min merge is not associative")
+	}
+}
+
+func TestCountMinGeometryMismatch(t *testing.T) {
+	a, b := NewCountMin(64, 4), NewCountMin(128, 4)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("mismatched geometry merged without error")
+	}
+}
+
+func TestCountMinBadGeometry(t *testing.T) {
+	for _, g := range [][2]int{{0, 4}, {64, 0}, {64, 17}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCountMin(%d,%d) did not panic", g[0], g[1])
+				}
+			}()
+			NewCountMin(g[0], g[1])
+		}()
+	}
+}

@@ -1,0 +1,103 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestDistinctAccuracy(t *testing.T) {
+	for _, n := range []int{100, 5000, 100000} {
+		d := NewDistinct(14)
+		for i := 0; i < n; i++ {
+			d.Add(fmt.Sprintf("10.0.%d.%d", i/256, i%256))
+		}
+		est := d.Estimate()
+		relErr := math.Abs(est-float64(n)) / float64(n)
+		// 1.04/√16384 ≈ 0.8% standard error; 5% is a generous gate.
+		if relErr > 0.05 {
+			t.Errorf("n=%d: estimate %.0f, relative error %.1f%%", n, est, relErr*100)
+		}
+	}
+}
+
+func TestDistinctDuplicatesDontCount(t *testing.T) {
+	d := NewDistinct(12)
+	for i := 0; i < 10000; i++ {
+		d.Add("the-same-host")
+	}
+	if est := d.Estimate(); est < 0.5 || est > 3 {
+		t.Errorf("10000 duplicates of one key: estimate %.2f, want ≈1", est)
+	}
+}
+
+func TestDistinctMergeExact(t *testing.T) {
+	// Register-max merge: shard union == whole build, bit for bit.
+	keys := make([]string, 20000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("host-%d", i%3000)
+	}
+	whole := NewDistinct(12)
+	for _, k := range keys {
+		whole.Add(k)
+	}
+	for _, shards := range []int{2, 4} {
+		merged := NewDistinct(12)
+		for s := 0; s < shards; s++ {
+			part := NewDistinct(12)
+			lo, hi := s*len(keys)/shards, (s+1)*len(keys)/shards
+			for _, k := range keys[lo:hi] {
+				part.Add(k)
+			}
+			if err := merged.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(whole.regs, merged.regs) {
+			t.Fatalf("shards=%d: merged registers differ from whole build", shards)
+		}
+	}
+}
+
+func TestDistinctMergeCommutativeIdempotent(t *testing.T) {
+	mk := func(lo, hi int) *Distinct {
+		d := NewDistinct(10)
+		for i := lo; i < hi; i++ {
+			d.Add(fmt.Sprintf("k%d", i))
+		}
+		return d
+	}
+	ab, ba := mk(0, 1000), mk(500, 1500)
+	_ = ab.Merge(mk(500, 1500))
+	_ = ba.Merge(mk(0, 1000))
+	if !reflect.DeepEqual(ab.regs, ba.regs) {
+		t.Fatal("distinct merge is not commutative")
+	}
+	// Idempotent: merging a sketch with itself changes nothing.
+	self := mk(0, 1000)
+	before := append([]uint8(nil), self.regs...)
+	_ = self.Merge(mk(0, 1000))
+	if !reflect.DeepEqual(before, self.regs) {
+		t.Fatal("distinct merge is not idempotent")
+	}
+}
+
+func TestDistinctPrecisionMismatch(t *testing.T) {
+	if err := NewDistinct(10).Merge(NewDistinct(12)); err == nil {
+		t.Fatal("mismatched precisions merged without error")
+	}
+}
+
+func TestDistinctBadPrecision(t *testing.T) {
+	for _, p := range []uint8{0, 3, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDistinct(%d) did not panic", p)
+				}
+			}()
+			NewDistinct(p)
+		}()
+	}
+}

@@ -1,0 +1,114 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// FuzzQuantileMerge throws arbitrary byte-derived value streams at
+// the quantile summary: whatever the split, inserts must never
+// panic, Merge must stay commutative, rank bounds must stay valid,
+// and the query error must respect ε·n. check.sh runs this as a
+// short smoke (same pattern as FuzzLedgerDecode).
+func FuzzQuantileMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, split uint8) {
+		var values []float64
+		for i := 0; i+8 <= len(raw) && len(values) < 4096; i += 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(raw[i : i+8]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = float64(i)
+			}
+			values = append(values, v)
+		}
+		const eps = 0.05
+		cut := 0
+		if len(values) > 0 {
+			cut = int(split) % (len(values) + 1)
+		}
+		a1, b1 := NewQuantile(eps), NewQuantile(eps)
+		a2, b2 := NewQuantile(eps), NewQuantile(eps)
+		for _, v := range values[:cut] {
+			a1.Insert(v)
+			a2.Insert(v)
+		}
+		for _, v := range values[cut:] {
+			b1.Insert(v)
+			b2.Insert(v)
+		}
+		a1.Merge(b1)
+		b2.Merge(a2)
+		if a1.Count() != len(values) || b2.Count() != len(values) {
+			t.Fatalf("counts: %d / %d, want %d", a1.Count(), b2.Count(), len(values))
+		}
+		if !reflect.DeepEqual(a1.Tuples(), b2.Tuples()) {
+			t.Fatal("merge not commutative")
+		}
+		if len(values) == 0 {
+			return
+		}
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		n := float64(len(values))
+		for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			got := a1.Query(frac)
+			if err := rankError(sorted, got, frac*n); err > eps*n+2 {
+				t.Fatalf("f=%.2f: rank error %.1f > %.1f (n=%d)", frac, err, eps*n, len(values))
+			}
+		}
+	})
+}
+
+// FuzzCountMinMerge checks the frequency sketch on arbitrary key
+// streams: no panics, estimates never undercount, and shard merges
+// equal the whole-stream sketch exactly.
+func FuzzCountMinMerge(f *testing.F) {
+	f.Add([]byte("abc def abc"), uint8(1))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0, 1, 2, 0, 1, 2, 0}, uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, split uint8) {
+		var keys []string
+		for i := 0; i+2 <= len(raw) && len(keys) < 2048; i += 2 {
+			keys = append(keys, string(raw[i:i+2]))
+		}
+		whole := NewCountMin(64, 3)
+		truth := map[string]uint64{}
+		for _, k := range keys {
+			whole.Add(k)
+			truth[k]++
+		}
+		cut := 0
+		if len(keys) > 0 {
+			cut = int(split) % (len(keys) + 1)
+		}
+		merged := NewCountMin(64, 3)
+		part := NewCountMin(64, 3)
+		for _, k := range keys[:cut] {
+			merged.Add(k)
+		}
+		for _, k := range keys[cut:] {
+			part.Add(k)
+		}
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(whole.rows, merged.rows) {
+			t.Fatal("shard merge differs from whole-stream sketch")
+		}
+		d := NewDistinct(6)
+		for k, want := range truth {
+			if got := whole.Estimate(k); got < want {
+				t.Fatalf("Estimate(%q) = %d undercounts %d", k, got, want)
+			}
+			d.Add(k)
+		}
+		if len(truth) > 0 && d.Estimate() <= 0 {
+			t.Fatal("distinct estimate not positive")
+		}
+	})
+}

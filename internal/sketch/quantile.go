@@ -1,0 +1,255 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tuple is one retained value of a Quantile summary together with
+// inclusive bounds on its rank: RMin ≤ #{inserted x : x ≤ Value} ≤
+// RMax. Exactly-built summaries have RMin == RMax; merging widens the
+// interval by at most the partner summary's local coverage gap.
+type Tuple struct {
+	Value      float64
+	RMin, RMax int
+}
+
+// Quantile is a mergeable rank summary in the Greenwald–Khanna /
+// mergeable-summaries family. It retains O(1/ε) tuples with explicit
+// rank intervals and guarantees that Query(φ) returns a value whose
+// true rank is within ε·n of φ·n.
+//
+// The design choice — explicit RMin/RMax bounds instead of GK's
+// (g, Δ) deltas — is what makes Merge exact and commutative: merged
+// bounds are symmetric sums of the two inputs' bounds, and the
+// compaction that follows depends only on the merged tuple list and
+// total count. Build the same data through any composition of
+// same-shape blocks and the bytes come out identical, which is the
+// property the engine's parallel == sequential pinning rests on.
+//
+// Not safe for concurrent use.
+type Quantile struct {
+	eps    float64
+	n      int
+	tuples []Tuple   // sorted by Value, strictly increasing
+	buf    []float64 // pending inserts, compacted at bufCap
+}
+
+// NewQuantile returns an empty summary targeting rank error ε·n,
+// 0 < ε < 1. Memory is O(1/ε) tuples.
+func NewQuantile(eps float64) *Quantile {
+	if !(eps > 0 && eps < 1) || math.IsNaN(eps) {
+		panic(fmt.Sprintf("sketch: quantile eps must be in (0,1), got %v", eps))
+	}
+	return &Quantile{eps: eps}
+}
+
+// Eps returns the summary's rank-error target.
+func (q *Quantile) Eps() float64 { return q.eps }
+
+// Count returns the number of values inserted (including merged-in
+// summaries' counts).
+func (q *Quantile) Count() int { return q.n + len(q.buf) }
+
+// bufCap is the pending-insert buffer size: small enough to bound
+// transient memory, large enough that compaction cost amortizes. It
+// is a pure function of ε, so identical insert sequences compact at
+// identical points — part of the determinism contract.
+func (q *Quantile) bufCap() int {
+	c := int(2 / q.eps)
+	if c < 64 {
+		c = 64
+	}
+	if c > 1<<14 {
+		c = 1 << 14
+	}
+	return c
+}
+
+// Insert adds one value to the summary.
+func (q *Quantile) Insert(v float64) {
+	q.buf = append(q.buf, v)
+	if len(q.buf) >= q.bufCap() {
+		q.flush()
+	}
+}
+
+// flush folds the pending buffer into the tuple list: sort, summarize
+// exactly, merge, compact.
+func (q *Quantile) flush() {
+	if len(q.buf) == 0 {
+		return
+	}
+	sort.Float64s(q.buf)
+	exact := make([]Tuple, 0, len(q.buf))
+	for i := 0; i < len(q.buf); {
+		j := i
+		for j < len(q.buf) && q.buf[j] == q.buf[i] {
+			j++
+		}
+		exact = append(exact, Tuple{Value: q.buf[i], RMin: j, RMax: j})
+		i = j
+	}
+	q.tuples = mergeTuples(q.tuples, q.n, exact, len(q.buf))
+	q.n += len(q.buf)
+	q.buf = q.buf[:0]
+	q.compact()
+}
+
+// Merge folds other into q. Both summaries' pending buffers are
+// flushed first; other is unchanged apart from that flush. Merging is
+// exact over the tracked bounds and commutative: Merge(a,b) and
+// Merge(b,a) produce byte-identical summaries.
+func (q *Quantile) Merge(other *Quantile) {
+	q.flush()
+	other.flush()
+	q.tuples = mergeTuples(q.tuples, q.n, other.tuples, other.n)
+	q.n += other.n
+	q.compact()
+}
+
+// rankBoundsAt reports the summary's bounds on #{x ≤ v} for an
+// arbitrary v, from the nearest retained tuples.
+func rankBoundsAt(tuples []Tuple, n int, v float64) (lo, hi int) {
+	// Largest tuple value ≤ v gives the lower bound; the tuple at v
+	// (or the next one above, minus the element that realizes it)
+	// gives the upper bound.
+	i := sort.Search(len(tuples), func(i int) bool { return tuples[i].Value > v })
+	// tuples[i] is the first with Value > v.
+	if i > 0 {
+		lo = tuples[i-1].RMin
+		if tuples[i-1].Value == v {
+			return lo, tuples[i-1].RMax
+		}
+	}
+	if i < len(tuples) {
+		// tuples[i].Value > v, and that value occurs in the data, so
+		// at least one element above v is counted in its RMax.
+		hi = tuples[i].RMax - 1
+		if hi < lo {
+			hi = lo
+		}
+		return lo, hi
+	}
+	return lo, n
+}
+
+// mergeTuples combines two tuple lists over disjoint multisets into
+// the summary of their union: the value set is the (deduplicated)
+// union, and each bound is the symmetric sum of the two inputs'
+// bounds at that value. O(|a|+|b|·log|a|) in the worst case; the
+// lists stay O(1/ε) after compaction so this is cheap.
+func mergeTuples(a []Tuple, na int, b []Tuple, nb int) []Tuple {
+	if len(a) == 0 {
+		return append([]Tuple(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]Tuple(nil), a...)
+	}
+	out := make([]Tuple, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v float64
+		switch {
+		case i >= len(a):
+			v = b[j].Value
+		case j >= len(b):
+			v = a[i].Value
+		case a[i].Value <= b[j].Value:
+			v = a[i].Value
+		default:
+			v = b[j].Value
+		}
+		aLo, aHi := rankBoundsAt(a, na, v)
+		bLo, bHi := rankBoundsAt(b, nb, v)
+		out = append(out, Tuple{Value: v, RMin: aLo + bLo, RMax: aHi + bHi})
+		for i < len(a) && a[i].Value == v {
+			i++
+		}
+		for j < len(b) && b[j].Value == v {
+			j++
+		}
+	}
+	return out
+}
+
+// compact prunes tuples while keeping the coverage invariant: after
+// compaction, for any rank t there is a retained tuple whose interval
+// midpoint is within ~ε·n/2 of t. First and last tuples are always
+// kept (they anchor the extremes). Deterministic: decisions depend
+// only on the tuple list and n.
+func (q *Quantile) compact() {
+	if len(q.tuples) <= 2 {
+		return
+	}
+	stride := int(q.eps * float64(q.n) / 2)
+	if stride < 1 {
+		return
+	}
+	out := q.tuples[:1]
+	last := q.tuples[0]
+	for i := 1; i < len(q.tuples)-1; i++ {
+		// Dropping tuple i leaves the gap last..tuples[i+1]; keep i
+		// unless that gap stays within the stride.
+		if q.tuples[i+1].RMax-last.RMin > stride {
+			out = append(out, q.tuples[i])
+			last = q.tuples[i]
+		}
+	}
+	out = append(out, q.tuples[len(q.tuples)-1])
+	q.tuples = out
+}
+
+// Query returns a value whose rank is within ε·n of fraction·n
+// (fraction in [0, 1]; 0.5 is the median). An empty summary returns
+// 0. Deterministic: ties break toward the lower value.
+func (q *Quantile) Query(fraction float64) float64 {
+	q.flush()
+	if q.n == 0 || len(q.tuples) == 0 {
+		return 0
+	}
+	t := fraction * float64(q.n)
+	best, bestDist := 0, math.Inf(1)
+	for i := range q.tuples {
+		lo, hi := spanOf(q.tuples, i)
+		d := distToSpan(t, lo, hi)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return q.tuples[best].Value
+}
+
+// spanOf returns the plausible rank span of tuple i: a value with
+// many duplicates occupies every rank from just above its
+// predecessor's count up to its own, so the span runs from the
+// previous tuple's RMin to this tuple's RMax. This is what makes
+// Query exact on heavy-duplicate data, where per-tuple uncertainty is
+// zero but per-value rank ranges are wide.
+func spanOf(tuples []Tuple, i int) (lo, hi float64) {
+	if i > 0 {
+		lo = float64(tuples[i-1].RMin)
+	}
+	return lo, float64(tuples[i].RMax)
+}
+
+// distToSpan is the distance from t to the interval [lo, hi].
+func distToSpan(t, lo, hi float64) float64 {
+	if t < lo {
+		return lo - t
+	}
+	if t > hi {
+		return t - hi
+	}
+	return 0
+}
+
+// Tuples returns the retained tuples (after flushing pending
+// inserts). The DP layer uses them as the candidate set for the
+// exponential mechanism; mutating the returned slice corrupts the
+// summary.
+func (q *Quantile) Tuples() []Tuple {
+	q.flush()
+	return q.tuples
+}
