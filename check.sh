@@ -40,3 +40,8 @@ go test -run=. -fuzz=FuzzCountMinMerge -fuzztime=5s ./internal/sketch
 # I/O faults + handler panics under a query storm must keep the
 # failure surface closed and the ε invariants intact.
 go test -race -run 'TestChaosStorm' -count=1 ./internal/dpserver -chaosdur 3s
+# Load-harness smoke (make bench-server runs the full measurement): a
+# short self-hosted run of concurrent analysts + ingest senders
+# through the real HTTP stack. Exits nonzero on any budget-accounting
+# drift between client ACKs and the server's ledger surfaces.
+go run ./cmd/dploadgen -duration 2s -analysts 2 -senders 1 -seed-records 2000 > /dev/null

@@ -28,6 +28,14 @@
 // -max-timeout). On SIGINT/SIGTERM the server stops accepting work
 // and drains in-flight queries before exiting.
 //
+// Live ingestion: POST /v1/ingest/{dataset} appends record batches
+// (NDJSON or the DPTR binary container) to hosted datasets through a
+// bounded pipeline — queries keep running against consistent
+// snapshots. The -ingest-batch-bytes / -ingest-bytes-inflight /
+// -ingest-batches-inflight watermarks bound its memory; past them
+// batches shed with 429 + Retry-After. Batches carrying
+// X-DP-Batch-Source/-Seq apply at most once across retries.
+//
 // The server self-instruments: GET /v1/metrics (Prometheus text),
 // GET /v1/healthz (liveness), GET /v1/readyz (readiness — 503 while
 // draining or while a frozen/degraded ledger has spending shed
@@ -61,6 +69,7 @@ import (
 
 	"dptrace/internal/core"
 	"dptrace/internal/dpserver"
+	"dptrace/internal/ingest"
 	"dptrace/internal/ledger"
 	"dptrace/internal/noise"
 	"dptrace/internal/obs/qlog"
@@ -95,6 +104,10 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 0, "ledger events between snapshots + compaction (0 = default 4096, negative = never)")
 	slowQuery := flag.Duration("slow-query", 0, "slow-query log threshold: completed queries at least this slow emit a slow_query warning event (0 = off)")
 	eventLog := flag.String("event-log", "stderr", "wide-event JSON stream destination: stderr, a file path, or 'none' (ring-only, still served at /v1/debug/queries)")
+	ingestBatchBytes := flag.Int64("ingest-batch-bytes", 0, "max bytes in one POST /v1/ingest batch (0 = default 8MiB; larger batches answer 413)")
+	ingestBytesInFlight := flag.Int64("ingest-bytes-inflight", 0, "ingest admission watermark: max admitted-but-unapplied batch bytes (0 = default 64MiB; past it batches shed 429)")
+	ingestBatchesInFlight := flag.Int64("ingest-batches-inflight", 0, "ingest admission watermark: max admitted-but-unapplied batches (0 = default 256)")
+	ingestWorkers := flag.Int("ingest-workers", 0, "ingest decoder parallelism (0 = default 2)")
 	flag.Parse()
 
 	if len(traces) == 0 {
@@ -136,6 +149,12 @@ func main() {
 			SlowQuery:      *slowQuery,
 		}),
 		dpserver.WithEventLog(events),
+		dpserver.WithIngestLimits(ingest.Limits{
+			MaxBatchBytes:      *ingestBatchBytes,
+			MaxBytesInFlight:   *ingestBytesInFlight,
+			MaxBatchesInFlight: *ingestBatchesInFlight,
+			DecodeWorkers:      *ingestWorkers,
+		}),
 	}
 	var led *ledger.Ledger
 	if *ledgerDir != "" {

@@ -127,6 +127,10 @@ type Client struct {
 	http    *http.Client
 	retry   RetryPolicy
 	timeout time.Duration
+
+	// ingestID mints (source, seq) batch identities for live
+	// ingestion (see ingest.go); pointer so Client copies stay cheap.
+	ingestID *ingestIdentity
 }
 
 // Option configures a Client.
@@ -157,10 +161,11 @@ func WithRetryPolicy(p RetryPolicy) Option {
 // New creates a client for the server at baseURL acting as analyst.
 func New(baseURL, analyst string, opts ...Option) *Client {
 	c := &Client{
-		baseURL: baseURL,
-		analyst: analyst,
-		http:    http.DefaultClient,
-		retry:   DefaultRetryPolicy(),
+		baseURL:  baseURL,
+		analyst:  analyst,
+		http:     http.DefaultClient,
+		retry:    DefaultRetryPolicy(),
+		ingestID: &ingestIdentity{},
 	}
 	for _, opt := range opts {
 		if opt != nil {

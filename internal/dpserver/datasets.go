@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dptrace/internal/core"
+	"dptrace/internal/dpserver/api"
 	"dptrace/internal/noise"
 	"dptrace/internal/obs"
 	"dptrace/internal/trace"
@@ -16,21 +17,26 @@ import (
 // de-aggregated link traces (IspTraffic-shaped) and hop-count traces
 // (IPscatter-shaped), with the queries their analyses start from.
 
-// linkDataset hosts LinkSample records.
+// linkDataset hosts LinkSample records. Like dataset.packets, the
+// samples slice is replaced wholesale under s.mu's write lock on
+// ingest; executors run against a snapshot captured under the read
+// lock.
 type linkDataset struct {
-	samples []trace.LinkSample
-	links   int
-	bins    int
-	policy  *core.AnalystPolicy
-	exec    core.ExecOptions
+	samples         []trace.LinkSample
+	links           int
+	bins            int
+	policy          *core.AnalystPolicy
+	exec            core.ExecOptions
+	ingestedBatches uint64
 }
 
-// hopDataset hosts HopRecord records.
+// hopDataset hosts HopRecord records (same snapshot discipline).
 type hopDataset struct {
-	records  []trace.HopRecord
-	monitors int
-	policy   *core.AnalystPolicy
-	exec     core.ExecOptions
+	records         []trace.HopRecord
+	monitors        int
+	policy          *core.AnalystPolicy
+	exec            core.ExecOptions
+	ingestedBatches uint64
 }
 
 // AddLinkTrace registers a de-aggregated link trace with the given
@@ -75,30 +81,13 @@ func (s *Server) AddHopTrace(name string, records []trace.HopRecord, monitors in
 	return nil
 }
 
-// MatrixRequest is the POST /query/loadmatrix body: extract the full
-// noisy link×bin count matrix (the Fig 4 pipeline's first step). The
-// nested partition prices the whole matrix at one ε.
-type MatrixRequest struct {
-	Analyst string  `json:"analyst"`
-	Dataset string  `json:"dataset"`
-	Epsilon float64 `json:"epsilon"`
-	// IdempotencyKey gives the extraction at-most-once ε-spend (see
-	// QueryRequest.IdempotencyKey).
-	IdempotencyKey string `json:"idempotencyKey,omitempty"`
-}
+// MatrixRequest is the POST /query/loadmatrix body (see
+// api.MatrixRequest): extract the full noisy link×bin count matrix
+// (the Fig 4 pipeline's first step) at one ε.
+type MatrixRequest = api.MatrixRequest
 
 // MatrixResponse carries the matrix in row-major order (rows = bins).
-type MatrixResponse struct {
-	Bins      int       `json:"bins"`
-	Links     int       `json:"links"`
-	Data      []float64 `json:"data"`
-	NoiseStd  float64   `json:"noiseStd"`
-	Spent     float64   `json:"spent"`
-	Remaining float64   `json:"remaining"`
-	// Profile is the redacted execution profile, present when the
-	// request carried the X-DP-Explain header (free of charge).
-	Profile *obs.Profile `json:"profile,omitempty"`
-}
+type MatrixResponse = api.MatrixResponse
 
 func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
 	var req MatrixRequest
@@ -120,6 +109,9 @@ func (s *Server) handleLoadMatrix(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusNotFound, apiError{Code: codeNotFound, Message: fmt.Sprintf("unknown link dataset %q", req.Dataset)})
 		return
 	}
+	// NOTE: the executor captures its record snapshot itself (under
+	// s.mu) at execution time, which for keyed requests may be later
+	// than this admission check.
 	v1 := isV1(r)
 	explain := wantsExplain(r)
 	s.serveIdempotent(w, r, req.Dataset, req.Analyst, req.IdempotencyKey,
@@ -133,8 +125,11 @@ func (s *Server) executeLoadMatrix(ctx context.Context, v1, explain bool, d *lin
 		s.execHook(ctx)
 	}
 	start := time.Now()
+	s.mu.RLock()
+	samples := d.samples
+	s.mu.RUnlock()
 	prof := obs.NewProfileRecorder(func() float64 { return d.policy.SpentBy(req.Analyst) })
-	q := core.NewQueryableFor(d.samples, d.policy.AgentFor(req.Analyst), s.src).
+	q := core.NewQueryableFor(samples, d.policy.AgentFor(req.Analyst), s.src).
 		WithRecorder(obs.Multi(s.engineRec, prof)).WithExecOptions(exec).WithContext(ctx)
 
 	linkKeys := make([]int32, d.links)
@@ -187,27 +182,13 @@ func (s *Server) executeLoadMatrix(ctx context.Context, v1, explain bool, d *lin
 	return http.StatusOK, marshalJSON(resp), true
 }
 
-// HopAveragesRequest is the POST /query/monitoravgs body: per-monitor
-// noisy average hop counts (the topology analysis's imputation step).
-type HopAveragesRequest struct {
-	Analyst string  `json:"analyst"`
-	Dataset string  `json:"dataset"`
-	Epsilon float64 `json:"epsilon"`
-	MaxHops float64 `json:"maxHops"`
-	// IdempotencyKey gives the extraction at-most-once ε-spend (see
-	// QueryRequest.IdempotencyKey).
-	IdempotencyKey string `json:"idempotencyKey,omitempty"`
-}
+// HopAveragesRequest is the POST /query/monitoravgs body (see
+// api.HopAveragesRequest): per-monitor noisy average hop counts (the
+// topology analysis's imputation step).
+type HopAveragesRequest = api.HopAveragesRequest
 
 // HopAveragesResponse carries one average per monitor.
-type HopAveragesResponse struct {
-	Averages  []float64 `json:"averages"`
-	Spent     float64   `json:"spent"`
-	Remaining float64   `json:"remaining"`
-	// Profile is the redacted execution profile, present when the
-	// request carried the X-DP-Explain header (free of charge).
-	Profile *obs.Profile `json:"profile,omitempty"`
-}
+type HopAveragesResponse = api.HopAveragesResponse
 
 func (s *Server) handleMonitorAverages(w http.ResponseWriter, r *http.Request) {
 	var req HopAveragesRequest
@@ -245,8 +226,11 @@ func (s *Server) executeMonitorAverages(ctx context.Context, v1, explain bool, d
 		s.execHook(ctx)
 	}
 	start := time.Now()
+	s.mu.RLock()
+	records := d.records
+	s.mu.RUnlock()
 	prof := obs.NewProfileRecorder(func() float64 { return d.policy.SpentBy(req.Analyst) })
-	q := core.NewQueryableFor(d.records, d.policy.AgentFor(req.Analyst), s.src).
+	q := core.NewQueryableFor(records, d.policy.AgentFor(req.Analyst), s.src).
 		WithRecorder(obs.Multi(s.engineRec, prof)).WithExecOptions(exec).WithContext(ctx)
 	keys := make([]int32, d.monitors)
 	for i := range keys {

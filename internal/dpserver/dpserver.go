@@ -57,6 +57,8 @@ import (
 	"dptrace/internal/analyses/flowstats"
 	"dptrace/internal/analyses/packetdist"
 	"dptrace/internal/core"
+	"dptrace/internal/dpserver/api"
+	"dptrace/internal/ingest"
 	"dptrace/internal/ledger"
 	"dptrace/internal/noise"
 	"dptrace/internal/obs"
@@ -113,6 +115,14 @@ type Server struct {
 	// gauges are registered, so each is created once.
 	analystGauges sync.Map // "dataset\x00analyst" -> struct{}
 
+	// Live ingestion (see ingest.go): the bounded pipeline behind
+	// POST /v1/ingest/{dataset}, started lazily on first batch and
+	// closed by Shutdown after the drain.
+	ingestLimits ingest.Limits
+	ingestMu     sync.Mutex
+	ingestPipe   *ingest.Pipeline
+	ingestClosed bool
+
 	// log is the deprecated printf mirror (WithLogf): Warn+ events are
 	// rendered to it as text lines. Nil discards them.
 	log func(format string, args ...any)
@@ -164,9 +174,16 @@ func WithEventLog(l *qlog.Logger) ServerOption {
 func (s *Server) Events() *qlog.Logger { return s.events }
 
 type dataset struct {
+	// packets is the dataset's live record slice. It is only ever
+	// replaced wholesale (append returns a new header) under s.mu's
+	// write lock; queries capture the header once under the read lock
+	// and run against that immutable snapshot (see snapshotPackets).
 	packets []trace.Packet
 	policy  *core.AnalystPolicy
 	exec    core.ExecOptions
+	// ingestedBatches counts batches applied via /v1/ingest (guarded
+	// by s.mu like packets).
+	ingestedBatches uint64
 }
 
 // New creates a server drawing noise from src (pass
@@ -310,122 +327,91 @@ func (s *Server) Handler(opts ...HandlerOption) http.Handler {
 		opt(&cfg)
 	}
 	mux := http.NewServeMux()
-	reg := func(method, path string, h http.HandlerFunc, query bool) {
-		if query {
+	for _, rt := range routeTable {
+		h := rt.handler(s)
+		if rt.query {
 			h = s.admit(h)
 		}
 		h = s.recoverPanics(h)
-		mux.HandleFunc(method+" /v1"+path, s.instrument("/v1"+path, h))
-		mux.HandleFunc(method+" "+path, s.instrument(path, deprecated(path, h)))
+		mux.HandleFunc(rt.Method+" /v1"+rt.Path, s.instrument("/v1"+rt.Path, h))
+		if rt.Legacy {
+			mux.HandleFunc(rt.Method+" "+rt.Path, s.instrument(rt.Path, deprecated(rt.Path, h)))
+		}
 	}
-	reg("GET", "/datasets", s.handleDatasets, false)
-	reg("GET", "/budget", s.handleBudget, false)
-	reg("POST", "/query", s.handleQuery, true)
-	reg("GET", "/audit", s.handleAudit, false)
-	reg("POST", "/query/loadmatrix", s.handleLoadMatrix, true)
-	reg("POST", "/query/monitoravgs", s.handleMonitorAverages, true)
-	reg("GET", "/metrics", s.handleMetrics, false)
-	reg("GET", "/healthz", s.handleHealthz, false)
-	reg("GET", "/readyz", s.handleReadyz, false)
-	reg("GET", "/debug/traces", s.handleDebugTraces, false)
-	reg("GET", "/debug/queries", s.handleDebugQueries, false)
 	if cfg.pprof {
 		attachPprof(mux)
 	}
 	return mux
 }
 
+// Route describes one API route: its method, its canonical path
+// (mounted under /v1), and whether a deprecated unversioned alias is
+// still served. Every endpoint has exactly one canonical /v1 mount —
+// a test enforces it against this table.
+type Route struct {
+	Method string
+	// Path is the canonical path relative to /v1 (ServeMux pattern
+	// syntax; {dataset} is a wildcard).
+	Path string
+	// Legacy reports whether the unversioned alias is (still) mounted.
+	// Aliases answer identically but carry Deprecation + Sunset
+	// headers; they are removed at api.LegacySunset.
+	Legacy bool
+
+	query   bool // behind the admission lifecycle (admit)
+	handler func(*Server) http.HandlerFunc
+}
+
+// routeTable is the single source of truth for what Handler mounts.
+// Endpoints added after the /v1 cutover (ingest) are v1-only.
+var routeTable = []Route{
+	{Method: "GET", Path: "/datasets", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleDatasets }},
+	{Method: "GET", Path: "/budget", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleBudget }},
+	{Method: "POST", Path: "/query", Legacy: true, query: true, handler: func(s *Server) http.HandlerFunc { return s.handleQuery }},
+	{Method: "GET", Path: "/audit", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleAudit }},
+	{Method: "POST", Path: "/query/loadmatrix", Legacy: true, query: true, handler: func(s *Server) http.HandlerFunc { return s.handleLoadMatrix }},
+	{Method: "POST", Path: "/query/monitoravgs", Legacy: true, query: true, handler: func(s *Server) http.HandlerFunc { return s.handleMonitorAverages }},
+	{Method: "POST", Path: "/ingest/{dataset}", handler: func(s *Server) http.HandlerFunc { return s.handleIngest }},
+	{Method: "GET", Path: "/metrics", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleMetrics }},
+	{Method: "GET", Path: "/healthz", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleHealthz }},
+	{Method: "GET", Path: "/readyz", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleReadyz }},
+	{Method: "GET", Path: "/debug/traces", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleDebugTraces }},
+	{Method: "GET", Path: "/debug/queries", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleDebugQueries }},
+}
+
+// Routes returns the mounted route table (a copy).
+func Routes() []Route {
+	out := make([]Route, len(routeTable))
+	copy(out, routeTable)
+	return out
+}
+
 // deprecated marks a legacy (unversioned) mount: responses carry a
-// Deprecation header plus a pointer at the /v1 successor, per RFC
-// 9745's deprecation-signaling convention.
+// Deprecation header, a pointer at the /v1 successor (RFC 9745), and
+// the Sunset date after which the alias is removed (RFC 8594).
 func deprecated(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", api.LegacySunset)
 		w.Header().Set("Link", `</v1`+path+`>; rel="successor-version"`)
 		h(w, r)
 	}
 }
 
-// Filter restricts the packets a query sees. Zero-valued fields are
-// inactive; ports use -1 in JSON to mean "any" but omitting them works
-// too (pointers distinguish absent from zero).
-type Filter struct {
-	DstPort *int `json:"dstPort,omitempty"`
-	SrcPort *int `json:"srcPort,omitempty"`
-	MinLen  *int `json:"minLen,omitempty"`
-	Proto   *int `json:"proto,omitempty"`
-}
+// The /v1 wire contract — request/response structs, the error
+// envelope, codes, headers, and the query-kind registry — lives in
+// the api subpackage, shared verbatim with internal/dpclient. The
+// aliases below keep this package's exported surface (and every
+// existing caller) intact.
 
-func (f *Filter) match(p *trace.Packet) bool {
-	if f == nil {
-		return true
-	}
-	if f.DstPort != nil && int(p.DstPort) != *f.DstPort {
-		return false
-	}
-	if f.SrcPort != nil && int(p.SrcPort) != *f.SrcPort {
-		return false
-	}
-	if f.MinLen != nil && int(p.Len) < *f.MinLen {
-		return false
-	}
-	if f.Proto != nil && int(p.Proto) != *f.Proto {
-		return false
-	}
-	return true
-}
+// Filter restricts the packets a query sees (see api.Filter).
+type Filter = api.Filter
 
-// QueryRequest is the POST /query body.
-type QueryRequest struct {
-	Analyst string  `json:"analyst"`
-	Dataset string  `json:"dataset"`
-	Query   string  `json:"query"` // count, hosts, lencdf, portcdf, medianlen, lenquantile, srcfreq, distinctsrc
-	Epsilon float64 `json:"epsilon"`
-	Filter  *Filter `json:"filter,omitempty"`
-	// MinBytes applies to the hosts query (paper §2.3 threshold).
-	MinBytes int `json:"minBytes,omitempty"`
-	// BucketStep applies to the CDF queries.
-	BucketStep int64 `json:"bucketStep,omitempty"`
-	// Fraction selects the rank for the lenquantile query (0 defaults
-	// to 0.5, the median).
-	Fraction float64 `json:"fraction,omitempty"`
-	// SketchEps is lenquantile's rank-accuracy target for the
-	// underlying mergeable summary (0 selects the engine default;
-	// public knowledge, no ε cost).
-	SketchEps float64 `json:"sketchEps,omitempty"`
-	// Key is the target for the srcfreq query: a source IP in dotted
-	// form, e.g. "10.0.0.1".
-	Key string `json:"key,omitempty"`
-	// Trace asks the server to return the executed pipeline as a span
-	// tree in the response (operational metadata only, no record data).
-	Trace bool `json:"trace,omitempty"`
-	// IdempotencyKey, when set, makes the query at-most-once per
-	// dataset/analyst: the first execution's response is stored and
-	// replayed byte-identically on retries instead of re-charging ε.
-	IdempotencyKey string `json:"idempotencyKey,omitempty"`
-}
+// QueryRequest is the POST /query body (see api.QueryRequest).
+type QueryRequest = api.QueryRequest
 
-// QueryResponse is the success body.
-type QueryResponse struct {
-	Values []float64 `json:"values"`
-	// Buckets accompanies CDF queries: the upper edge of each value.
-	Buckets []int64 `json:"buckets,omitempty"`
-	// NoiseStd is the standard deviation of the added noise, public
-	// knowledge the analyst uses to judge significance.
-	NoiseStd float64 `json:"noiseStd"`
-	// Spent and Remaining describe the analyst's budget after this
-	// query. Remaining is -1 when the budget is unlimited (JSON has
-	// no infinity).
-	Spent     float64 `json:"spent"`
-	Remaining float64 `json:"remaining"`
-	// Trace is the executed pipeline's span tree, present when the
-	// request set "trace":true.
-	Trace *obs.Span `json:"trace,omitempty"`
-	// Profile is the query's execution profile, present when the
-	// request carried the X-DP-Explain header. It is redacted (no
-	// record counts — see DESIGN.md §S31) and costs no extra ε.
-	Profile *obs.Profile `json:"profile,omitempty"`
-}
+// QueryResponse is the success body (see api.QueryResponse).
+type QueryResponse = api.QueryResponse
 
 // finiteOrUnlimited maps +Inf (an unlimited budget) to the JSON
 // sentinel -1.
@@ -442,27 +428,13 @@ type errorResponse struct {
 	Remaining float64 `json:"remaining,omitempty"`
 }
 
-// AnalystUsage summarizes one analyst's activity on one dataset, so
-// the owner's ledger is queryable rather than dump-only. Requested is
-// the sum of ε values analysts asked for; Charged is what the ledger
-// actually drew (higher when derivations amplify sensitivity, zero
-// for refusals); Spent is the policy's own ground truth, which equals
-// the ledger's Charged sum unless audit entries have been evicted.
-type AnalystUsage struct {
-	Analyst   string  `json:"analyst"`
-	Queries   int     `json:"queries"`
-	Requested float64 `json:"requested"`
-	Charged   float64 `json:"charged"`
-	Spent     float64 `json:"spent"`
-}
+// AnalystUsage summarizes one analyst's activity on one dataset (see
+// api.AnalystUsage).
+type AnalystUsage = api.AnalystUsage
 
-// DatasetInfo describes one hosted dataset in GET /datasets.
-type DatasetInfo struct {
-	Name           string         `json:"name"`
-	TotalSpent     float64        `json:"totalSpent"`
-	TotalRemaining float64        `json:"totalRemaining"`
-	Analysts       []AnalystUsage `json:"analysts,omitempty"`
-}
+// DatasetInfo describes one hosted dataset in GET /datasets (see
+// api.DatasetInfo).
+type DatasetInfo = api.DatasetInfo
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	// Ledger-side totals per dataset+analyst, folded into the listing.
@@ -484,9 +456,11 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	infos := make([]DatasetInfo, 0, len(s.datasets))
 	for name, d := range s.datasets {
 		info := DatasetInfo{
-			Name:           name,
-			TotalSpent:     d.policy.TotalSpent(),
-			TotalRemaining: finiteOrUnlimited(d.policy.TotalRemaining()),
+			Name:            name,
+			TotalSpent:      d.policy.TotalSpent(),
+			TotalRemaining:  finiteOrUnlimited(d.policy.TotalRemaining()),
+			Records:         len(d.packets),
+			IngestedBatches: d.ingestedBatches,
 		}
 		for analyst, spent := range d.policy.PerAnalystSpent() {
 			u := AnalystUsage{Analyst: analyst, Spent: spent}
@@ -531,12 +505,23 @@ func (s *Server) lookup(name string) (*dataset, bool) {
 }
 
 // execFor reads a dataset's execution options under the server lock
-// (they are the one dataset field mutable after registration, via
-// SetExecOptions).
+// (mutable after registration via SetExecOptions).
 func (s *Server) execFor(d *dataset) core.ExecOptions {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return d.exec
+}
+
+// snapshotPackets captures the dataset's record slice under the read
+// lock. The returned snapshot is immutable: ingest appends replace
+// the slice header (never elements below its length), so a query
+// holding a snapshot sees a frozen dataset for its whole execution —
+// its noise draws and ε-charges are byte-identical to a run against a
+// static dataset with the same contents.
+func (s *Server) snapshotPackets(d *dataset) []trace.Packet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return d.packets
 }
 
 // jsonDecoder builds the strict decoder shared by the query handlers.
@@ -598,7 +583,7 @@ func (s *Server) executeQuery(ctx context.Context, v1, explain bool, d *dataset,
 	prof := obs.NewProfileRecorder(func() float64 { return d.policy.SpentBy(req.Analyst) })
 	rec := obs.Multi(s.engineRec, tr, prof)
 
-	q := core.NewQueryableFor(d.packets, d.policy.AgentFor(req.Analyst), s.src).
+	q := core.NewQueryableFor(s.snapshotPackets(d), d.policy.AgentFor(req.Analyst), s.src).
 		WithRecorder(rec).WithExecOptions(s.execFor(d)).WithContext(ctx)
 
 	spentBefore := d.policy.SpentBy(req.Analyst)
@@ -671,7 +656,7 @@ func marshalJSON(v any) []byte {
 // pass and no intermediate slices, visible as "fused" strategy rows in
 // the execution profile.
 func runQuery(q *core.Queryable[trace.Packet], req *QueryRequest) (*QueryResponse, error) {
-	match := func(p trace.Packet) bool { return req.Filter.match(&p) }
+	match := func(p trace.Packet) bool { return req.Filter.Match(&p) }
 
 	switch req.Query {
 	case "lenquantile":
@@ -795,7 +780,7 @@ func runQuery(q *core.Queryable[trace.Packet], req *QueryRequest) (*QueryRespons
 			NoiseStd: noise.LaplaceStd(req.Epsilon)}, nil
 
 	default:
-		return nil, fmt.Errorf("unknown query %q (count, hosts, lencdf, portcdf, medianlen, rttcdf, losscdf, lenquantile, srcfreq, distinctsrc)", req.Query)
+		return nil, fmt.Errorf("unknown query %q (%s)", req.Query, api.PacketQueryKindList())
 	}
 }
 

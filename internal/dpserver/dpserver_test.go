@@ -274,7 +274,7 @@ func TestFilterMatching(t *testing.T) {
 		{&Filter{Proto: intp(trace.ProtoUDP)}, false},
 	}
 	for i, c := range cases {
-		if got := c.f.match(&p); got != c.want {
+		if got := c.f.Match(&p); got != c.want {
 			t.Errorf("case %d: match = %v, want %v", i, got, c.want)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dptrace/internal/core"
+	"dptrace/internal/dpserver/api"
 	"dptrace/internal/obs"
 	"dptrace/internal/obs/qlog"
 )
@@ -18,14 +19,15 @@ import (
 // the per-analyst budget telemetry derived from it. The flight
 // recorder behind GET /debug/queries is the event ring itself.
 
-// ExplainHeader is the request header through which an analyst asks
-// for the query's execution profile in the response ("true" or "1").
+// ExplainHeader (api.ExplainHeader) is the request header through
+// which an analyst asks for the query's execution profile in the
+// response ("true" or "1").
 // Explaining is free: it changes no budget accounting, no noise, and
 // no ledger traffic — the profile is assembled from Recorder callbacks
 // the query fires anyway. The returned profile is redacted (record
 // counts zeroed) because exact operator cardinalities are pre-noise
 // aggregate values (DESIGN.md §S31).
-const ExplainHeader = "X-DP-Explain"
+const ExplainHeader = api.ExplainHeader
 
 // wantsExplain reports whether the request asked for its profile.
 func wantsExplain(r *http.Request) bool {

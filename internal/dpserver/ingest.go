@@ -1,0 +1,345 @@
+package dpserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dptrace/internal/dpserver/api"
+	"dptrace/internal/ingest"
+	"dptrace/internal/obs/qlog"
+)
+
+// This file is the server side of live trace ingestion:
+// POST /v1/ingest/{dataset} feeds the bounded pipeline in
+// internal/ingest, which appends batches into hosted datasets under
+// the same lock discipline queries snapshot against. The privacy
+// invariants it preserves:
+//
+//   - Snapshot consistency: a query captures its record slice once,
+//     under s.mu's read lock, and runs against that frozen snapshot.
+//     Appends replace the slice wholesale under the write lock, so
+//     for any fixed snapshot the query's ε-charges and noise draws
+//     are byte-identical to a run against a static dataset with the
+//     same contents. A batch is either fully visible to a snapshot or
+//     not at all.
+//   - At-most-once apply: a batch carrying a (source, seq) identity
+//     goes through the PR3 idempotency cache keyed on it — a retried
+//     batch replays the stored ACK instead of appending twice.
+//   - Fail-closed composition with degraded mode: while the ledger
+//     refuses spends (frozen or degraded), ingest refuses too — the
+//     dataset must not drift while ε-accounting cannot be journaled —
+//     and the read path keeps serving.
+//
+// Overload sheds at the edge: watermark admission (bytes + batches in
+// flight) answers 429 + Retry-After before the body is read, a
+// too-large batch answers 413, and a draining server answers 503.
+
+// WithIngestLimits configures the ingestion pipeline's watermarks and
+// decoder parallelism (see ingest.Limits; zero fields take defaults).
+func WithIngestLimits(l ingest.Limits) ServerOption {
+	return func(s *Server) { s.ingestLimits = l }
+}
+
+// pipeline returns the ingest pipeline, starting it on first use so
+// the many servers that never ingest don't pay its goroutines. Returns
+// nil after closeIngest (post-drain): callers answer 503.
+func (s *Server) pipeline() *ingest.Pipeline {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.ingestPipe == nil && !s.ingestClosed {
+		pipe := ingest.New(s.ingestLimits)
+		s.ingestPipe = pipe
+		s.metrics.GaugeFunc("dp_ingest_bytes_inflight", func() float64 {
+			return float64(pipe.Stats().BytesInFlight)
+		})
+		s.metrics.GaugeFunc("dp_ingest_batches_inflight", func() float64 {
+			return float64(pipe.Stats().BatchesInFlight)
+		})
+	}
+	return s.ingestPipe
+}
+
+// closeIngest drains and stops the pipeline; Shutdown calls it after
+// the in-flight drain so every admitted batch is applied first.
+func (s *Server) closeIngest() {
+	s.ingestMu.Lock()
+	pipe := s.ingestPipe
+	s.ingestClosed = true
+	s.ingestMu.Unlock()
+	if pipe != nil {
+		pipe.Close()
+	}
+}
+
+// IngestStats snapshots the pipeline counters (zero value before any
+// ingest traffic).
+func (s *Server) IngestStats() ingest.Stats {
+	s.ingestMu.Lock()
+	pipe := s.ingestPipe
+	s.ingestMu.Unlock()
+	if pipe == nil {
+		return ingest.Stats{}
+	}
+	return pipe.Stats()
+}
+
+// ingestApplied is what one applied batch did to its dataset.
+type ingestApplied struct {
+	records int
+	total   int
+	batches uint64
+}
+
+// ingestTarget resolves a dataset name to its record kind and an
+// apply function. The apply function validates then appends the
+// decoded batch under s.mu's write lock — atomically: a batch that
+// fails validation changes nothing.
+func (s *Server) ingestTarget(name string) (ingest.Kind, func(ingest.Decoded) (ingestApplied, error), bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if d := s.datasets[name]; d != nil {
+		return ingest.KindPacket, func(dec ingest.Decoded) (ingestApplied, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			d.packets = append(d.packets, dec.Packets...)
+			d.ingestedBatches++
+			return ingestApplied{len(dec.Packets), len(d.packets), d.ingestedBatches}, nil
+		}, true
+	}
+	if d := s.linkSets[name]; d != nil {
+		return ingest.KindLink, func(dec ingest.Decoded) (ingestApplied, error) {
+			for _, x := range dec.Links {
+				if int(x.Link) >= d.links || int(x.Bin) >= d.bins {
+					return ingestApplied{}, fmt.Errorf("link sample (link=%d, bin=%d) outside dataset dims %dx%d",
+						x.Link, x.Bin, d.links, d.bins)
+				}
+			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			d.samples = append(d.samples, dec.Links...)
+			d.ingestedBatches++
+			return ingestApplied{len(dec.Links), len(d.samples), d.ingestedBatches}, nil
+		}, true
+	}
+	if d := s.hopSets[name]; d != nil {
+		return ingest.KindHop, func(dec ingest.Decoded) (ingestApplied, error) {
+			for _, x := range dec.Hops {
+				if int(x.Monitor) >= d.monitors {
+					return ingestApplied{}, fmt.Errorf("hop record monitor %d outside dataset's %d monitors",
+						x.Monitor, d.monitors)
+				}
+			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			d.records = append(d.records, dec.Hops...)
+			d.ingestedBatches++
+			return ingestApplied{len(dec.Hops), len(d.records), d.ingestedBatches}, nil
+		}, true
+	}
+	return 0, nil, false
+}
+
+// ingestContentType normalizes the Content-Type header (drops
+// parameters like charset).
+func ingestContentType(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct)
+}
+
+// ingestShed emits the shed event + counter for one refused batch.
+func (s *Server) ingestShed(dataset, reason string) {
+	s.metrics.Counter("dp_ingest_shed_total", "dataset", dataset, "reason", reason).Inc()
+	s.event(qlog.Warn, "ingest_shed",
+		qlog.F("dataset", dataset), qlog.F("reason", reason))
+}
+
+// handleIngest is POST /v1/ingest/{dataset}. Mounted v1-only: live
+// ingestion has no legacy alias to honor.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("dataset")
+	ct := ingestContentType(r)
+	if ct != api.ContentTypeNDJSON && ct != api.ContentTypeDPTR {
+		s.writeError(w, r, http.StatusUnsupportedMediaType, apiError{
+			Code: codeBadRequest,
+			Message: fmt.Sprintf("unsupported content type %q (want %s or %s)",
+				ct, api.ContentTypeNDJSON, api.ContentTypeDPTR),
+		})
+		return
+	}
+	kind, apply, ok := s.ingestTarget(name)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, apiError{
+			Code: codeNotFound, Message: fmt.Sprintf("unknown dataset %q", name)})
+		return
+	}
+	source := r.Header.Get(api.BatchSourceHeader)
+	seq := r.Header.Get(api.BatchSeqHeader)
+	if (source == "") != (seq == "") {
+		s.writeError(w, r, http.StatusBadRequest, apiError{
+			Code: codeBadRequest,
+			Message: fmt.Sprintf("%s and %s must be sent together",
+				api.BatchSourceHeader, api.BatchSeqHeader)})
+		return
+	}
+
+	// Ingest mutates protected state, so it shares the spend path's
+	// lifecycle gates: drain refusal (with in-flight tracking so
+	// Shutdown waits for admitted batches) and fail-closed degraded
+	// mode. It does NOT share the query concurrency semaphore — its
+	// own watermarks bound it.
+	if !s.enter() {
+		s.ingestShed(name, "shutting_down")
+		w.Header().Set("Retry-After", s.limits.retryAfter())
+		s.writeError(w, r, http.StatusServiceUnavailable, apiError{
+			Code: codeShuttingDown, Message: "server is shutting down", Retryable: true})
+		return
+	}
+	defer s.inflight.Done()
+	cause := s.spendRefusal()
+	s.noteDegraded(cause)
+	if cause != nil {
+		s.ingestShed(name, "ledger_refused")
+		w.Header().Set("Retry-After", s.limits.retryAfter())
+		s.writeError(w, r, http.StatusServiceUnavailable, apiError{
+			Code: codeLedgerRefused, Message: "ledger refusing spends: " + cause.Error(), Retryable: true})
+		return
+	}
+
+	// At-most-once: (source, seq) rides the idempotency cache exactly
+	// like a query's idempotency key — the endpoint path (which embeds
+	// the dataset) scopes it, source takes the analyst slot. Only the
+	// applied ACK is cached; refusals and errors re-execute on retry.
+	var key string
+	if source != "" {
+		key = source + "\x00" + seq
+	}
+	s.serveIdempotent(w, r, name, source, key,
+		func(ctx context.Context) (int, []byte, bool) {
+			return s.executeIngest(w, r, name, kind, ct, source, seq, apply)
+		})
+}
+
+// executeIngest admits, reads, and applies one batch. It may set the
+// Retry-After header on w (written when serveIdempotent flushes the
+// returned status). Only a 200 ACK is cacheable.
+func (s *Server) executeIngest(w http.ResponseWriter, r *http.Request, name string, kind ingest.Kind,
+	ct, source, seq string, apply func(ingest.Decoded) (ingestApplied, error)) (int, []byte, bool) {
+	start := time.Now()
+	pipe := s.pipeline()
+	if pipe == nil {
+		s.ingestShed(name, "shutting_down")
+		w.Header().Set("Retry-After", s.limits.retryAfter())
+		return http.StatusServiceUnavailable, marshalError(true, apiError{
+			Code: codeShuttingDown, Message: "server is shutting down", Retryable: true}), false
+	}
+
+	// Admission before the body read when Content-Length is declared:
+	// an overloaded server refuses without buffering the batch.
+	// Chunked senders are read first (bounded by the per-batch cap)
+	// and admitted on actual size.
+	size := r.ContentLength
+	var body []byte
+	if size >= 0 {
+		if err := pipe.Reserve(size); err != nil {
+			return s.ingestRefusal(w, name, err)
+		}
+		b, err := io.ReadAll(r.Body)
+		if err != nil || int64(len(b)) != size {
+			pipe.Unreserve(size)
+			return http.StatusBadRequest, marshalError(true, apiError{
+				Code: codeBadRequest, Message: "body read failed or short"}), false
+		}
+		body = b
+	} else {
+		max := pipe.Limits().MaxBatchBytes
+		b, err := io.ReadAll(io.LimitReader(r.Body, max+1))
+		if err != nil {
+			return http.StatusBadRequest, marshalError(true, apiError{
+				Code: codeBadRequest, Message: "body read failed: " + err.Error()}), false
+		}
+		if int64(len(b)) > max {
+			s.ingestShed(name, "too_large")
+			return http.StatusRequestEntityTooLarge, marshalError(true, apiError{
+				Code:    codeTooLarge,
+				Message: fmt.Sprintf("batch exceeds %d byte limit", max)}), false
+		}
+		size = int64(len(b))
+		if err := pipe.Reserve(size); err != nil {
+			return s.ingestRefusal(w, name, err)
+		}
+		body = b
+	}
+
+	var applied ingestApplied
+	_, err := pipe.Submit(&ingest.Job{
+		Kind: kind, ContentType: ct, Data: body,
+		Apply: func(d ingest.Decoded) error {
+			a, err := apply(d)
+			if err != nil {
+				return err
+			}
+			applied = a
+			return nil
+		},
+	}, size)
+	if err != nil {
+		if errors.Is(err, ingest.ErrClosed) {
+			s.ingestShed(name, "shutting_down")
+			w.Header().Set("Retry-After", s.limits.retryAfter())
+			return http.StatusServiceUnavailable, marshalError(true, apiError{
+				Code: codeShuttingDown, Message: "server is shutting down", Retryable: true}), false
+		}
+		s.metrics.Counter("dp_ingest_batches_total", "dataset", name, "outcome", "error").Inc()
+		s.event(qlog.Warn, "ingest",
+			qlog.F("dataset", name), qlog.F("source", source), qlog.F("seq", seq),
+			qlog.F("outcome", "error"), qlog.F("bytes", size),
+			qlog.F("error", err.Error()),
+			qlog.F("duration_ms", durationMs(time.Since(start))))
+		return http.StatusBadRequest, marshalError(true, apiError{
+			Code: codeBadRequest, Message: "bad batch: " + err.Error()}), false
+	}
+
+	s.metrics.Counter("dp_ingest_batches_total", "dataset", name, "outcome", "ok").Inc()
+	s.metrics.Counter("dp_ingest_records_total", "dataset", name).Add(float64(applied.records))
+	s.metrics.Counter("dp_ingest_bytes_total", "dataset", name).Add(float64(size))
+	s.event(qlog.Info, "ingest",
+		qlog.F("dataset", name), qlog.F("source", source), qlog.F("seq", seq),
+		qlog.F("outcome", "ok"), qlog.F("records", applied.records),
+		qlog.F("total_records", applied.total), qlog.F("bytes", size),
+		qlog.F("idempotency", idemStatus(source)),
+		qlog.F("duration_ms", durationMs(time.Since(start))))
+	return http.StatusOK, marshalJSON(api.IngestResponse{
+		Dataset: name, Records: applied.records, TotalRecords: applied.total,
+		Batches: applied.batches, Source: source, Seq: seq,
+	}), true
+}
+
+// ingestRefusal maps a Reserve error to its response: 429 for
+// watermark sheds (retryable, with Retry-After), 413 for an oversized
+// batch (a retry cannot succeed), 503 when the pipeline is closed.
+func (s *Server) ingestRefusal(w http.ResponseWriter, name string, err error) (int, []byte, bool) {
+	switch {
+	case errors.Is(err, ingest.ErrTooLarge):
+		s.ingestShed(name, "too_large")
+		return http.StatusRequestEntityTooLarge, marshalError(true, apiError{
+			Code: codeTooLarge, Message: err.Error()}), false
+	case errors.Is(err, ingest.ErrClosed):
+		s.ingestShed(name, "shutting_down")
+		w.Header().Set("Retry-After", s.limits.retryAfter())
+		return http.StatusServiceUnavailable, marshalError(true, apiError{
+			Code: codeShuttingDown, Message: "server is shutting down", Retryable: true}), false
+	default:
+		s.ingestShed(name, "overloaded")
+		w.Header().Set("Retry-After", s.limits.retryAfter())
+		return http.StatusTooManyRequests, marshalError(true, apiError{
+			Code: codeOverloaded, Message: "ingest pipeline overloaded; retry later", Retryable: true}), false
+	}
+}

@@ -1,0 +1,439 @@
+package dpserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"dptrace/internal/dpserver/api"
+	"dptrace/internal/ingest"
+	"dptrace/internal/noise"
+	"dptrace/internal/trace"
+	"dptrace/internal/vfs"
+)
+
+// These are the ingest API's acceptance tests: watermark admission
+// must shed deterministically and never exceed the configured memory
+// bound, concurrent shedding must leave exact batch/record counts (a
+// batch is all-or-nothing), queries racing appends must see whole
+// consistent snapshots and charge ε exactly once, and the lifecycle
+// gates (drain, frozen ledger) must refuse with the right envelopes.
+
+func ingestPkts(n int) []trace.Packet {
+	ps := make([]trace.Packet, n)
+	for i := range ps {
+		ps[i] = trace.Packet{
+			Time: int64(i), SrcIP: trace.IPv4(i), DstIP: 1,
+			DstPort: 80, Proto: 6, Len: 100,
+		}
+	}
+	return ps
+}
+
+// ingestTestServer hosts one packet dataset "live" with the given
+// pipeline limits and unlimited budgets.
+func ingestTestServer(t *testing.T, packets []trace.Packet, limits ingest.Limits) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(noise.NewSeededSource(1, 2), WithIngestLimits(limits))
+	if err := s.AddPacketTrace("live", packets, math.Inf(1), math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postIngest posts body as one NDJSON batch.
+func postIngest(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", api.ContentTypeNDJSON)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// startSlowIngest begins a batch upload that declares its full
+// Content-Length but delivers only `hold` bytes, parking its
+// admission reservation until the caller writes the rest. This is the
+// deterministic way to occupy the watermark: Reserve happens on the
+// declared length, before the body is read.
+func startSlowIngest(t *testing.T, url string, payload []byte, hold int) (*io.PipeWriter, chan *http.Response) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, url, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = int64(len(payload))
+	req.Header.Set("Content-Type", api.ContentTypeNDJSON)
+	ch := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Errorf("slow ingest: %v", err)
+			close(ch)
+			return
+		}
+		resp.Body.Close()
+		ch <- resp
+	}()
+	if _, err := pw.Write(payload[:hold]); err != nil {
+		t.Fatal(err)
+	}
+	return pw, ch
+}
+
+// waitStats polls the server's pipeline stats until cond holds.
+func waitStats(t *testing.T, s *Server, what string, cond func(ingest.Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond(s.IngestStats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s; stats: %+v", what, s.IngestStats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestIngestBackpressureShedsDeterministically pins the admission
+// contract with no races: while a held reservation occupies the bytes
+// watermark, a batch that would exceed it MUST shed 429 with
+// Retry-After, an oversized batch MUST 413 regardless, and once the
+// reservation releases the same shed batch MUST be accepted.
+func TestIngestBackpressureShedsDeterministically(t *testing.T) {
+	big := trace.MarshalPacketsNDJSON(ingestPkts(20))
+	small := trace.MarshalPacketsNDJSON(ingestPkts(10))
+	limits := ingest.Limits{
+		MaxBatchBytes: int64(len(big)),
+		// One big reservation fits; big + small does not.
+		MaxBytesInFlight:   int64(len(big) + len(small) - 1),
+		MaxBatchesInFlight: 8,
+		DecodeWorkers:      1,
+	}
+	s, ts := ingestTestServer(t, nil, limits)
+	url := ts.URL + "/v1/ingest/live"
+
+	pw, blocked := startSlowIngest(t, url, big, 10)
+	waitStats(t, s, "blocker reservation", func(st ingest.Stats) bool {
+		return st.BytesInFlight == int64(len(big))
+	})
+
+	// Watermark full: the small batch sheds — deterministically.
+	resp, body := postIngest(t, url, small)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expected 429 shed, got %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 shed missing Retry-After")
+	}
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != codeOverloaded || !e.Retryable {
+		t.Fatalf("shed envelope: %s", body)
+	}
+
+	// Oversized batches answer 413 whatever the watermark state.
+	over := trace.MarshalPacketsNDJSON(ingestPkts(100))
+	if int64(len(over)) <= limits.MaxBatchBytes {
+		t.Fatal("test payload not oversized")
+	}
+	resp, body = postIngest(t, url, over)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("expected 413, got %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != codeTooLarge {
+		t.Fatalf("too-large envelope: %s", body)
+	}
+
+	// Release the blocker; its batch applies and the watermark frees.
+	if _, err := pw.Write(big[10:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if resp := <-blocked; resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("blocker response: %+v", resp)
+	}
+	waitStats(t, s, "drain", func(st ingest.Stats) bool { return st.BytesInFlight == 0 })
+
+	// The shed batch, retried, now lands.
+	resp, body = postIngest(t, url, small)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after shed: %d: %s", resp.StatusCode, body)
+	}
+	var ack api.IngestResponse
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Records != 10 || ack.TotalRecords != 30 {
+		t.Fatalf("ack: %+v", ack)
+	}
+
+	st := s.IngestStats()
+	if st.AdmittedBatches != 2 || st.AppliedBatches != 2 || st.ShedBatches != 1 || st.RejectedBatches != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.PeakBytesInFlight > limits.MaxBytesInFlight {
+		t.Fatalf("peak %d exceeded watermark %d", st.PeakBytesInFlight, limits.MaxBytesInFlight)
+	}
+}
+
+// TestIngestFloodExactCountsUnderShedding floods the pipeline from
+// many senders while a held reservation guarantees a shedding phase,
+// then audits exactness: every 200 is exactly one whole batch applied
+// (records = 10 × acked batches, batch counters agree everywhere),
+// every 429 applied nothing, and the in-flight bound was never
+// exceeded.
+func TestIngestFloodExactCountsUnderShedding(t *testing.T) {
+	big := trace.MarshalPacketsNDJSON(ingestPkts(20))
+	small := trace.MarshalPacketsNDJSON(ingestPkts(10))
+	limits := ingest.Limits{
+		MaxBatchBytes: int64(len(big)),
+		// While the blocker holds len(big), no small batch fits.
+		MaxBytesInFlight:   int64(len(big) + len(small) - 1),
+		MaxBatchesInFlight: 8,
+		DecodeWorkers:      2,
+	}
+	s, ts := ingestTestServer(t, nil, limits)
+	url := ts.URL + "/v1/ingest/live"
+
+	pw, blocked := startSlowIngest(t, url, big, 10)
+	waitStats(t, s, "blocker reservation", func(st ingest.Stats) bool {
+		return st.BytesInFlight == int64(len(big))
+	})
+
+	const (
+		senders = 8
+		perG    = 3
+	)
+	var acked, shed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				for { // retry sheds until this batch lands
+					resp, body := postIngest(t, url, small)
+					if resp.StatusCode == http.StatusOK {
+						acked.Add(1)
+						break
+					}
+					if resp.StatusCode != http.StatusTooManyRequests {
+						t.Errorf("unexpected status %d: %s", resp.StatusCode, body)
+						return
+					}
+					shed.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	// Every attempt sheds while the blocker holds the watermark, so a
+	// shedding phase is guaranteed, concurrently with live senders.
+	waitStats(t, s, "guaranteed sheds", func(st ingest.Stats) bool { return st.ShedBatches >= senders })
+	if _, err := pw.Write(big[10:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if resp := <-blocked; resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("blocker response: %+v", resp)
+	}
+	wg.Wait()
+	waitStats(t, s, "drain", func(st ingest.Stats) bool { return st.BytesInFlight == 0 })
+
+	if got := acked.Load(); got != senders*perG {
+		t.Fatalf("acked %d batches, want %d", got, senders*perG)
+	}
+	if shed.Load() < senders {
+		t.Fatalf("observed %d sheds, want >= %d", shed.Load(), senders)
+	}
+
+	// Exactness: whole batches only, all counters agree.
+	st := s.IngestStats()
+	wantBatches := uint64(senders*perG) + 1 // + the blocker
+	if st.AdmittedBatches != wantBatches || st.AppliedBatches != wantBatches || st.FailedBatches != 0 {
+		t.Fatalf("stats: %+v, want %d admitted=applied", st, wantBatches)
+	}
+	if st.ShedBatches != uint64(shed.Load()) {
+		t.Fatalf("server counted %d sheds, clients saw %d", st.ShedBatches, shed.Load())
+	}
+	if st.AppliedRecords != uint64(senders*perG*10+20) {
+		t.Fatalf("applied %d records, want %d", st.AppliedRecords, senders*perG*10+20)
+	}
+	if st.PeakBytesInFlight > limits.MaxBytesInFlight {
+		t.Fatalf("peak %d exceeded watermark %d", st.PeakBytesInFlight, limits.MaxBytesInFlight)
+	}
+	s.mu.RLock()
+	records := len(s.datasets["live"].packets)
+	batches := s.datasets["live"].ingestedBatches
+	s.mu.RUnlock()
+	if records != senders*perG*10+20 || batches != wantBatches {
+		t.Fatalf("dataset holds %d records / %d batches, want %d / %d",
+			records, batches, senders*perG*10+20, wantBatches)
+	}
+}
+
+// TestIngestQuerySnapshotConsistency races count queries against a
+// stream of 500-record batches. Two invariants: every noisy count
+// must sit near base + 500k for a whole k (a query never sees a torn
+// batch), and the policy ledger must hold exactly ε × queries (a
+// mid-ingest query charges once, like any other). ε=1 makes the noise
+// scale 1, so a result ≥100 away from every whole-batch size has
+// probability e^{-100} — an impossibility, not flakiness.
+func TestIngestQuerySnapshotConsistency(t *testing.T) {
+	const (
+		base         = 1000
+		batchRecords = 500
+		batches      = 10
+		analysts     = 2
+		perAnalyst   = 10
+		eps          = 1.0
+	)
+	s, ts := ingestTestServer(t, ingestPkts(base), ingest.Limits{})
+	url := ts.URL + "/v1/ingest/live"
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the ingest stream
+		defer wg.Done()
+		for i := 0; i < batches; i++ {
+			body := trace.MarshalPacketsNDJSON(ingestPkts(batchRecords))
+			resp, out := postIngest(t, url, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("batch %d: %d: %s", i, resp.StatusCode, out)
+				return
+			}
+		}
+	}()
+	for a := 0; a < analysts; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perAnalyst; i++ {
+				resp, body := postV1(t, ts.URL+"/v1/query", QueryRequest{
+					Analyst: fmt.Sprintf("analyst-%d", a), Dataset: "live",
+					Query: "count", Epsilon: eps,
+				}, nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query: %d: %s", resp.StatusCode, body)
+					return
+				}
+				var qr QueryResponse
+				if err := json.Unmarshal(body, &qr); err != nil {
+					t.Error(err)
+					return
+				}
+				v := qr.Values[0]
+				// Distance to the nearest whole-snapshot size.
+				best := math.Inf(1)
+				for k := 0; k <= batches; k++ {
+					if d := math.Abs(v - float64(base+k*batchRecords)); d < best {
+						best = d
+					}
+				}
+				if best > 100 {
+					t.Errorf("count %v is %v away from every consistent snapshot size (torn batch?)", v, best)
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	spent := s.datasets["live"].policy.TotalSpent()
+	if want := float64(analysts*perAnalyst) * eps; math.Abs(spent-want) > 1e-9 {
+		t.Fatalf("total ε = %v, want exactly %v (one charge per query, none for appends)", spent, want)
+	}
+	s.mu.RLock()
+	records := len(s.datasets["live"].packets)
+	s.mu.RUnlock()
+	if records != base+batches*batchRecords {
+		t.Fatalf("dataset holds %d records, want %d", records, base+batches*batchRecords)
+	}
+}
+
+// TestIngestDrainRefusal: after Shutdown, ingest answers 503
+// shutting_down with Retry-After — the envelope that tells senders to
+// fail over, not drop the batch.
+func TestIngestDrainRefusal(t *testing.T) {
+	s, ts := ingestTestServer(t, nil, ingest.Limits{})
+	url := ts.URL + "/v1/ingest/live"
+
+	// A pre-drain batch lands (and lazily starts the pipeline, so the
+	// shutdown path below also exercises closing it).
+	if resp, body := postIngest(t, url, trace.MarshalPacketsNDJSON(ingestPkts(5))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain batch: %d: %s", resp.StatusCode, body)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postIngest(t, url, trace.MarshalPacketsNDJSON(ingestPkts(5)))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expected 503 after shutdown, got %d: %s", resp.StatusCode, body)
+	}
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != codeShuttingDown || !e.Retryable {
+		t.Fatalf("drain envelope: %s", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain refusal missing Retry-After")
+	}
+}
+
+// TestIngestDegradedFailsClosed: while the ledger refuses spends
+// (frozen WAL), ingest refuses too — the dataset must not drift while
+// ε-accounting cannot be journaled — and applies nothing.
+func TestIngestDegradedFailsClosed(t *testing.T) {
+	s, ts, fsys, _ := faultLedgerServer(t, math.Inf(1), math.Inf(1))
+	url := ts.URL + "/v1/ingest/hotspot"
+
+	fsys.Inject(vfs.Rule{Op: vfs.OpWrite, Path: "wal-", Err: syscall.EIO, Sticky: true})
+	// Trip the freeze: the next spend attempt hits the dead WAL.
+	if resp, _ := postV1(t, ts.URL+"/v1/query", QueryRequest{
+		Analyst: "alice", Dataset: "hotspot", Query: "count", Epsilon: 0.1,
+	}, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query against dead WAL: got %d, want 503", resp.StatusCode)
+	}
+
+	s.mu.RLock()
+	before := len(s.datasets["hotspot"].packets)
+	s.mu.RUnlock()
+	resp, body := postIngest(t, url, trace.MarshalPacketsNDJSON(ingestPkts(5)))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expected 503 while degraded, got %d: %s", resp.StatusCode, body)
+	}
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != codeLedgerRefused || !e.Retryable {
+		t.Fatalf("degraded envelope: %s", body)
+	}
+	s.mu.RLock()
+	after := len(s.datasets["hotspot"].packets)
+	s.mu.RUnlock()
+	if after != before {
+		t.Fatalf("degraded ingest appended %d records", after-before)
+	}
+	if st := s.IngestStats(); st.AppliedBatches != 0 {
+		t.Fatalf("degraded ingest applied batches: %+v", st)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dptrace/internal/core"
+	"dptrace/internal/dpserver/api"
 	"dptrace/internal/obs/qlog"
 )
 
@@ -53,11 +54,11 @@ type Limits struct {
 // TimeoutHeader is the request header through which a client asks for
 // a per-request execution deadline in milliseconds. The server caps it
 // at Limits.MaxTimeout.
-const TimeoutHeader = "X-DP-Timeout-Ms"
+const TimeoutHeader = api.TimeoutHeader
 
 // IdempotencyHeader is the request header carrying an idempotency key
 // for endpoints whose body has no idempotencyKey field.
-const IdempotencyHeader = "X-DP-Idempotency-Key"
+const IdempotencyHeader = api.IdempotencyHeader
 
 // ServerOption configures New.
 type ServerOption func(*Server)
@@ -94,32 +95,24 @@ func (l Limits) retryAfter() string {
 	return strconv.Itoa(secs)
 }
 
-// Error codes of the v1 envelope. Clients branch on these, not on
-// message text.
+// Error codes of the v1 envelope (defined in the api package; clients
+// branch on these, not on message text).
 const (
-	codeBadRequest       = "bad_request"
-	codeNotFound         = "not_found"
-	codeBudgetExhausted  = "budget_exhausted"
-	codeCanceled         = "canceled"
-	codeDeadlineExceeded = "deadline_exceeded"
-	codeOverloaded       = "overloaded"
-	codeShuttingDown     = "shutting_down"
-	codeLedgerRefused    = "ledger_refused"
-	codeInternal         = "internal"
+	codeBadRequest       = api.CodeBadRequest
+	codeNotFound         = api.CodeNotFound
+	codeBudgetExhausted  = api.CodeBudgetExhausted
+	codeCanceled         = api.CodeCanceled
+	codeDeadlineExceeded = api.CodeDeadlineExceeded
+	codeOverloaded       = api.CodeOverloaded
+	codeShuttingDown     = api.CodeShuttingDown
+	codeLedgerRefused    = api.CodeLedgerRefused
+	codeTooLarge         = api.CodeTooLarge
+	codeInternal         = api.CodeInternal
 )
 
-// apiError is the uniform v1 error envelope: a stable code, a human
-// message, and whether a retry can succeed. Budget errors carry the
-// analyst's remaining allowance; errors after a partial multi-step
-// execution report the ε actually charged (a paid-for failure must
-// not be blindly retried — that is what idempotency keys are for).
-type apiError struct {
-	Code      string  `json:"code"`
-	Message   string  `json:"message"`
-	Retryable bool    `json:"retryable"`
-	Remaining float64 `json:"remaining,omitempty"`
-	Charged   float64 `json:"charged,omitempty"`
-}
+// apiError is the uniform v1 error envelope (api.Error): a stable
+// code, a human message, and whether a retry can succeed.
+type apiError = api.Error
 
 // marshalError renders e in the shape the mounted path promises:
 // the v1 envelope, or the legacy {error, remaining} body.
@@ -353,12 +346,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every admitted ingest batch is now answered; stop the
+		// pipeline so its workers exit with the server.
+		s.closeIngest()
 		if !already {
 			s.event(qlog.Info, "drain_completed",
 				qlog.F("duration_ms", durationMs(time.Since(start))))
 		}
 		return nil
 	case <-ctx.Done():
+		s.closeIngest()
 		if !already {
 			s.event(qlog.Warn, "drain_completed",
 				qlog.F("duration_ms", durationMs(time.Since(start))),

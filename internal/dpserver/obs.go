@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dptrace/internal/core"
+	"dptrace/internal/dpserver/api"
 	"dptrace/internal/obs"
 	"dptrace/internal/obs/qlog"
 )
@@ -111,16 +112,12 @@ func (s *Server) recoverPanics(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// ReadyStatus is the GET /readyz body: readiness, distinct from
-// /healthz liveness. A degraded server (frozen or degraded ledger, or
-// a drain in progress) is alive — read-only endpoints serve — but not
-// ready for spending traffic, so load balancers should stop routing
-// new analyst queries to it.
-type ReadyStatus struct {
-	Ready  bool   `json:"ready"`
-	Status string `json:"status"`
-	Reason string `json:"reason,omitempty"`
-}
+// ReadyStatus is the GET /readyz body (see api.ReadyStatus):
+// readiness, distinct from /healthz liveness. A degraded server
+// (frozen or degraded ledger, or a drain in progress) is alive —
+// read-only endpoints serve — but not ready for spending traffic, so
+// load balancers should stop routing new analyst queries to it.
+type ReadyStatus = api.ReadyStatus
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
@@ -147,20 +144,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.metrics.WritePrometheus(w)
 }
 
-// HealthStatus is the GET /healthz body. It always answers 200 while
-// the process lives — liveness, not readiness (see /readyz): a
-// degraded server still serves its read-only surface, and restarting
-// it would not help.
-type HealthStatus struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptimeSeconds"`
-	Datasets      int     `json:"datasets"`
-	Goroutines    int     `json:"goroutines"`
-	AuditEntries  int     `json:"auditEntries"`
-	RecentTraces  int     `json:"recentTraces"`
-	Degraded      bool    `json:"degraded,omitempty"`
-	LedgerError   string  `json:"ledgerError,omitempty"`
-}
+// HealthStatus is the GET /healthz body (see api.HealthStatus). It
+// always answers 200 while the process lives — liveness, not
+// readiness (see /readyz): a degraded server still serves its
+// read-only surface, and restarting it would not help.
+type HealthStatus = api.HealthStatus
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()

@@ -1,0 +1,94 @@
+package dpserver
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dptrace/internal/dpserver/api"
+)
+
+// These tests pin the route table as the API's single source of
+// truth: every endpoint has exactly one canonical /v1 mount, legacy
+// aliases all carry the deprecation trio (Deprecation + Sunset +
+// successor Link), and canonical mounts carry none of it. A new
+// endpoint wired outside the table, or mounted twice, fails here.
+
+func TestEveryRouteHasExactlyOneCanonicalV1Path(t *testing.T) {
+	routes := Routes()
+	if len(routes) == 0 {
+		t.Fatal("empty route table")
+	}
+	seen := make(map[string]bool)
+	for _, rt := range routes {
+		if rt.Method == "" || !strings.HasPrefix(rt.Path, "/") {
+			t.Errorf("malformed route %+v", rt)
+		}
+		// Paths are relative to the /v1 mount; a path carrying its own
+		// /v1 would mount at /v1/v1 — one canonical path, not two forms.
+		if strings.HasPrefix(rt.Path, "/v1/") || rt.Path == "/v1" {
+			t.Errorf("route %q embeds the /v1 prefix", rt.Path)
+		}
+		key := rt.Method + " " + rt.Path
+		if seen[key] {
+			t.Errorf("route %q mounted twice", key)
+		}
+		seen[key] = true
+	}
+	// Ingest postdates the /v1 cutover: it must never grow a legacy
+	// alias.
+	for _, rt := range routes {
+		if strings.HasPrefix(rt.Path, "/ingest/") && rt.Legacy {
+			t.Errorf("ingest route %q has a legacy alias", rt.Path)
+		}
+	}
+}
+
+func TestLegacyAliasesCarryDeprecationSunsetAndSuccessor(t *testing.T) {
+	if _, err := http.ParseTime(api.LegacySunset); err != nil {
+		t.Fatalf("api.LegacySunset %q is not an HTTP date: %v", api.LegacySunset, err)
+	}
+	_, ts := lifecycleServer(t, math.Inf(1), math.Inf(1))
+
+	// probe issues a bare request to path; the deprecation headers are
+	// set before the handler runs, so the status (often 400/405 for a
+	// bodiless probe) is irrelevant here.
+	probe := func(method, path string) http.Header {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.Header
+	}
+
+	for _, rt := range Routes() {
+		if strings.Contains(rt.Path, "{") {
+			continue // wildcard routes need operands; none are legacy today
+		}
+		canonical := probe(rt.Method, "/v1"+rt.Path)
+		if canonical.Get("Deprecation") != "" || canonical.Get("Sunset") != "" {
+			t.Errorf("canonical /v1%s carries deprecation headers", rt.Path)
+		}
+		if !rt.Legacy {
+			continue
+		}
+		h := probe(rt.Method, rt.Path)
+		if h.Get("Deprecation") != "true" {
+			t.Errorf("legacy %s missing Deprecation header", rt.Path)
+		}
+		if got := h.Get("Sunset"); got != api.LegacySunset {
+			t.Errorf("legacy %s Sunset = %q, want %q", rt.Path, got, api.LegacySunset)
+		}
+		link := h.Get("Link")
+		if !strings.Contains(link, "/v1"+rt.Path) || !strings.Contains(link, `rel="successor-version"`) {
+			t.Errorf("legacy %s Link = %q, want successor-version pointer at /v1%s", rt.Path, link, rt.Path)
+		}
+	}
+}

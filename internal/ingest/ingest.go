@@ -1,0 +1,387 @@
+// Package ingest is the bounded-buffer live-ingestion pipeline behind
+// POST /v1/ingest/{dataset}: receiver → batched decoder → dataset
+// appender, modeled on the receiver/writer split of production trace
+// agents. Its one structural guarantee is that memory is bounded by
+// configuration, not by offered load: every batch must reserve its
+// bytes and a batch slot against hard watermarks BEFORE its body is
+// read, and reservations are only released when the batch has been
+// fully applied (or refused). When the watermarks are hit the caller
+// gets ErrOverloaded synchronously — the HTTP layer turns that into
+// 429 + Retry-After — so overload sheds at the edge instead of
+// queueing toward OOM.
+//
+// Stages:
+//
+//	receiver (HTTP handler)  — admission: Reserve(bytes) or shed
+//	decode workers           — Content-Type → typed records, CPU-parallel
+//	appender (single)        — applies batches serially via the Apply
+//	                           callback, which takes the dataset write
+//	                           lock; serial apply keeps lock hold times
+//	                           short and makes applied-batch ordering
+//	                           deterministic per pipeline
+//
+// The pipeline knows nothing about datasets or privacy budgets: the
+// Apply callback owns that. Snapshot consistency for concurrent
+// queries is the callback's contract (see dpserver), not this
+// package's.
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dptrace/internal/trace"
+)
+
+// ErrOverloaded is returned by Reserve when admitting the batch would
+// exceed a watermark. Callers translate it to 429.
+var ErrOverloaded = errors.New("ingest: pipeline overloaded")
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("ingest: pipeline closed")
+
+// ErrTooLarge is returned by Reserve for a single batch bigger than
+// MaxBatchBytes — retrying the same batch cannot succeed, so it is
+// distinct from ErrOverloaded (413 vs 429 at the HTTP layer).
+var ErrTooLarge = errors.New("ingest: batch exceeds size limit")
+
+// Kind names which record stream a batch belongs to.
+type Kind uint8
+
+const (
+	KindPacket Kind = iota + 1
+	KindLink
+	KindHop
+)
+
+// Content types the decoder stage understands (mirrored in
+// internal/dpserver/api).
+const (
+	ContentTypeNDJSON = "application/x-ndjson"
+	ContentTypeDPTR   = "application/x-dptr"
+)
+
+// Limits are the pipeline's admission watermarks and worker shape.
+// Zero values take the defaults below.
+type Limits struct {
+	// MaxBatchBytes caps one batch body; larger batches are refused
+	// with ErrTooLarge. Default 8 MiB.
+	MaxBatchBytes int64
+	// MaxBytesInFlight caps the sum of admitted-but-unapplied batch
+	// bytes. Default 64 MiB.
+	MaxBytesInFlight int64
+	// MaxBatchesInFlight caps the number of admitted-but-unapplied
+	// batches. Default 256.
+	MaxBatchesInFlight int64
+	// DecodeWorkers is the decoder-stage parallelism. Default 2.
+	DecodeWorkers int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBatchBytes <= 0 {
+		l.MaxBatchBytes = 8 << 20
+	}
+	if l.MaxBytesInFlight <= 0 {
+		l.MaxBytesInFlight = 64 << 20
+	}
+	if l.MaxBatchesInFlight <= 0 {
+		l.MaxBatchesInFlight = 256
+	}
+	if l.DecodeWorkers <= 0 {
+		l.DecodeWorkers = 2
+	}
+	return l
+}
+
+// Decoded is one batch after the decoder stage: exactly one of the
+// slices is non-nil, matching the job's Kind.
+type Decoded struct {
+	Packets []trace.Packet
+	Links   []trace.LinkSample
+	Hops    []trace.HopRecord
+}
+
+// Records is the record count of whichever stream is populated.
+func (d Decoded) Records() int {
+	return len(d.Packets) + len(d.Links) + len(d.Hops)
+}
+
+// Job is one admitted batch travelling the pipeline.
+type Job struct {
+	Kind        Kind
+	ContentType string
+	Data        []byte
+	// Apply is run by the single appender goroutine once the batch is
+	// decoded. It must be short: it holds whatever lock the dataset
+	// store needs.
+	Apply func(Decoded) error
+
+	reservation int64
+	done        chan error
+}
+
+// Stats is a snapshot of pipeline counters, all monotonic except the
+// in-flight gauges.
+type Stats struct {
+	AdmittedBatches uint64
+	AdmittedBytes   uint64
+	ShedBatches     uint64 // refused with ErrOverloaded
+	RejectedBatches uint64 // refused with ErrTooLarge
+	AppliedBatches  uint64
+	AppliedRecords  uint64
+	FailedBatches   uint64 // decode or apply error
+
+	BytesInFlight   int64
+	BatchesInFlight int64
+	// High watermarks actually observed, for sizing the limits.
+	PeakBytesInFlight   int64
+	PeakBatchesInFlight int64
+}
+
+// Pipeline is the bounded ingestion pipeline. Construct with New,
+// feed with Reserve+Submit, stop with Close.
+type Pipeline struct {
+	limits Limits
+
+	bytesInFlight   atomic.Int64
+	batchesInFlight atomic.Int64
+	peakBytes       atomic.Int64
+	peakBatches     atomic.Int64
+
+	admittedBatches atomic.Uint64
+	admittedBytes   atomic.Uint64
+	shedBatches     atomic.Uint64
+	rejectedBatches atomic.Uint64
+	appliedBatches  atomic.Uint64
+	appliedRecords  atomic.Uint64
+	failedBatches   atomic.Uint64
+
+	decodeCh chan *Job
+	applyCh  chan appliedJob
+
+	// closeMu serializes channel sends against close: Submit sends
+	// under RLock, Close flips closed under Lock, so once Close holds
+	// the write lock no sender is mid-send and later senders observe
+	// closed. Sends cannot block under the lock because admission
+	// bounds in-flight batches to the channel capacity.
+	closeMu   sync.RWMutex
+	closeOnce sync.Once
+	closed    atomic.Bool
+	decodeWg  sync.WaitGroup
+	applyWg   sync.WaitGroup
+}
+
+type appliedJob struct {
+	job     *Job
+	decoded Decoded
+	err     error
+}
+
+// New starts the pipeline's decode workers and appender.
+func New(limits Limits) *Pipeline {
+	limits = limits.withDefaults()
+	p := &Pipeline{
+		limits: limits,
+		// Admission bounds batches in flight, so a channel with that
+		// capacity never blocks an admitted Submit.
+		decodeCh: make(chan *Job, limits.MaxBatchesInFlight),
+		applyCh:  make(chan appliedJob, limits.MaxBatchesInFlight),
+	}
+	for i := 0; i < limits.DecodeWorkers; i++ {
+		p.decodeWg.Add(1)
+		go p.decodeWorker()
+	}
+	p.applyWg.Add(1)
+	go p.appender()
+	return p
+}
+
+// Limits reports the configured (defaulted) watermarks.
+func (p *Pipeline) Limits() Limits { return p.limits }
+
+// Reserve admits size bytes and one batch slot, or refuses. On
+// success the reservation is held until the submitted job completes;
+// a caller that reserves but never submits must call Unreserve.
+//
+// The add-then-check-then-subtract discipline makes the bound exact
+// under concurrency: the counters may transiently overshoot inside
+// this function, but a batch only keeps its reservation if the
+// post-add totals are within the watermarks, so admitted bytes never
+// exceed MaxBytesInFlight.
+func (p *Pipeline) Reserve(size int64) error {
+	if size > p.limits.MaxBatchBytes {
+		p.rejectedBatches.Add(1)
+		return fmt.Errorf("%w: %d bytes > limit %d", ErrTooLarge, size, p.limits.MaxBatchBytes)
+	}
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	b := p.bytesInFlight.Add(size)
+	n := p.batchesInFlight.Add(1)
+	if b > p.limits.MaxBytesInFlight || n > p.limits.MaxBatchesInFlight {
+		p.bytesInFlight.Add(-size)
+		p.batchesInFlight.Add(-1)
+		p.shedBatches.Add(1)
+		return ErrOverloaded
+	}
+	atomicMax(&p.peakBytes, b)
+	atomicMax(&p.peakBatches, n)
+	p.admittedBatches.Add(1)
+	p.admittedBytes.Add(uint64(size))
+	return nil
+}
+
+// Unreserve returns a reservation that will not be submitted (e.g.
+// the body read failed after admission).
+func (p *Pipeline) Unreserve(size int64) {
+	p.bytesInFlight.Add(-size)
+	p.batchesInFlight.Add(-1)
+	// The batch never travelled, so back out its admission counters'
+	// effect on shed/applied accounting by counting it failed.
+	p.failedBatches.Add(1)
+}
+
+// Submit sends an admitted job through decode and apply, blocking
+// until the batch is fully applied (or fails). size must be the value
+// passed to the matching Reserve. Returns the number of records
+// applied.
+func (p *Pipeline) Submit(job *Job, size int64) (int, error) {
+	job.reservation = size
+	job.done = make(chan error, 1)
+	recs := make(chan int, 1)
+	// Thread the record count back alongside the error: wrap Apply so
+	// the appender stays ignorant of the response shape.
+	userApply := job.Apply
+	job.Apply = func(d Decoded) error {
+		if err := userApply(d); err != nil {
+			return err
+		}
+		recs <- d.Records()
+		return nil
+	}
+	p.closeMu.RLock()
+	if p.closed.Load() {
+		p.closeMu.RUnlock()
+		p.Unreserve(size)
+		return 0, ErrClosed
+	}
+	p.decodeCh <- job
+	p.closeMu.RUnlock()
+	if err := <-job.done; err != nil {
+		return 0, err
+	}
+	return <-recs, nil
+}
+
+// decodeWorker turns batch bytes into typed records.
+func (p *Pipeline) decodeWorker() {
+	defer p.decodeWg.Done()
+	for job := range p.decodeCh {
+		d, err := Decode(job.Kind, job.ContentType, job.Data)
+		job.Data = nil // decoded; let the raw bytes go before apply queues
+		p.applyCh <- appliedJob{job: job, decoded: d, err: err}
+	}
+}
+
+// appender applies decoded batches serially and releases
+// reservations. Apply callbacks run on this one goroutine.
+func (p *Pipeline) appender() {
+	defer p.applyWg.Done()
+	for aj := range p.applyCh {
+		err := aj.err
+		if err == nil {
+			err = aj.job.Apply(aj.decoded)
+		}
+		if err != nil {
+			p.failedBatches.Add(1)
+		} else {
+			p.appliedBatches.Add(1)
+			p.appliedRecords.Add(uint64(aj.decoded.Records()))
+		}
+		p.bytesInFlight.Add(-aj.job.reservation)
+		p.batchesInFlight.Add(-1)
+		aj.job.done <- err
+	}
+}
+
+// Close stops intake and drains in-flight batches: every job already
+// submitted is decoded, applied, and answered before Close returns.
+// Safe to call more than once; Reserve/Submit afterwards return
+// ErrClosed.
+func (p *Pipeline) Close() {
+	p.closeOnce.Do(func() {
+		p.closeMu.Lock()
+		p.closed.Store(true)
+		p.closeMu.Unlock()
+		close(p.decodeCh)
+		p.decodeWg.Wait()
+		close(p.applyCh)
+		p.applyWg.Wait()
+	})
+}
+
+// Stats snapshots the counters.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		AdmittedBatches:     p.admittedBatches.Load(),
+		AdmittedBytes:       p.admittedBytes.Load(),
+		ShedBatches:         p.shedBatches.Load(),
+		RejectedBatches:     p.rejectedBatches.Load(),
+		AppliedBatches:      p.appliedBatches.Load(),
+		AppliedRecords:      p.appliedRecords.Load(),
+		FailedBatches:       p.failedBatches.Load(),
+		BytesInFlight:       p.bytesInFlight.Load(),
+		BatchesInFlight:     p.batchesInFlight.Load(),
+		PeakBytesInFlight:   p.peakBytes.Load(),
+		PeakBatchesInFlight: p.peakBatches.Load(),
+	}
+}
+
+// Decode turns one batch body into typed records. Exposed so tests
+// and offline tools can reuse the exact wire decoding the pipeline
+// applies.
+func Decode(kind Kind, contentType string, data []byte) (Decoded, error) {
+	switch contentType {
+	case ContentTypeNDJSON:
+		switch kind {
+		case KindPacket:
+			ps, err := trace.ParsePacketsNDJSON(data)
+			return Decoded{Packets: ps}, err
+		case KindLink:
+			ls, err := trace.ParseLinkSamplesNDJSON(data)
+			return Decoded{Links: ls}, err
+		case KindHop:
+			hs, err := trace.ParseHopRecordsNDJSON(data)
+			return Decoded{Hops: hs}, err
+		}
+	case ContentTypeDPTR:
+		r := bytes.NewReader(data)
+		switch kind {
+		case KindPacket:
+			ps, err := trace.ReadPackets(r)
+			return Decoded{Packets: ps}, err
+		case KindLink:
+			ls, err := trace.ReadLinkSamples(r)
+			return Decoded{Links: ls}, err
+		case KindHop:
+			hs, err := trace.ReadHopRecords(r)
+			return Decoded{Hops: hs}, err
+		}
+	default:
+		return Decoded{}, fmt.Errorf("ingest: unsupported content type %q", contentType)
+	}
+	return Decoded{}, fmt.Errorf("ingest: unknown kind %d", kind)
+}
+
+// atomicMax raises *a to v if v is larger.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

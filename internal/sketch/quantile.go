@@ -112,6 +112,21 @@ func (q *Quantile) Merge(other *Quantile) {
 // rankBoundsAt reports the summary's bounds on #{x ≤ v} for an
 // arbitrary v, from the nearest retained tuples.
 func rankBoundsAt(tuples []Tuple, n int, v float64) (lo, hi int) {
+	if len(tuples) == 0 {
+		return 0, n
+	}
+	// The first and last tuples are always retained (flush summarizes
+	// exactly and compact keeps both anchors), so they pin the true
+	// extremes: below the minimum nothing is ≤ v, above the maximum
+	// everything is. Without these anchors a merge inflates RMax for
+	// values below the partner summary's minimum, and Query can then
+	// prefer a near-minimum value for a high-rank target.
+	if v < tuples[0].Value {
+		return 0, 0
+	}
+	if v > tuples[len(tuples)-1].Value {
+		return n, n
+	}
 	// Largest tuple value ≤ v gives the lower bound; the tuple at v
 	// (or the next one above, minus the element that realizes it)
 	// gives the upper bound.

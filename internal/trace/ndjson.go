@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+)
+
+// NDJSON batch encoding: one JSON object per line, the wire format
+// live ingestion speaks (Content-Type application/x-ndjson; see
+// internal/dpserver/api). It exists alongside the DPTR binary
+// container because ingest senders are often not Go programs — a
+// capture agent shelling out packets as JSON lines needs no varint
+// framing — while high-volume senders use the binary form. Both
+// decode to identical records.
+//
+// The decoders are strict (unknown fields refused, addresses must be
+// IPv4) and report the 1-based line number of the first bad record,
+// because an ingest 400 must tell the sender which line to look at.
+
+// PacketJSON is the NDJSON wire shape of one Packet. Payload rides as
+// standard JSON base64; absent fields are zero.
+type PacketJSON struct {
+	Time    int64  `json:"time"`
+	SrcIP   string `json:"srcIP"`
+	DstIP   string `json:"dstIP"`
+	SrcPort uint16 `json:"srcPort,omitempty"`
+	DstPort uint16 `json:"dstPort,omitempty"`
+	Proto   uint8  `json:"proto,omitempty"`
+	Flags   uint8  `json:"flags,omitempty"`
+	Seq     uint32 `json:"seq,omitempty"`
+	Ack     uint32 `json:"ack,omitempty"`
+	Len     uint16 `json:"len"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// LinkSampleJSON is the NDJSON wire shape of one LinkSample.
+type LinkSampleJSON struct {
+	Link int32 `json:"link"`
+	Bin  int32 `json:"bin"`
+}
+
+// HopRecordJSON is the NDJSON wire shape of one HopRecord.
+type HopRecordJSON struct {
+	Monitor int32  `json:"monitor"`
+	IP      string `json:"ip"`
+	Hops    int32  `json:"hops"`
+}
+
+// ParseIPv4 parses a dotted-quad IPv4 address.
+func ParseIPv4(s string) (IPv4, error) {
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad IPv4 %q: %w", s, err)
+	}
+	if !a.Is4() {
+		return 0, fmt.Errorf("trace: %q is not IPv4", s)
+	}
+	b := a.As4()
+	return MakeIPv4(b[0], b[1], b[2], b[3]), nil
+}
+
+// forEachLine invokes fn for every non-blank line with its 1-based
+// line number, stopping on the first error.
+func forEachLine(data []byte, fn func(line int, raw []byte) error) error {
+	lineNo := 0
+	for len(data) > 0 {
+		lineNo++
+		var line []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			line, data = data, nil
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(lineNo, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeStrict unmarshals one line refusing unknown fields.
+func decodeStrict(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// ParsePacketsNDJSON decodes a batch of PacketJSON lines.
+func ParsePacketsNDJSON(data []byte) ([]Packet, error) {
+	var out []Packet
+	err := forEachLine(data, func(line int, raw []byte) error {
+		var pj PacketJSON
+		if err := decodeStrict(raw, &pj); err != nil {
+			return fmt.Errorf("trace: ndjson line %d: %w", line, err)
+		}
+		src, err := ParseIPv4(pj.SrcIP)
+		if err != nil {
+			return fmt.Errorf("trace: ndjson line %d srcIP: %w", line, err)
+		}
+		dst, err := ParseIPv4(pj.DstIP)
+		if err != nil {
+			return fmt.Errorf("trace: ndjson line %d dstIP: %w", line, err)
+		}
+		out = append(out, Packet{
+			Time: pj.Time, SrcIP: src, DstIP: dst,
+			SrcPort: pj.SrcPort, DstPort: pj.DstPort,
+			Proto: pj.Proto, Flags: TCPFlags(pj.Flags),
+			Seq: pj.Seq, Ack: pj.Ack, Len: pj.Len, Payload: pj.Payload,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseLinkSamplesNDJSON decodes a batch of LinkSampleJSON lines.
+func ParseLinkSamplesNDJSON(data []byte) ([]LinkSample, error) {
+	var out []LinkSample
+	err := forEachLine(data, func(line int, raw []byte) error {
+		var lj LinkSampleJSON
+		if err := decodeStrict(raw, &lj); err != nil {
+			return fmt.Errorf("trace: ndjson line %d: %w", line, err)
+		}
+		if lj.Link < 0 || lj.Bin < 0 {
+			return fmt.Errorf("trace: ndjson line %d: link and bin must be non-negative", line)
+		}
+		out = append(out, LinkSample{Link: lj.Link, Bin: lj.Bin})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseHopRecordsNDJSON decodes a batch of HopRecordJSON lines.
+func ParseHopRecordsNDJSON(data []byte) ([]HopRecord, error) {
+	var out []HopRecord
+	err := forEachLine(data, func(line int, raw []byte) error {
+		var hj HopRecordJSON
+		if err := decodeStrict(raw, &hj); err != nil {
+			return fmt.Errorf("trace: ndjson line %d: %w", line, err)
+		}
+		ip, err := ParseIPv4(hj.IP)
+		if err != nil {
+			return fmt.Errorf("trace: ndjson line %d ip: %w", line, err)
+		}
+		if hj.Monitor < 0 {
+			return fmt.Errorf("trace: ndjson line %d: monitor must be non-negative", line)
+		}
+		out = append(out, HopRecord{Monitor: hj.Monitor, IP: ip, Hops: hj.Hops})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendPacketNDJSON appends one packet as a JSON line (with trailing
+// newline) to dst — the sender-side encoder, allocation-friendly for
+// batch building.
+func AppendPacketNDJSON(dst []byte, p *Packet) []byte {
+	b, _ := json.Marshal(PacketJSON{
+		Time: p.Time, SrcIP: p.SrcIP.String(), DstIP: p.DstIP.String(),
+		SrcPort: p.SrcPort, DstPort: p.DstPort,
+		Proto: p.Proto, Flags: uint8(p.Flags),
+		Seq: p.Seq, Ack: p.Ack, Len: p.Len, Payload: p.Payload,
+	})
+	dst = append(dst, b...)
+	return append(dst, '\n')
+}
+
+// MarshalPacketsNDJSON encodes a packet batch as NDJSON.
+func MarshalPacketsNDJSON(packets []Packet) []byte {
+	var dst []byte
+	for i := range packets {
+		dst = AppendPacketNDJSON(dst, &packets[i])
+	}
+	return dst
+}
+
+// AppendLinkSampleNDJSON appends one link sample as a JSON line.
+func AppendLinkSampleNDJSON(dst []byte, s LinkSample) []byte {
+	b, _ := json.Marshal(LinkSampleJSON{Link: s.Link, Bin: s.Bin})
+	dst = append(dst, b...)
+	return append(dst, '\n')
+}
+
+// MarshalLinkSamplesNDJSON encodes a link-sample batch as NDJSON.
+func MarshalLinkSamplesNDJSON(samples []LinkSample) []byte {
+	var dst []byte
+	for _, s := range samples {
+		dst = AppendLinkSampleNDJSON(dst, s)
+	}
+	return dst
+}
+
+// AppendHopRecordNDJSON appends one hop record as a JSON line.
+func AppendHopRecordNDJSON(dst []byte, h HopRecord) []byte {
+	b, _ := json.Marshal(HopRecordJSON{Monitor: h.Monitor, IP: h.IP.String(), Hops: h.Hops})
+	dst = append(dst, b...)
+	return append(dst, '\n')
+}
+
+// MarshalHopRecordsNDJSON encodes a hop-record batch as NDJSON.
+func MarshalHopRecordsNDJSON(records []HopRecord) []byte {
+	var dst []byte
+	for _, h := range records {
+		dst = AppendHopRecordNDJSON(dst, h)
+	}
+	return dst
+}

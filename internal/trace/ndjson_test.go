@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPacketsNDJSONRoundTrip(t *testing.T) {
+	in := []Packet{
+		{Time: 1000, SrcIP: MakeIPv4(10, 0, 0, 1), DstIP: MakeIPv4(10, 0, 0, 2),
+			SrcPort: 443, DstPort: 51000, Proto: 6, Flags: FlagSYN | FlagACK,
+			Seq: 7, Ack: 9, Len: 1200, Payload: []byte("hello")},
+		{Time: 2000, SrcIP: MakeIPv4(192, 168, 1, 5), DstIP: MakeIPv4(8, 8, 8, 8),
+			Proto: 17, Len: 64},
+	}
+	data := MarshalPacketsNDJSON(in)
+	if got := strings.Count(string(data), "\n"); got != len(in) {
+		t.Fatalf("expected %d lines, got %d", len(in), got)
+	}
+	out, err := ParsePacketsNDJSON(data)
+	if err != nil {
+		t.Fatalf("ParsePacketsNDJSON: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("expected %d packets, got %d", len(in), len(out))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.Time != b.Time || a.SrcIP != b.SrcIP || a.DstIP != b.DstIP ||
+			a.SrcPort != b.SrcPort || a.DstPort != b.DstPort ||
+			a.Proto != b.Proto || a.Flags != b.Flags ||
+			a.Seq != b.Seq || a.Ack != b.Ack || a.Len != b.Len ||
+			string(a.Payload) != string(b.Payload) {
+			t.Errorf("packet %d: round-trip mismatch: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestLinkSamplesNDJSONRoundTrip(t *testing.T) {
+	in := []LinkSample{{Link: 3, Bin: 12}, {Link: 0, Bin: 0}}
+	out, err := ParseLinkSamplesNDJSON(MarshalLinkSamplesNDJSON(in))
+	if err != nil {
+		t.Fatalf("ParseLinkSamplesNDJSON: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("expected %d samples, got %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("sample %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestHopRecordsNDJSONRoundTrip(t *testing.T) {
+	in := []HopRecord{
+		{Monitor: 1, IP: MakeIPv4(172, 16, 0, 9), Hops: 14},
+		{Monitor: 2, IP: MakeIPv4(10, 1, 2, 3), Hops: 3},
+	}
+	out, err := ParseHopRecordsNDJSON(MarshalHopRecordsNDJSON(in))
+	if err != nil {
+		t.Fatalf("ParseHopRecordsNDJSON: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("expected %d records, got %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("record %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestParseNDJSONSkipsBlankLines(t *testing.T) {
+	data := []byte("\n{\"link\":1,\"bin\":2}\n\n  \n{\"link\":3,\"bin\":4}\n\n")
+	out, err := ParseLinkSamplesNDJSON(data)
+	if err != nil {
+		t.Fatalf("ParseLinkSamplesNDJSON: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("expected 2 samples, got %d", len(out))
+	}
+}
+
+func TestParseNDJSONNoTrailingNewline(t *testing.T) {
+	data := []byte(`{"link":1,"bin":2}`)
+	out, err := ParseLinkSamplesNDJSON(data)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("expected 1 sample, got %d (err=%v)", len(out), err)
+	}
+}
+
+func TestParsePacketsNDJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, data, want string
+	}{
+		{"malformed json", "{\"time\":1,\"srcIP\":\"1.2.3.4\",\"dstIP\":\"5.6.7.8\",\"len\":1}\nnot json\n", "line 2"},
+		{"unknown field", `{"time":1,"srcIP":"1.2.3.4","dstIP":"5.6.7.8","len":1,"bogus":true}`, "line 1"},
+		{"bad src ip", `{"time":1,"srcIP":"nope","dstIP":"5.6.7.8","len":1}`, "srcIP"},
+		{"ipv6 dst", `{"time":1,"srcIP":"1.2.3.4","dstIP":"::1","len":1}`, "not IPv4"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParsePacketsNDJSON([]byte(c.data))
+			if err == nil {
+				t.Fatal("expected error, got nil")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseLinkSamplesNDJSONRejectsNegative(t *testing.T) {
+	if _, err := ParseLinkSamplesNDJSON([]byte(`{"link":-1,"bin":0}`)); err == nil {
+		t.Fatal("expected error for negative link")
+	}
+}
+
+func TestParseHopRecordsNDJSONRejectsNegativeMonitor(t *testing.T) {
+	if _, err := ParseHopRecordsNDJSON([]byte(`{"monitor":-1,"ip":"1.2.3.4","hops":2}`)); err == nil {
+		t.Fatal("expected error for negative monitor")
+	}
+}
