@@ -42,7 +42,7 @@ benchdiff:
 # nonzero if the ACKed ε-spends drift from the server's budget
 # accounting. Tune with e.g. `make bench-server LOADFLAGS='-duration
 # 30s -analysts 16'`.
-LOADFLAGS ?= -duration 10s -analysts 4 -senders 2
+LOADFLAGS ?= -duration 10s -analysts 4 -senders 2 -standing 2
 bench-server:
 	go run ./cmd/dploadgen $(LOADFLAGS) -bench | go run ./cmd/benchjson > BENCH_server.json
 	@echo "wrote BENCH_server.json"

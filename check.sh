@@ -40,8 +40,14 @@ go test -run=. -fuzz=FuzzCountMinMerge -fuzztime=5s ./internal/sketch
 # I/O faults + handler panics under a query storm must keep the
 # failure surface closed and the ε invariants intact.
 go test -race -run 'TestChaosStorm' -count=1 ./internal/dpserver -chaosdur 3s
+# Standing-query smoke: register + ingest + windows firing end to end,
+# and the kill-restart acceptance (byte-identical replay, no window
+# double-charged or skipped) — the continual-monitoring contract in
+# ~2s under the race detector.
+go test -race -run 'TestStandingEndToEnd|TestStandingKillRestart' -count=1 ./internal/dpserver
 # Load-harness smoke (make bench-server runs the full measurement): a
 # short self-hosted run of concurrent analysts + ingest senders
-# through the real HTTP stack. Exits nonzero on any budget-accounting
-# drift between client ACKs and the server's ledger surfaces.
-go run ./cmd/dploadgen -duration 2s -analysts 2 -senders 1 -seed-records 2000 > /dev/null
+# through the real HTTP stack, with a standing query riding the ingest
+# stream. Exits nonzero on any budget-accounting drift between client
+# ACKs and the server's ledger surfaces (standing charges included).
+go run ./cmd/dploadgen -duration 2s -analysts 2 -senders 1 -standing 1 -seed-records 2000 > /dev/null

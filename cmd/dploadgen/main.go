@@ -26,6 +26,14 @@
 // vice versa — exits nonzero. The load generator is thereby also an
 // end-to-end test that budget accounting survives concurrency.
 //
+// -standing N additionally registers N standing queries (one window
+// per ingest batch, a dedicated analyst each) before the load starts,
+// and extends the audit to the continual-monitoring path: for every
+// standing query, the sum of per-window ε charges visible in its
+// result ring must reconcile with the cumulative spend each window
+// reports, with the registration's Spent, and with the server's
+// per-analyst budget ledger. Standing drift also exits nonzero.
+//
 // Output is a JSON report on stdout; -bench instead emits
 // go-test-bench-format lines (BenchmarkServerQuery/.../ns/op + qps,
 // pps) for cmd/benchjson, which is how `make bench-server` records
@@ -68,6 +76,7 @@ func main() {
 	ramp := flag.Duration("ramp", 0, "ramp-up window over which sender rate scales 0→-rate")
 	seedRecords := flag.Int("seed-records", 10000, "records in the self-hosted seed dataset")
 	seed := flag.Uint64("seed", 1, "noise + workload seed (self-host mode)")
+	standingN := flag.Int("standing", 0, "standing queries registered before load (one window per ingest batch)")
 	bench := flag.Bool("bench", false, "emit go-bench-format lines for cmd/benchjson instead of the JSON report")
 	flag.Parse()
 
@@ -86,6 +95,8 @@ func main() {
 		defer stop()
 	}
 
+	standingIDs := registerStanding(baseURL, *dataset, *standingN, *eps, *batch)
+
 	r, acked := run(runConfig{
 		baseURL: baseURL, dataset: *dataset, analysts: *analysts,
 		senders: *senders, kinds: kindList, eps: *eps,
@@ -96,7 +107,13 @@ func main() {
 		r.Ingest.Server = &st
 	}
 
-	audit(&r, baseURL, *dataset, acked)
+	audit(&r, baseURL, *dataset, acked, standingIDs)
+	if inproc != nil && r.Standing != nil {
+		st := inproc.StandingStats()
+		r.Standing.FireP50Ms = float64(st.FireP50) / float64(time.Millisecond)
+		r.Standing.FireP99Ms = float64(st.FireP99) / float64(time.Millisecond)
+		r.Standing.FireMeanMs = float64(st.FireMean) / float64(time.Millisecond)
+	}
 
 	if *bench {
 		writeBench(os.Stdout, r)
@@ -108,6 +125,38 @@ func main() {
 	if !r.Budget.Consistent {
 		fatalf("BUDGET DRIFT: %s", r.Budget.Detail)
 	}
+	if r.Standing != nil && !r.Standing.Consistent {
+		fatalf("STANDING DRIFT: %s", r.Standing.Detail)
+	}
+}
+
+// standingAnalyst names standing query i's dedicated analyst identity;
+// a per-query analyst makes /v1/budget an isolated ledger view of that
+// query's standing spend, which is what the drift audit compares
+// against.
+func standingAnalyst(i int) string { return fmt.Sprintf("standing-%02d", i) }
+
+// registerStanding registers n standing count queries, each windowing
+// one ingest batch (width = batch records, tumbling) under its own
+// analyst, and returns the server-minted IDs.
+func registerStanding(baseURL, dataset string, n int, eps float64, batch int) []string {
+	ids := make([]string, 0, n)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		c := dpclient.New(baseURL, standingAnalyst(i))
+		info, err := c.RegisterStanding(ctx, dataset, api.StandingRequest{
+			Query: "count", Epsilon: eps,
+			// Generous: the audit exercises accounting, not exhaustion.
+			Reservation: eps * 1e6,
+			Window:      api.StandingWindow{Width: uint64(batch)},
+		})
+		if err != nil {
+			fatalf("standing registration %d: %v", i, err)
+		}
+		ids = append(ids, info.ID)
+	}
+	return ids
 }
 
 // selfHost starts an in-process server on a loopback listener with
@@ -177,10 +226,29 @@ type Report struct {
 		Epsilon  float64  `json:"epsilon"`
 		Batch    int      `json:"batch"`
 	} `json:"config"`
-	DurationSeconds float64     `json:"durationSeconds"`
-	Queries         OpStats     `json:"queries"`
-	Ingest          IngestStats `json:"ingest"`
-	Budget          BudgetAudit `json:"budget"`
+	DurationSeconds float64        `json:"durationSeconds"`
+	Queries         OpStats        `json:"queries"`
+	Ingest          IngestStats    `json:"ingest"`
+	Budget          BudgetAudit    `json:"budget"`
+	Standing        *StandingAudit `json:"standing,omitempty"`
+}
+
+// StandingAudit is the continual-monitoring accounting cross-check
+// (-standing N): client-visible window charges vs the server's ledger.
+type StandingAudit struct {
+	Queries int `json:"queries"`
+	// Windows is the total windows fired across all standing queries
+	// (cursor positions, unaffected by result-ring eviction).
+	Windows uint64 `json:"windows"`
+	// Epsilon is the ledger-reported standing spend summed over the
+	// standing analysts.
+	Epsilon    float64 `json:"epsilon"`
+	Consistent bool    `json:"consistent"`
+	Detail     string  `json:"detail,omitempty"`
+	// Window fire latency from the server's reservoir (self-host only).
+	FireP50Ms  float64 `json:"fireP50Ms,omitempty"`
+	FireP99Ms  float64 `json:"fireP99Ms,omitempty"`
+	FireMeanMs float64 `json:"fireMeanMs,omitempty"`
 }
 
 // OpStats summarizes one operation class.
@@ -370,7 +438,7 @@ func pace(cfg runConfig, elapsed time.Duration, i int) time.Duration {
 // accounted server-side in both, so any mismatch is accounting drift
 // between the query path and the budget/dataset surfaces — exactly
 // the corruption a privacy deployment must never serve.
-func audit(r *Report, baseURL, dataset string, spends []analystSpend) {
+func audit(r *Report, baseURL, dataset string, spends []analystSpend, standingIDs []string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	var acked, serverSum float64
@@ -393,6 +461,8 @@ func audit(r *Report, baseURL, dataset string, spends []analystSpend) {
 				name, spent, sp.acked))
 		}
 	}
+	serverSum += auditStanding(r, ctx, baseURL, dataset, standingIDs)
+
 	c := dpclient.New(baseURL, "auditor")
 	infos, err := c.Datasets(ctx)
 	var total float64
@@ -418,6 +488,78 @@ func audit(r *Report, baseURL, dataset string, spends []analystSpend) {
 		AckedSpent: acked,
 		Detail:     strings.Join(drift, "; "),
 	}
+}
+
+// auditStanding reconciles each standing query's client-visible window
+// charges against the server's ledger and returns the standing
+// analysts' total server-side spend (folded into the dataset
+// TotalSpent comparison by the caller). Three surfaces must agree:
+// the per-window Charged/Spent trail in the result ring (internally
+// telescoping: Σ charged == last spend − spend before the ring), the
+// registration's cumulative Spent, and the analyst's /v1/budget view.
+func auditStanding(r *Report, ctx context.Context, baseURL, dataset string, ids []string) float64 {
+	if len(ids) == 0 {
+		return 0
+	}
+	sa := &StandingAudit{Queries: len(ids)}
+	r.Standing = sa
+	var drift []string
+	listed := map[string]api.StandingInfo{}
+	if infos, err := dpclient.New(baseURL, "auditor").ListStanding(ctx, dataset); err != nil {
+		drift = append(drift, fmt.Sprintf("standing list failed: %v", err))
+	} else {
+		for _, info := range infos {
+			listed[info.ID] = info
+		}
+	}
+	var serverSum float64
+	for i, id := range ids {
+		c := dpclient.New(baseURL, standingAnalyst(i))
+		info, ok := listed[id]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s missing from standing list", id))
+			continue
+		}
+		sa.Windows += info.NextWindow
+
+		out, err := c.StandingResults(ctx, dataset, id, 0, 0)
+		if err != nil {
+			drift = append(drift, fmt.Sprintf("%s: results fetch failed: %v", id, err))
+			continue
+		}
+		results, err := out.Decoded()
+		if err != nil {
+			drift = append(drift, fmt.Sprintf("%s: results decode failed: %v", id, err))
+			continue
+		}
+		if len(results) > 0 {
+			var charged float64
+			for _, w := range results {
+				charged += w.Charged
+			}
+			first, last := results[0], results[len(results)-1]
+			if ringSpan := last.Spent - (first.Spent - first.Charged); math.Abs(charged-ringSpan) > 1e-6 {
+				drift = append(drift, fmt.Sprintf("%s: Σ window charges %.6f != ring spend span %.6f", id, charged, ringSpan))
+			}
+			if math.Abs(last.Spent-info.Spent) > 1e-6 {
+				drift = append(drift, fmt.Sprintf("%s: last window says %.6f spent, registration says %.6f", id, last.Spent, info.Spent))
+			}
+		}
+
+		spent, _, err := c.Budget(ctx, dataset)
+		if err != nil {
+			drift = append(drift, fmt.Sprintf("%s: budget fetch failed: %v", id, err))
+			continue
+		}
+		serverSum += spent
+		sa.Epsilon += spent
+		if math.Abs(spent-info.Spent) > 1e-6 {
+			drift = append(drift, fmt.Sprintf("%s: budget ledger says %.6f, registration says %.6f", id, spent, info.Spent))
+		}
+	}
+	sa.Consistent = len(drift) == 0
+	sa.Detail = strings.Join(drift, "; ")
+	return serverSum
 }
 
 func summarize(lat []time.Duration) LatSumm {
@@ -450,6 +592,10 @@ func writeBench(w *os.File, r Report) {
 	if r.Ingest.Count > 0 {
 		fmt.Fprintf(w, "BenchmarkServerIngest-1 %d %.0f ns/op %.1f batches/sec %.0f pps\n",
 			r.Ingest.Count, r.Ingest.Latency.Mean*1e6, r.Ingest.PerSecond, r.Ingest.RecordsPerSecond)
+	}
+	if r.Standing != nil && r.Standing.Windows > 0 {
+		fmt.Fprintf(w, "BenchmarkServerStandingWindow-1 %d %.0f ns/op %.3f p50-ms %.3f p99-ms\n",
+			r.Standing.Windows, r.Standing.FireMeanMs*1e6, r.Standing.FireP50Ms, r.Standing.FireP99Ms)
 	}
 }
 

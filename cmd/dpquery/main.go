@@ -30,6 +30,10 @@
 // The tool prints the remaining privacy budget after each query; a
 // refused query reports the budget error instead of an answer.
 //
+// `dpquery standing` is the continual-monitoring subcommand: register
+// a standing query against a dataset's ingest stream, follow its
+// per-window results, list registrations, and cancel. See standing.go.
+//
 // -explain additionally prints the query's execution profile — the
 // operator plan with per-step timings, execution strategies, and
 // per-aggregation ε accounting — at no extra privacy cost. In remote
@@ -55,6 +59,13 @@ import (
 )
 
 func main() {
+	// `dpquery standing ...` is the continual-monitoring subcommand
+	// (register / results / cancel / list); everything else is the
+	// classic one-shot flag surface.
+	if len(os.Args) > 1 && os.Args[1] == "standing" {
+		standingCmd(os.Args[2:])
+		return
+	}
 	tracePath := flag.String("trace", "", "packet trace file (local mode)")
 	server := flag.String("server", "", "dpserver base URL (remote mode)")
 	analyst := flag.String("analyst", "analyst", "analyst identity for remote queries")

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dptrace/internal/dpclient"
+	"dptrace/internal/dpserver/api"
+)
+
+// standingCmd is the `dpquery standing` subcommand: the analyst's CLI
+// for the continual-monitoring subsystem.
+//
+//	dpquery standing -server http://127.0.0.1:8080 -analyst alice \
+//	    -dataset hotspot -action register -query count -eps 0.05 \
+//	    -reservation 1.0 -width 1000
+//	dpquery standing -server ... -dataset hotspot -action results \
+//	    -id sq-1 -after 0 -wait 10s -follow
+//	dpquery standing -server ... -dataset hotspot -action list
+//	dpquery standing -server ... -dataset hotspot -action cancel -id sq-1
+func standingCmd(args []string) {
+	fs := flag.NewFlagSet("standing", flag.ExitOnError)
+	server := fs.String("server", "", "dpserver base URL (required)")
+	analyst := fs.String("analyst", "analyst", "analyst identity")
+	dataset := fs.String("dataset", "", "dataset name (required)")
+	action := fs.String("action", "register", "register, results, cancel, or list")
+	query := fs.String("query", "count", "query kind each window executes")
+	eps := fs.Float64("eps", 0.1, "privacy cost charged per window")
+	reservation := fs.Float64("reservation", 0, "total standing ε reservation (default 10 windows)")
+	width := fs.Uint64("width", 0, "record-sequence window width (exclusive with -every)")
+	stride := fs.Uint64("stride", 0, "sliding stride in records (0 = tumbling)")
+	every := fs.Duration("every", 0, "wall-clock window period (exclusive with -width)")
+	id := fs.String("id", "", "standing query id (minted by the server when empty)")
+	after := fs.Uint64("after", 0, "results: first window index to return")
+	wait := fs.Duration("wait", 0, "results: long-poll wait when no results are ready")
+	follow := fs.Bool("follow", false, "results: keep polling from the returned cursor")
+	minBytes := fs.Int("minbytes", 0, "hosts query: per-host byte threshold")
+	key := fs.String("key", "", "srcfreq query: target source IP")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-call deadline")
+	_ = fs.Parse(args)
+
+	if *server == "" || *dataset == "" {
+		fmt.Fprintln(os.Stderr, "dpquery standing: -server and -dataset are required")
+		os.Exit(2)
+	}
+	c := dpclient.New(*server, *analyst, dpclient.WithTimeout(*timeout))
+	ctx := context.Background()
+
+	switch *action {
+	case "register":
+		res := *reservation
+		if res == 0 {
+			res = *eps * 10
+		}
+		info, err := c.RegisterStanding(ctx, *dataset, api.StandingRequest{
+			Query: *query, Epsilon: *eps, Reservation: res, ID: *id,
+			Window: api.StandingWindow{
+				Width: *width, Stride: *stride,
+				EveryMs: every.Milliseconds(),
+			},
+			MinBytes: *minBytes, Key: *key,
+		})
+		report(err)
+		fmt.Printf("registered %s: %s every %s at ε=%g per window (reservation %g, base %d)\n",
+			info.ID, info.Query, windowDesc(info.Window), info.Epsilon, info.Reservation, info.Base)
+
+	case "results":
+		if *id == "" {
+			fmt.Fprintln(os.Stderr, "dpquery standing: -id is required for -action results")
+			os.Exit(2)
+		}
+		cursor := *after
+		for {
+			out, err := c.StandingResults(ctx, *dataset, *id, cursor, wait.Milliseconds())
+			report(err)
+			decoded, err := out.Decoded()
+			report(err)
+			for _, r := range decoded {
+				printStandingResult(r)
+			}
+			cursor = out.NextWindow
+			if !*follow || out.Status != "active" {
+				if out.Status != "active" {
+					fmt.Printf("status: %s\n", out.Status)
+				}
+				return
+			}
+		}
+
+	case "cancel":
+		if *id == "" {
+			fmt.Fprintln(os.Stderr, "dpquery standing: -id is required for -action cancel")
+			os.Exit(2)
+		}
+		info, already, err := c.CancelStanding(ctx, *dataset, *id)
+		report(err)
+		if already {
+			fmt.Printf("%s was already canceled (spent %g of %g)\n", info.ID, info.Spent, info.Reservation)
+		} else {
+			fmt.Printf("canceled %s after %d windows (spent %g of %g)\n",
+				info.ID, info.NextWindow, info.Spent, info.Reservation)
+		}
+
+	case "list":
+		infos, err := c.ListStanding(ctx, *dataset)
+		report(err)
+		if len(infos) == 0 {
+			fmt.Println("no standing queries")
+			return
+		}
+		for _, info := range infos {
+			fmt.Printf("%-12s %-12s %-10s every %-12s ε=%-8g spent %g/%g next window %d\n",
+				info.ID, info.Query, info.Status, windowDesc(info.Window),
+				info.Epsilon, info.Spent, info.Reservation, info.NextWindow)
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "dpquery standing: unknown action %q (register, results, cancel, list)\n", *action)
+		os.Exit(2)
+	}
+}
+
+// windowDesc renders a window spec for humans.
+func windowDesc(w api.StandingWindow) string {
+	if w.EveryMs > 0 {
+		return time.Duration(w.EveryMs * int64(time.Millisecond)).String()
+	}
+	if w.Stride > 0 && w.Stride != w.Width {
+		return fmt.Sprintf("%d records (stride %d)", w.Width, w.Stride)
+	}
+	return fmt.Sprintf("%d records", w.Width)
+}
+
+// printStandingResult renders one window result line.
+func printStandingResult(r api.StandingResult) {
+	switch r.Outcome {
+	case "ok":
+		if len(r.Values) == 1 {
+			fmt.Printf("window %d [%d,%d): %.1f (charged ε=%g, spent %g)\n",
+				r.Window, r.Start, r.End, r.Values[0], r.Charged, r.Spent)
+			return
+		}
+		fmt.Printf("window %d [%d,%d): charged ε=%g, spent %g\n",
+			r.Window, r.Start, r.End, r.Charged, r.Spent)
+		for i, v := range r.Values {
+			if i < len(r.Buckets) {
+				fmt.Printf("  %d %.1f\n", r.Buckets[i], v)
+			} else {
+				fmt.Printf("  [%d] %.1f\n", i, v)
+			}
+		}
+	default:
+		fmt.Printf("window %d [%d,%d): %s: %s\n", r.Window, r.Start, r.End, r.Outcome, r.Error)
+	}
+}

@@ -120,6 +120,10 @@ func (a *RootAgent) restoreSpent(spent float64) {
 // journaled before it is acknowledged: a journal failure refuses the
 // charge, so an acked charge is never lost to a crash.
 func (a *RootAgent) Apply(epsilon float64) error {
+	return a.apply(epsilon, true)
+}
+
+func (a *RootAgent) apply(epsilon float64, journaled bool) error {
 	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
 		return ErrInvalidEpsilon
 	}
@@ -128,7 +132,7 @@ func (a *RootAgent) Apply(epsilon float64) error {
 	if a.spent+epsilon > a.budget+budgetSlack {
 		return fmt.Errorf("%w: requested %v, remaining %v", ErrBudgetExceeded, epsilon, a.budget-a.spent)
 	}
-	if a.journal != nil {
+	if journaled && a.journal != nil {
 		if err := a.journal.JournalSpend(epsilon); err != nil {
 			return fmt.Errorf("%w: %v", ErrJournal, err)
 		}
@@ -139,9 +143,13 @@ func (a *RootAgent) Apply(epsilon float64) error {
 
 // Rollback implements Agent.
 func (a *RootAgent) Rollback(epsilon float64) {
+	a.rollback(epsilon, true)
+}
+
+func (a *RootAgent) rollback(epsilon float64, journaled bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.journal != nil {
+	if journaled && a.journal != nil {
 		a.journal.JournalRollback(epsilon)
 	}
 	a.spent -= epsilon
@@ -149,6 +157,18 @@ func (a *RootAgent) Rollback(epsilon float64) {
 		a.spent = 0
 	}
 }
+
+// silentRoot is a view of a RootAgent whose charges bypass the spend
+// journal: same budget bound, same spent accumulator, no per-charge
+// journal traffic. The standing-query scheduler charges through it —
+// it journals each window's charge and cursor as ONE atomic ledger
+// event, so a separate per-charge journal record would double-count
+// the ε on replay (and a crash between the two records could charge a
+// window without advancing its cursor).
+type silentRoot struct{ root *RootAgent }
+
+func (a silentRoot) Apply(epsilon float64) error { return a.root.apply(epsilon, false) }
+func (a silentRoot) Rollback(epsilon float64)    { a.root.rollback(epsilon, false) }
 
 // Spent reports the cumulative privacy cost charged so far.
 func (a *RootAgent) Spent() float64 {

@@ -61,6 +61,18 @@ func (p *AnalystPolicy) AgentFor(analyst string) Agent {
 	return newDualAgent(p.analystRoot(analyst), p.total)
 }
 
+// SilentAgentFor is AgentFor with journal suppression: accepted
+// charges move the same in-memory ledgers (the analyst's cap and the
+// shared total, atomically) but skip the per-charge spend journal.
+// The caller owns durability for these spends. The standing-query
+// scheduler is the intended user: each window's measured charge is
+// journaled together with its cursor advance as one atomic
+// standing_window event, whose replay folds the same ε into the same
+// per-analyst and total sums.
+func (p *AnalystPolicy) SilentAgentFor(analyst string) Agent {
+	return newDualAgent(silentRoot{p.analystRoot(analyst)}, silentRoot{p.total})
+}
+
 func (p *AnalystPolicy) analystRoot(analyst string) *RootAgent {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -1,0 +1,96 @@
+package dpclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"dptrace/internal/dpserver/api"
+)
+
+// This file is the analyst's side of the standing-query subsystem:
+// register a continual query against a dataset's ingest stream, poll
+// its per-window results (long-poll via the after cursor), and cancel
+// it. Registration auto-attaches an idempotency key like every other
+// budget-affecting call, so retries never register twice.
+
+// RegisterStanding registers a standing query. The analyst field is
+// filled in by the client; an idempotency key is attached when the
+// request carries none. The returned info carries the server-minted ID
+// (when req.ID was empty) — keep it, every other standing call needs
+// it.
+func (c *Client) RegisterStanding(ctx context.Context, dataset string, req api.StandingRequest) (*api.StandingInfo, error) {
+	req.Analyst = c.analyst
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = NewIdempotencyKey()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: encoding request: %w", err)
+	}
+	out, err := c.call(ctx, http.MethodPost, "/v1/standing/"+url.PathEscape(dataset), body)
+	if err != nil {
+		return nil, err
+	}
+	var reg api.StandingRegistered
+	if err := json.Unmarshal(out, &reg); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding registration: %w", err)
+	}
+	return &reg.Info, nil
+}
+
+// ListStanding lists a dataset's standing queries in registration
+// order.
+func (c *Client) ListStanding(ctx context.Context, dataset string) ([]api.StandingInfo, error) {
+	out, err := c.call(ctx, http.MethodGet, "/v1/standing/"+url.PathEscape(dataset), nil)
+	if err != nil {
+		return nil, err
+	}
+	var list api.StandingList
+	if err := json.Unmarshal(out, &list); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding standing list: %w", err)
+	}
+	return list.Queries, nil
+}
+
+// StandingResults fetches one standing query's window results with
+// index >= after, oldest first. wait > 0 long-polls: an empty result
+// set blocks server-side until a window commits, the query stops, or
+// wait expires (the server caps the wait at 30s). The response's
+// NextWindow is the cursor for the next poll.
+func (c *Client) StandingResults(ctx context.Context, dataset, id string, after uint64, waitMs int64) (*api.StandingResults, error) {
+	path := fmt.Sprintf("/v1/standing/%s/%s/results?after=%s",
+		url.PathEscape(dataset), url.PathEscape(id),
+		strconv.FormatUint(after, 10))
+	if waitMs > 0 {
+		path += "&waitMs=" + strconv.FormatInt(waitMs, 10)
+	}
+	out, err := c.call(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	var res api.StandingResults
+	if err := json.Unmarshal(out, &res); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding standing results: %w", err)
+	}
+	return &res, nil
+}
+
+// CancelStanding stops a standing query: its windows stop firing, its
+// spend history and result ring stay readable. Canceling twice is an
+// idempotent no-op (alreadyCanceled=true).
+func (c *Client) CancelStanding(ctx context.Context, dataset, id string) (*api.StandingInfo, bool, error) {
+	path := fmt.Sprintf("/v1/standing/%s/%s", url.PathEscape(dataset), url.PathEscape(id))
+	out, err := c.call(ctx, http.MethodDelete, path, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	var cr api.StandingCanceled
+	if err := json.Unmarshal(out, &cr); err != nil {
+		return nil, false, fmt.Errorf("dpclient: decoding cancel: %w", err)
+	}
+	return &cr.Info, cr.AlreadyCanceled, nil
+}

@@ -1,0 +1,154 @@
+package api
+
+import "encoding/json"
+
+// Standing-query wire types: the /v1/standing/{dataset} family.
+
+// StandingWindow is a registration's window specification. Exactly one
+// of Width (record-sequence window, with optional Stride for sliding)
+// or EveryMs (wall-clock tumbling window, resolved to record-sequence
+// watermarks at ingest batch apply) must be set.
+type StandingWindow struct {
+	// Width is the window width in records; window i covers records
+	// [base+i·stride, base+i·stride+width) of the dataset's monotonic
+	// record watermark, where base is the watermark at registration.
+	Width uint64 `json:"width,omitempty"`
+	// Stride is the sliding step in records; 0 or == Width is a
+	// tumbling window. Overlapping windows each charge the full
+	// per-window epsilon (releases compose sequentially).
+	Stride uint64 `json:"stride,omitempty"`
+	// EveryMs is the wall-clock period in milliseconds; a window
+	// closes at the first ingest batch apply at least EveryMs after
+	// the previous close and covers the records since then.
+	EveryMs int64 `json:"everyMs,omitempty"`
+}
+
+// StandingRequest registers a standing query against a dataset. The
+// query-parameter fields (Filter, MinBytes, BucketStep, Fraction,
+// SketchEps, Key) mirror QueryRequest and apply to every window
+// execution.
+type StandingRequest struct {
+	Analyst string `json:"analyst"`
+	// Query is the query kind, from GET /v1/kinds (packet kinds).
+	Query string `json:"query"`
+	// Epsilon is charged per fired window.
+	Epsilon float64 `json:"epsilon"`
+	// Reservation is the total standing budget: once the sum of
+	// window charges would exceed it, the query stops (status
+	// "exhausted") without charging the refused window.
+	Reservation float64        `json:"reservation"`
+	Window      StandingWindow `json:"window"`
+	// ID optionally names the registration (1-64 chars of
+	// [A-Za-z0-9._-]); empty mints "sq-N".
+	ID string `json:"id,omitempty"`
+
+	Filter     *Filter `json:"filter,omitempty"`
+	MinBytes   int     `json:"minBytes,omitempty"`
+	BucketStep int64   `json:"bucketStep,omitempty"`
+	Fraction   float64 `json:"fraction,omitempty"`
+	SketchEps  float64 `json:"sketchEps,omitempty"`
+	Key        string  `json:"key,omitempty"`
+
+	// IdempotencyKey makes the registration safely retryable: a retry
+	// with the same key replays the original response instead of
+	// registering twice.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
+}
+
+// StandingInfo describes one registration and its live schedule state.
+type StandingInfo struct {
+	ID      string         `json:"id"`
+	Dataset string         `json:"dataset"`
+	Analyst string         `json:"analyst"`
+	Query   string         `json:"query"`
+	Epsilon float64        `json:"epsilon"`
+	Window  StandingWindow `json:"window"`
+	// Base is the dataset record watermark at registration; records
+	// ingested before it are never windowed.
+	Base        uint64  `json:"base"`
+	Reservation float64 `json:"reservation"`
+	// Spent is the cumulative ε charged by this query's fired windows.
+	Spent float64 `json:"spent"`
+	// NextWindow is the index of the next window to fire.
+	NextWindow uint64 `json:"nextWindow"`
+	// Status is "active", "exhausted", or "canceled".
+	Status string `json:"status"`
+	// Results is how many window results the bounded ring holds.
+	Results int `json:"results"`
+}
+
+// StandingList is the GET /v1/standing/{dataset} response.
+type StandingList struct {
+	Dataset string         `json:"dataset"`
+	Queries []StandingInfo `json:"queries"`
+}
+
+// StandingResult is one fired window's outcome, in the shape of a
+// QueryResponse plus window coordinates. For outcome "ok" the noisy
+// result fields are populated; "exhausted" and "error" windows carry
+// Error and zero Charged ε ("error" windows still charge — the noisy
+// computation may have partially run; see Charged).
+type StandingResult struct {
+	ID string `json:"id"`
+	// Window is the fired window's index; Start/End its record-
+	// sequence bounds [Start, End) on the dataset watermark.
+	Window uint64 `json:"window"`
+	Start  uint64 `json:"start"`
+	End    uint64 `json:"end"`
+	// Outcome is "ok", "exhausted", or "error".
+	Outcome string `json:"outcome"`
+	// Charged is the ε actually charged for this window (0 for a
+	// refused "exhausted" window).
+	Charged float64 `json:"charged"`
+	// Spent is the query's cumulative standing spend after this window.
+	Spent float64 `json:"spent"`
+	// Time is the fire wall time in Unix nanoseconds.
+	Time int64 `json:"time,omitempty"`
+
+	Values []float64 `json:"values,omitempty"`
+	// Buckets accompanies CDF kinds: the upper edge of each value.
+	Buckets  []int64 `json:"buckets,omitempty"`
+	NoiseStd float64 `json:"noiseStd,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// StandingResults is the GET /v1/standing/{dataset}/{id}/results
+// response. Results are oldest-first, filtered to window index >= the
+// "after" query parameter; with ?waitMs= the server long-polls until a
+// new window commits or the wait expires. Each element is one
+// StandingResult, carried as the exact bytes the window journaled —
+// replays (including across server restarts) are byte-identical.
+type StandingResults struct {
+	Dataset string `json:"dataset"`
+	ID      string `json:"id"`
+	Status  string `json:"status"`
+	// NextWindow is the poll cursor: pass it back as ?after= to see
+	// only windows this response did not include.
+	NextWindow uint64            `json:"nextWindow"`
+	Results    []json.RawMessage `json:"results"`
+}
+
+// Decoded unmarshals the raw results into StandingResult values.
+func (r *StandingResults) Decoded() ([]StandingResult, error) {
+	out := make([]StandingResult, 0, len(r.Results))
+	for _, raw := range r.Results {
+		var sr StandingResult
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			return nil, err
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// StandingRegistered is the POST /v1/standing/{dataset} response.
+type StandingRegistered struct {
+	Info StandingInfo `json:"info"`
+}
+
+// StandingCanceled is the DELETE /v1/standing/{dataset}/{id} response.
+type StandingCanceled struct {
+	Info StandingInfo `json:"info"`
+	// AlreadyCanceled reports an idempotent repeat cancel.
+	AlreadyCanceled bool `json:"alreadyCanceled,omitempty"`
+}

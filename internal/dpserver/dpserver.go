@@ -63,6 +63,7 @@ import (
 	"dptrace/internal/noise"
 	"dptrace/internal/obs"
 	"dptrace/internal/obs/qlog"
+	"dptrace/internal/standing"
 	"dptrace/internal/toolkit"
 	"dptrace/internal/trace"
 )
@@ -122,6 +123,11 @@ type Server struct {
 	ingestMu     sync.Mutex
 	ingestPipe   *ingest.Pipeline
 	ingestClosed bool
+
+	// standing is the continual-monitoring subsystem (see standing.go):
+	// registered standing queries fire on deterministic window
+	// boundaries as ingest advances each dataset's record watermark.
+	standing *standing.Registry
 
 	// log is the deprecated printf mirror (WithLogf): Warn+ events are
 	// rendered to it as text lines. Nil discards them.
@@ -184,6 +190,14 @@ type dataset struct {
 	// ingestedBatches counts batches applied via /v1/ingest (guarded
 	// by s.mu like packets).
 	ingestedBatches uint64
+	// watermark is the dataset's monotonic record-sequence counter:
+	// the registration packets plus every ingested record, advanced
+	// exactly once per batch at ingest apply (guarded by s.mu). It is
+	// the single clock standing-query windows and the /v1/datasets
+	// record count read — on the live server it always equals
+	// len(packets), but the watermark is the contractual stream
+	// position while the slice length is an implementation detail.
+	watermark uint64
 }
 
 // New creates a server drawing noise from src (pass
@@ -204,6 +218,7 @@ func New(src noise.Source, opts ...ServerOption) *Server {
 		idem:     newIdemCache(),
 		events:   qlog.New(qlog.Options{}),
 	}
+	s.standing = s.newStandingRegistry()
 	for _, opt := range opts {
 		if opt != nil {
 			opt(s)
@@ -235,6 +250,10 @@ func New(src noise.Source, opts ...ServerOption) *Server {
 			return 1
 		}
 		return 0
+	})
+	// Standing queries currently firing windows (any dataset).
+	s.metrics.GaugeFunc("dp_standing_active", func() float64 {
+		return float64(s.standing.Active())
 	})
 	return s
 }
@@ -299,13 +318,15 @@ func (s *Server) AddPacketTrace(name string, packets []trace.Packet, totalBudget
 		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
 	d := &dataset{
-		packets: packets,
-		policy:  core.NewAnalystPolicy(totalBudget, perAnalystBudget),
+		packets:   packets,
+		policy:    core.NewAnalystPolicy(totalBudget, perAnalystBudget),
+		watermark: uint64(len(packets)),
 	}
 	if err := s.registerDataset(name, kindPacket, d.policy, totalBudget, perAnalystBudget); err != nil {
 		return err
 	}
 	s.datasets[name] = d
+	s.restoreStanding(name)
 	d.policy.RegisterGauges(s.metrics, "dataset", name)
 	return nil
 }
@@ -372,6 +393,10 @@ var routeTable = []Route{
 	{Method: "POST", Path: "/query/loadmatrix", Legacy: true, query: true, handler: func(s *Server) http.HandlerFunc { return s.handleLoadMatrix }},
 	{Method: "POST", Path: "/query/monitoravgs", Legacy: true, query: true, handler: func(s *Server) http.HandlerFunc { return s.handleMonitorAverages }},
 	{Method: "POST", Path: "/ingest/{dataset}", handler: func(s *Server) http.HandlerFunc { return s.handleIngest }},
+	{Method: "POST", Path: "/standing/{dataset}", query: true, handler: func(s *Server) http.HandlerFunc { return s.handleStandingRegister }},
+	{Method: "GET", Path: "/standing/{dataset}", handler: func(s *Server) http.HandlerFunc { return s.handleStandingList }},
+	{Method: "DELETE", Path: "/standing/{dataset}/{id}", query: true, handler: func(s *Server) http.HandlerFunc { return s.handleStandingCancel }},
+	{Method: "GET", Path: "/standing/{dataset}/{id}/results", handler: func(s *Server) http.HandlerFunc { return s.handleStandingResults }},
 	{Method: "GET", Path: "/metrics", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleMetrics }},
 	{Method: "GET", Path: "/healthz", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleHealthz }},
 	{Method: "GET", Path: "/readyz", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleReadyz }},
@@ -456,10 +481,12 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	infos := make([]DatasetInfo, 0, len(s.datasets))
 	for name, d := range s.datasets {
 		info := DatasetInfo{
-			Name:            name,
-			TotalSpent:      d.policy.TotalSpent(),
-			TotalRemaining:  finiteOrUnlimited(d.policy.TotalRemaining()),
-			Records:         len(d.packets),
+			Name:           name,
+			TotalSpent:     d.policy.TotalSpent(),
+			TotalRemaining: finiteOrUnlimited(d.policy.TotalRemaining()),
+			// The record count IS the watermark: the same monotonic
+			// counter standing-query windows are defined against.
+			Records:         int(d.watermark),
 			IngestedBatches: d.ingestedBatches,
 		}
 		for analyst, spent := range d.policy.PerAnalystSpent() {
@@ -510,6 +537,14 @@ func (s *Server) execFor(d *dataset) core.ExecOptions {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return d.exec
+}
+
+// watermark reads a dataset's record-sequence position under the
+// server lock.
+func (s *Server) watermark(d *dataset) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return d.watermark
 }
 
 // snapshotPackets captures the dataset's record slice under the read

@@ -105,10 +105,19 @@ func (s *Server) ingestTarget(name string) (ingest.Kind, func(ingest.Decoded) (i
 	if d := s.datasets[name]; d != nil {
 		return ingest.KindPacket, func(dec ingest.Decoded) (ingestApplied, error) {
 			s.mu.Lock()
-			defer s.mu.Unlock()
 			d.packets = append(d.packets, dec.Packets...)
+			d.watermark += uint64(len(dec.Packets))
 			d.ingestedBatches++
-			return ingestApplied{len(dec.Packets), len(d.packets), d.ingestedBatches}, nil
+			applied := ingestApplied{len(dec.Packets), len(d.packets), d.ingestedBatches}
+			mark := d.watermark
+			s.mu.Unlock()
+			// Standing windows fire here, on the pipeline's single
+			// appender goroutine, after the batch is visible and before
+			// it is ACKed: window execution order is the batch apply
+			// order, so the same record sequence produces the same
+			// results regardless of how batches chunk it.
+			s.standing.Advance(name, mark)
+			return applied, nil
 		}, true
 	}
 	if d := s.linkSets[name]; d != nil {

@@ -1,0 +1,488 @@
+package dpserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dptrace/internal/core"
+	"dptrace/internal/dpserver/api"
+	"dptrace/internal/ledger"
+	"dptrace/internal/obs/qlog"
+	"dptrace/internal/standing"
+)
+
+// This file is the server side of the standing-query subsystem
+// (internal/standing): registration, cancellation, result polling, and
+// — the heart of it — the Fire callback that executes one due window
+// on the frozen snapshot machinery, charges exactly the per-window ε
+// through the analyst policy, and journals the atomic
+// charge-plus-cursor standing_window event.
+//
+// The budget invariants:
+//
+//   - ε-parity with one-shot queries: a window executes through the
+//     same runQuery dispatch, over a frozen snapshot slice of the
+//     dataset, drawing from the same noise source — its noise draws
+//     and ε-charges are byte-identical to an equivalent one-shot query
+//     over the same records at the same point in the draw sequence.
+//   - Atomic charge-plus-cursor: the window's measured charge moves
+//     the in-memory policy through a journal-suppressed agent
+//     (core.AnalystPolicy.SilentAgentFor), then ONE standing_window
+//     ledger event carries both the charge and the cursor advance. A
+//     crash can never charge a window without advancing past it, nor
+//     advance past a window without its charge. If the journal append
+//     fails, the in-memory charge is rolled back and the window stays
+//     due (fail closed).
+//   - Reservation drip: before executing, the query's cumulative
+//     standing spend plus one window's ε is checked against its total
+//     reservation; an overdraw refuses the window at zero charge with
+//     outcome "exhausted" and stops the query. The refusal is
+//     data-independent (it depends only on the registered ε schedule).
+
+// maxStandingWaitMs caps the results long-poll.
+const maxStandingWaitMs = 30_000
+
+// reservationSlack mirrors the core budget comparison tolerance: a
+// replayed history must land on the same refusal boundary as the live
+// run, so the boundary itself tolerates float accumulation error.
+const reservationSlack = 1e-9
+
+// newStandingRegistry builds the server's registry; called from New.
+func (s *Server) newStandingRegistry() *standing.Registry {
+	return standing.NewRegistry(standing.Config{
+		Fire:    s.fireStandingWindow,
+		RingCap: ledger.StandingRingCap,
+	})
+}
+
+// StandingStats exposes the registry's counters and fire-latency
+// percentiles (the bench-server standing row reads it).
+func (s *Server) StandingStats() standing.Stats { return s.standing.Stats() }
+
+// meteredAgent wraps a budget agent and accumulates the net ε applied
+// through it — the race-free way to measure what one window execution
+// charged (a SpentBy delta would count concurrent one-shot queries by
+// the same analyst). It sits at the top of the query's agent tree, so
+// scaled charges (e.g. GroupBy's ×2) are measured as the roots see
+// them.
+type meteredAgent struct {
+	inner core.Agent
+	mu    sync.Mutex
+	net   float64
+}
+
+func (m *meteredAgent) Apply(epsilon float64) error {
+	if err := m.inner.Apply(epsilon); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.net += epsilon
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *meteredAgent) Rollback(epsilon float64) {
+	m.inner.Rollback(epsilon)
+	m.mu.Lock()
+	m.net -= epsilon
+	m.mu.Unlock()
+}
+
+func (m *meteredAgent) charged() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.net
+}
+
+// standingQueryRequest rebuilds the per-window QueryRequest from the
+// registration's stored request bytes.
+func standingQueryRequest(spec *standing.Spec) *QueryRequest {
+	var sr api.StandingRequest
+	_ = json.Unmarshal(spec.Request, &sr)
+	return &QueryRequest{
+		Analyst: spec.Analyst, Dataset: spec.Dataset, Query: spec.Kind,
+		Epsilon: spec.Epsilon, Filter: sr.Filter, MinBytes: sr.MinBytes,
+		BucketStep: sr.BucketStep, Fraction: sr.Fraction,
+		SketchEps: sr.SketchEps, Key: sr.Key,
+	}
+}
+
+// fireStandingWindow is the registry's Fire callback: execute, charge,
+// journal, commit — or return ok=false and leave the window due.
+func (s *Server) fireStandingWindow(q *standing.Query, w standing.Window) (standing.Result, bool) {
+	spec := q.Spec
+	start := time.Now()
+	if s.spendRefusal() != nil {
+		// Fail closed: no window fires while the ledger refuses
+		// appends. The cursor stays; a healthy ledger retries it.
+		return standing.Result{}, false
+	}
+	d, ok := s.lookup(spec.Dataset)
+	if !ok {
+		return standing.Result{}, false
+	}
+
+	res := standing.Result{Time: start.UnixNano()}
+	wire := api.StandingResult{
+		ID: spec.ID, Window: w.Index, Start: w.Start, End: w.End,
+		Time: res.Time,
+	}
+
+	spent := q.Spent()
+	if spent+spec.Epsilon > spec.Reservation+reservationSlack {
+		// The drip ran dry: refuse before executing, charge nothing.
+		res.Outcome = standing.OutcomeExhausted
+		res.Exhausts = true
+		wire.Outcome = res.Outcome
+		wire.Spent = spent
+		wire.Error = fmt.Sprintf("standing reservation exhausted: spent %v of %v, next window needs %v",
+			spent, spec.Reservation, spec.Epsilon)
+	} else {
+		agent := &meteredAgent{inner: d.policy.SilentAgentFor(spec.Analyst)}
+		snap := s.snapshotPackets(d)
+		if uint64(len(snap)) < w.End {
+			// The snapshot has not caught up to the window's end — only
+			// possible outside the ingest-apply call path (e.g. a
+			// restarted server whose records have not been re-ingested
+			// yet). Not due in any meaningful sense; leave it.
+			return standing.Result{}, false
+		}
+		qry := core.NewQueryableFor(snap[w.Start:w.End], core.Agent(agent), s.src).
+			WithExecOptions(s.execFor(d))
+		resp, err := runQuery(qry, standingQueryRequest(&spec))
+		res.Charged = agent.charged()
+		wire.Charged = res.Charged
+		wire.Spent = spent + res.Charged
+		switch {
+		case err == nil:
+			res.Outcome = standing.OutcomeOK
+			wire.Outcome = res.Outcome
+			wire.Values, wire.Buckets, wire.NoiseStd = resp.Values, resp.Buckets, resp.NoiseStd
+		case isBudgetExceeded(err):
+			// The analyst's policy (per-analyst cap or shared total)
+			// refused: budgets only ever shrink, so the query can never
+			// succeed again — stop it like a reservation overdraw.
+			res.Outcome = standing.OutcomeExhausted
+			res.Exhausts = true
+			wire.Outcome = res.Outcome
+			wire.Error = err.Error()
+		default:
+			res.Outcome = standing.OutcomeError
+			wire.Outcome = res.Outcome
+			wire.Error = err.Error()
+		}
+	}
+
+	body, _ := json.Marshal(wire)
+	res.Body = body
+	if s.ledger != nil {
+		err := s.ledger.Append(ledger.Event{
+			Type: ledger.EventStandingWindow, Dataset: spec.Dataset,
+			Analyst: spec.Analyst, Standing: spec.ID,
+			Window: w.Index, WindowStart: w.Start, Watermark: w.End,
+			Charged: res.Charged, Outcome: res.Outcome, Body: body,
+		})
+		if err != nil {
+			// The charge could not be made durable: undo the in-memory
+			// silent charge and leave the window due. The ledger has
+			// degraded, so the fail-closed gate blocks further fires.
+			if res.Charged > 0 {
+				d.policy.SilentAgentFor(spec.Analyst).Rollback(res.Charged)
+			}
+			s.event(qlog.Error, "standing_window_unjournaled",
+				qlog.F("dataset", spec.Dataset), qlog.F("standing", spec.ID),
+				qlog.F("window", w.Index), qlog.F("error", err.Error()))
+			return standing.Result{}, false
+		}
+	}
+
+	s.metrics.Counter("dp_standing_windows_total",
+		"dataset", spec.Dataset, "outcome", res.Outcome).Inc()
+	if res.Charged > 0 {
+		s.metrics.Counter("dp_standing_epsilon_total", "dataset", spec.Dataset).
+			Add(res.Charged)
+	}
+	s.event(qlog.Info, "standing_window",
+		qlog.F("dataset", spec.Dataset), qlog.F("standing", spec.ID),
+		qlog.F("analyst", spec.Analyst), qlog.F("query", spec.Kind),
+		qlog.F("window", w.Index), qlog.F("start", w.Start), qlog.F("end", w.End),
+		qlog.F("outcome", res.Outcome), qlog.F("charged_epsilon", res.Charged),
+		qlog.F("spent", spent+res.Charged),
+		qlog.F("duration_ms", durationMs(time.Since(start))))
+	if res.Exhausts {
+		s.event(qlog.Warn, "standing_exhausted",
+			qlog.F("dataset", spec.Dataset), qlog.F("standing", spec.ID),
+			qlog.F("analyst", spec.Analyst),
+			qlog.F("spent", spent+res.Charged),
+			qlog.F("reservation", spec.Reservation))
+	}
+	s.ensureAnalystGauge(spec.Dataset, spec.Analyst, d.policy)
+	return res, true
+}
+
+// isBudgetExceeded reports whether err is the policy's refusal.
+func isBudgetExceeded(err error) bool {
+	return errors.Is(err, core.ErrBudgetExceeded)
+}
+
+// restoreStanding re-installs a dataset's persisted standing queries in
+// registration (ledger seq) order. Called from registerDataset's
+// restore path, under s.mu; the registry has its own lock.
+func (s *Server) restoreStanding(name string) {
+	if s.ledger == nil {
+		return
+	}
+	state := s.ledger.State()
+	var entries []*ledger.StandingState
+	for _, st := range state.Standing {
+		if st.Dataset == name {
+			entries = append(entries, st)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
+	for _, st := range entries {
+		results := make([]standing.Result, 0, len(st.Windows))
+		for _, w := range st.Windows {
+			results = append(results, standing.Result{
+				Window:  standing.Window{Index: w.Window, Start: w.Start, End: w.End},
+				Outcome: w.Outcome, Charged: w.Charged, Body: w.Body, Time: w.Time,
+			})
+		}
+		var lastFire time.Time
+		if st.LastFireNS != 0 {
+			lastFire = time.Unix(0, st.LastFireNS)
+		}
+		_, err := s.standing.Restore(standing.Spec{
+			Dataset: st.Dataset, Analyst: st.Analyst, ID: st.ID,
+			Kind: st.Kind, Epsilon: st.Epsilon, Reservation: st.Reservation,
+			Width: st.Width, Stride: st.Stride, EveryMs: st.EveryMs,
+			Base: st.Base, Request: st.Request,
+		}, standing.Restored{
+			NextWindow: st.NextWindow, LastMark: st.LastMark,
+			LastFire: lastFire, Spent: st.Spent,
+			Status: standing.Status(st.Status), Results: results,
+		})
+		if err != nil {
+			// A persisted registration the live registry refuses is a
+			// ledger/server version skew, not corruption: say so and
+			// keep the rest.
+			s.event(qlog.Error, "standing_restore_failed",
+				qlog.F("dataset", st.Dataset), qlog.F("standing", st.ID),
+				qlog.F("error", err.Error()))
+			continue
+		}
+		s.event(qlog.Info, "standing_restored",
+			qlog.F("dataset", st.Dataset), qlog.F("standing", st.ID),
+			qlog.F("next_window", st.NextWindow), qlog.F("spent", st.Spent),
+			qlog.F("status", st.Status))
+	}
+}
+
+// standingInfo renders one query's live state on the wire.
+func standingInfo(snap standing.Snapshot) api.StandingInfo {
+	return api.StandingInfo{
+		ID: snap.Spec.ID, Dataset: snap.Spec.Dataset,
+		Analyst: snap.Spec.Analyst, Query: snap.Spec.Kind,
+		Epsilon: snap.Spec.Epsilon,
+		Window: api.StandingWindow{
+			Width: snap.Spec.Width, Stride: snap.Spec.Stride,
+			EveryMs: snap.Spec.EveryMs,
+		},
+		Base: snap.Spec.Base, Reservation: snap.Spec.Reservation,
+		Spent: snap.Spent, NextWindow: snap.NextWindow,
+		Status: string(snap.Status), Results: snap.Windows,
+	}
+}
+
+// handleStandingRegister is POST /v1/standing/{dataset}: admit one
+// standing query. Behind the admission lifecycle (it journals and will
+// spend budget on every window) and the idempotency cache (a retried
+// registration must not register twice).
+func (s *Server) handleStandingRegister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("dataset")
+	var req api.StandingRequest
+	if err := jsonDecoder(r).Decode(&req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: "bad request: " + err.Error()})
+		return
+	}
+	if req.Analyst == "" {
+		s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: "analyst is required"})
+		return
+	}
+	if !api.KnownQueryKind(req.Query) {
+		s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest,
+			Message: fmt.Sprintf("unknown query %q (%s)", req.Query, api.PacketQueryKindList())})
+		return
+	}
+	d, ok := s.lookup(name)
+	if !ok {
+		// Standing queries run the packet-kind dispatch; link/hop
+		// datasets are not windowable (their records are pre-binned).
+		s.writeError(w, r, http.StatusNotFound, apiError{Code: codeNotFound,
+			Message: fmt.Sprintf("unknown packet dataset %q", name)})
+		return
+	}
+	s.serveIdempotent(w, r, name, req.Analyst, req.IdempotencyKey,
+		func(ctx context.Context) (int, []byte, bool) {
+			return s.executeStandingRegister(d, name, &req)
+		})
+}
+
+// executeStandingRegister registers under the current watermark.
+func (s *Server) executeStandingRegister(d *dataset, name string, req *api.StandingRequest) (int, []byte, bool) {
+	stored, _ := json.Marshal(req)
+	spec := standing.Spec{
+		Dataset: name, Analyst: req.Analyst, ID: req.ID, Kind: req.Query,
+		Epsilon: req.Epsilon, Reservation: req.Reservation,
+		Width: req.Window.Width, Stride: req.Window.Stride,
+		EveryMs: req.Window.EveryMs,
+		Base:    s.watermark(d), Request: stored,
+	}
+	q, err := s.standing.Register(spec, func(sp standing.Spec) error {
+		if s.ledger == nil {
+			return nil
+		}
+		return s.ledger.Append(ledger.Event{
+			Type: ledger.EventStandingRegistered, Dataset: sp.Dataset,
+			Analyst: sp.Analyst, Standing: sp.ID, Query: sp.Kind,
+			Epsilon: sp.Epsilon, Reservation: sp.Reservation,
+			Width: sp.Width, Stride: sp.Stride, EveryMs: sp.EveryMs,
+			Base: sp.Base, Body: sp.Request,
+		})
+	})
+	if err != nil {
+		status, ae := classify(err, finiteOrUnlimited(d.policy.RemainingFor(req.Analyst)), 0)
+		return status, marshalError(true, ae), false
+	}
+	snap := q.Snapshot()
+	s.metrics.Counter("dp_standing_queries_total", "dataset", name).Inc()
+	s.event(qlog.Info, "standing_registered",
+		qlog.F("dataset", name), qlog.F("standing", snap.Spec.ID),
+		qlog.F("analyst", req.Analyst), qlog.F("query", req.Query),
+		qlog.F("epsilon", req.Epsilon), qlog.F("reservation", req.Reservation),
+		qlog.F("width", snap.Spec.Width), qlog.F("stride", snap.Spec.Stride),
+		qlog.F("every_ms", snap.Spec.EveryMs), qlog.F("base", snap.Spec.Base))
+	return http.StatusOK, marshalJSON(api.StandingRegistered{Info: standingInfo(snap)}), true
+}
+
+// handleStandingList is GET /v1/standing/{dataset}: the dataset's
+// registrations in registration order. Read-only.
+func (s *Server) handleStandingList(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("dataset")
+	if _, ok := s.lookup(name); !ok {
+		s.writeError(w, r, http.StatusNotFound, apiError{Code: codeNotFound,
+			Message: fmt.Sprintf("unknown packet dataset %q", name)})
+		return
+	}
+	list := api.StandingList{Dataset: name, Queries: []api.StandingInfo{}}
+	for _, q := range s.standing.List(name) {
+		list.Queries = append(list.Queries, standingInfo(q.Snapshot()))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleStandingCancel is DELETE /v1/standing/{dataset}/{id}. Behind
+// the admission lifecycle: cancellation journals, and a degraded
+// ledger must fail it closed like any other mutation.
+func (s *Server) handleStandingCancel(w http.ResponseWriter, r *http.Request) {
+	name, id := r.PathValue("dataset"), r.PathValue("id")
+	q, did, err := s.standing.Cancel(name, id, func(sp standing.Spec) error {
+		if s.ledger == nil {
+			return nil
+		}
+		return s.ledger.Append(ledger.Event{
+			Type: ledger.EventStandingCanceled, Dataset: sp.Dataset,
+			Analyst: sp.Analyst, Standing: sp.ID,
+		})
+	})
+	if err != nil {
+		if errors.Is(err, standing.ErrNotFound) {
+			s.writeError(w, r, http.StatusNotFound, apiError{Code: codeNotFound,
+				Message: fmt.Sprintf("no standing query %q on %q", id, name)})
+			return
+		}
+		status, ae := classify(err, 0, 0)
+		s.writeError(w, r, status, ae)
+		return
+	}
+	if did {
+		s.event(qlog.Info, "standing_canceled",
+			qlog.F("dataset", name), qlog.F("standing", id),
+			qlog.F("analyst", q.Spec.Analyst))
+	}
+	writeJSON(w, http.StatusOK, api.StandingCanceled{
+		Info: standingInfo(q.Snapshot()), AlreadyCanceled: !did,
+	})
+}
+
+// handleStandingResults is GET /v1/standing/{dataset}/{id}/results:
+// the query's recent window results, oldest first, from window index
+// ?after= (default 0). ?waitMs= long-polls: an empty result set waits
+// until a window commits, the query stops, the wait expires, or the
+// client disconnects. Read-only — polling spends nothing.
+func (s *Server) handleStandingResults(w http.ResponseWriter, r *http.Request) {
+	name, id := r.PathValue("dataset"), r.PathValue("id")
+	q, ok := s.standing.Get(name, id)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, apiError{Code: codeNotFound,
+			Message: fmt.Sprintf("no standing query %q on %q", id, name)})
+		return
+	}
+	var after uint64
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest,
+				Message: "after must be a non-negative integer"})
+			return
+		}
+		after = n
+	}
+	var deadline <-chan time.Time
+	if v := r.URL.Query().Get("waitMs"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			s.writeError(w, r, http.StatusBadRequest, apiError{Code: codeBadRequest,
+				Message: "waitMs must be a non-negative integer"})
+			return
+		}
+		if ms > maxStandingWaitMs {
+			ms = maxStandingWaitMs
+		}
+		if ms > 0 {
+			t := time.NewTimer(time.Duration(ms) * time.Millisecond)
+			defer t.Stop()
+			deadline = t.C
+		}
+	}
+	for {
+		results, status, next, updated := q.ResultsAfter(after)
+		if len(results) > 0 || status != standing.StatusActive || deadline == nil {
+			out := api.StandingResults{
+				Dataset: name, ID: id, Status: string(status),
+				NextWindow: next, Results: []json.RawMessage{},
+			}
+			for _, res := range results {
+				out.Results = append(out.Results, json.RawMessage(res.Body))
+			}
+			writeJSON(w, http.StatusOK, out)
+			return
+		}
+		select {
+		case <-updated:
+		case <-deadline:
+			deadline = nil
+		case <-r.Context().Done():
+			status, ae := classify(canceledBy(r.Context()), 0, 0)
+			s.writeError(w, r, status, ae)
+			return
+		}
+	}
+}

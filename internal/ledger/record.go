@@ -62,6 +62,23 @@ const (
 	// EventIdemReply stores a keyed idempotent response so a retry
 	// across a restart replays bytes instead of re-charging ε.
 	EventIdemReply = "idem_reply"
+	// EventStandingRegistered registers a standing (continual) query:
+	// its identity, window spec, per-window ε, and total reservation.
+	// Body carries the full registration request so a restarted server
+	// can rebuild the executable query.
+	EventStandingRegistered = "standing_registered"
+	// EventStandingWindow is one fired standing-query window — the
+	// atomic charge-plus-cursor record. Charged is folded into the
+	// dataset's per-analyst and total spends (window executions charge
+	// the policy in memory only, bypassing the per-charge journal; see
+	// core.AnalystPolicy.SilentAgentFor) and Window advances the
+	// query's cursor, so no crash can charge a window without advancing
+	// past it or advance past a window without its charge. Body carries
+	// the result bytes replayed into the bounded result ring.
+	EventStandingWindow = "standing_window"
+	// EventStandingCanceled marks a standing query canceled: its
+	// cursor stops, its spend history and result ring remain.
+	EventStandingCanceled = "standing_canceled"
 )
 
 // Event is one ledger record. Fields are a union across event types;
@@ -88,11 +105,26 @@ type Event struct {
 	Charged float64 `json:"charged,omitempty"`
 	Outcome string  `json:"outcome,omitempty"`
 
-	// idem_reply fields.
+	// idem_reply fields. Body is shared with the standing_* events
+	// (registration request / window result bytes).
 	Endpoint string `json:"endpoint,omitempty"`
 	Key      string `json:"key,omitempty"`
 	Status   int    `json:"status,omitempty"`
 	Body     []byte `json:"body,omitempty"`
+
+	// standing_* fields. Window boundaries are record-sequence
+	// positions on the dataset's monotonic watermark; index 0 is a
+	// valid window, distinguished by Type (only standing_window events
+	// carry a window index at all).
+	Standing    string  `json:"standing,omitempty"`    // standing query id
+	Window      uint64  `json:"window,omitempty"`      // fired window index
+	WindowStart uint64  `json:"windowStart,omitempty"` // window start (inclusive)
+	Watermark   uint64  `json:"watermark,omitempty"`   // window end (exclusive)
+	Width       uint64  `json:"width,omitempty"`       // record-count window width
+	Stride      uint64  `json:"stride,omitempty"`      // sliding stride (== width: tumbling)
+	EveryMs     int64   `json:"everyMs,omitempty"`     // wall-clock window period
+	Reservation float64 `json:"reservation,omitempty"` // total standing ε reservation
+	Base        uint64  `json:"base,omitempty"`        // watermark at registration
 	// Expires is the replay-cache expiry in Unix nanoseconds; expired
 	// entries are dropped during recovery and snapshotting.
 	Expires int64 `json:"expires,omitempty"`

@@ -21,6 +21,10 @@ type State struct {
 	Audit []AuditRecord `json:"audit,omitempty"`
 	// Idem maps idemKeyString() to stored idempotent replies.
 	Idem map[string]*IdemRecord `json:"idem,omitempty"`
+	// Standing maps StandingKeyString() to standing-query state:
+	// registration, window cursor, cumulative standing spend, and the
+	// bounded ring of recent window results.
+	Standing map[string]*StandingState `json:"standing,omitempty"`
 
 	auditCap int
 }
@@ -66,6 +70,74 @@ type IdemRecord struct {
 func IdemKeyString(endpoint, dataset, analyst, key string) string {
 	return endpoint + "\x00" + dataset + "\x00" + analyst + "\x00" + key
 }
+
+// StandingState is one standing query's durable state: everything a
+// restarted server needs to resume the window schedule exactly where
+// the crashed one stopped — never re-firing a charged window, never
+// skipping an uncharged one.
+type StandingState struct {
+	// Seq is the registration event's sequence number. Restores replay
+	// registrations in Seq order so the scheduler's deterministic
+	// firing order (registration order) survives restarts.
+	Seq         uint64  `json:"seq"`
+	Dataset     string  `json:"dataset"`
+	Analyst     string  `json:"analyst"`
+	ID          string  `json:"id"`
+	Kind        string  `json:"kind"`
+	Epsilon     float64 `json:"epsilon"`
+	Reservation float64 `json:"reservation"`
+	Width       uint64  `json:"width,omitempty"`
+	Stride      uint64  `json:"stride,omitempty"`
+	EveryMs     int64   `json:"everyMs,omitempty"`
+	Base        uint64  `json:"base"`
+	// Request is the full registration request body (wire JSON), kept
+	// so the restarted server can rebuild the executable query.
+	Request []byte `json:"request,omitempty"`
+
+	// Spent is the cumulative standing ε drawn by fired windows, the
+	// in-order sum of standing_window Charged values.
+	Spent float64 `json:"spent"`
+	// NextWindow is the cursor: the index of the next window to fire.
+	NextWindow uint64 `json:"nextWindow"`
+	// LastMark is the end watermark of the last fired window.
+	LastMark uint64 `json:"lastMark"`
+	// LastFireNS is the wall time of the last fired window (Unix
+	// nanoseconds) — the replayed deadline for wall-clock windows.
+	LastFireNS int64 `json:"lastFireNs,omitempty"`
+	// Status is "active", "exhausted", or "canceled".
+	Status string `json:"status"`
+	// Windows is the bounded ring of recent window results, oldest
+	// first, capped at StandingRingCap like the live ring.
+	Windows []StandingWindowRecord `json:"windows,omitempty"`
+}
+
+// StandingWindowRecord is the persisted form of one fired window.
+type StandingWindowRecord struct {
+	Window  uint64  `json:"window"`
+	Start   uint64  `json:"start"`
+	End     uint64  `json:"end"`
+	Charged float64 `json:"charged"`
+	Outcome string  `json:"outcome"`
+	Body    []byte  `json:"body,omitempty"`
+	Time    int64   `json:"time"`
+}
+
+// StandingKeyString is the State.Standing map key for one query.
+func StandingKeyString(dataset, id string) string {
+	return dataset + "\x00" + id
+}
+
+// StandingRingCap bounds the per-query result ring, in the fold and in
+// the live registry alike — they must agree or replay would diverge
+// from the live ring's contents.
+const StandingRingCap = 64
+
+// Standing statuses persisted in StandingState.Status.
+const (
+	StandingActive    = "active"
+	StandingExhausted = "exhausted"
+	StandingCanceled  = "canceled"
+)
 
 // defaultAuditCap mirrors the server-side audit log bound.
 const defaultAuditCap = 10000
@@ -153,6 +225,70 @@ func (s *State) Apply(ev *Event) error {
 			Key: ev.Key, Status: ev.Status, Body: ev.Body, Expires: ev.Expires,
 		}
 
+	case EventStandingRegistered:
+		if _, err := s.dataset(ev); err != nil {
+			return err
+		}
+		if ev.Standing == "" {
+			return fmt.Errorf("%w: standing_registered without an id (seq %d)", ErrCorrupt, ev.Seq)
+		}
+		key := StandingKeyString(ev.Dataset, ev.Standing)
+		if s.Standing == nil {
+			s.Standing = make(map[string]*StandingState)
+		}
+		if _, ok := s.Standing[key]; ok {
+			return fmt.Errorf("%w: standing query %q registered twice on %q (seq %d)",
+				ErrCorrupt, ev.Standing, ev.Dataset, ev.Seq)
+		}
+		s.Standing[key] = &StandingState{
+			Seq: ev.Seq, Dataset: ev.Dataset, Analyst: ev.Analyst,
+			ID: ev.Standing, Kind: ev.Query,
+			Epsilon: ev.Epsilon, Reservation: ev.Reservation,
+			Width: ev.Width, Stride: ev.Stride, EveryMs: ev.EveryMs,
+			Base: ev.Base, LastMark: ev.Base, Request: ev.Body,
+			Status: StandingActive,
+		}
+
+	case EventStandingWindow:
+		st, err := s.standing(ev)
+		if err != nil {
+			return err
+		}
+		// Cursor and charge move together: this one event both advances
+		// the window cursor and folds the window's ε into the dataset's
+		// spends, mirroring the live run's silent in-memory charge.
+		if ev.Charged != 0 {
+			ds, err := s.dataset(ev)
+			if err != nil {
+				return err
+			}
+			ds.Spent[st.Analyst] += ev.Charged
+			ds.TotalSpent += ev.Charged
+		}
+		st.Spent += ev.Charged
+		st.NextWindow = ev.Window + 1
+		st.LastMark = ev.Watermark
+		st.LastFireNS = ev.Time
+		if ev.Outcome == StandingExhausted {
+			st.Status = StandingExhausted
+		}
+		if len(st.Windows) >= StandingRingCap {
+			copy(st.Windows, st.Windows[1:])
+			st.Windows = st.Windows[:len(st.Windows)-1]
+		}
+		st.Windows = append(st.Windows, StandingWindowRecord{
+			Window: ev.Window, Start: ev.WindowStart, End: ev.Watermark,
+			Charged: ev.Charged, Outcome: ev.Outcome, Body: ev.Body,
+			Time: ev.Time,
+		})
+
+	case EventStandingCanceled:
+		st, err := s.standing(ev)
+		if err != nil {
+			return err
+		}
+		st.Status = StandingCanceled
+
 	default:
 		return fmt.Errorf("%w: unknown event type %q (seq %d)", ErrCorrupt, ev.Type, ev.Seq)
 	}
@@ -177,6 +313,17 @@ func (s *State) dataset(ev *Event) (*DatasetState, error) {
 		return nil, fmt.Errorf("%w: %s for unknown dataset %q (seq %d)", ErrCorrupt, ev.Type, ev.Dataset, ev.Seq)
 	}
 	return ds, nil
+}
+
+// standing resolves the event's standing query, failing closed on
+// references to queries the history never registered.
+func (s *State) standing(ev *Event) (*StandingState, error) {
+	st, ok := s.Standing[StandingKeyString(ev.Dataset, ev.Standing)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s for unknown standing query %q on %q (seq %d)",
+			ErrCorrupt, ev.Type, ev.Standing, ev.Dataset, ev.Seq)
+	}
+	return st, nil
 }
 
 // DatasetNames lists the datasets in the state, sorted.

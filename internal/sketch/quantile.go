@@ -13,6 +13,16 @@ import (
 type Tuple struct {
 	Value      float64
 	RMin, RMax int
+	// Dups is a lower bound on the number of inserted values equal to
+	// Value (a value re-inserted after compaction dropped its tuple
+	// loses the dropped copies from the bound). It lets rankBoundsAt
+	// subtract the whole duplicate run — not just one element — when
+	// bounding a v just below Value, which keeps merges of summaries
+	// with heavy duplicates near-exact: without it, a value slightly
+	// below a duplicate run inherits the run's full rank span as
+	// upper-bound slack and Query can prefer it for ranks it cannot
+	// realize.
+	Dups int
 }
 
 // Quantile is a mergeable rank summary in the Greenwald–Khanna /
@@ -88,7 +98,7 @@ func (q *Quantile) flush() {
 		for j < len(q.buf) && q.buf[j] == q.buf[i] {
 			j++
 		}
-		exact = append(exact, Tuple{Value: q.buf[i], RMin: j, RMax: j})
+		exact = append(exact, Tuple{Value: q.buf[i], RMin: j, RMax: j, Dups: j - i})
 		i = j
 	}
 	q.tuples = mergeTuples(q.tuples, q.n, exact, len(q.buf))
@@ -139,9 +149,13 @@ func rankBoundsAt(tuples []Tuple, n int, v float64) (lo, hi int) {
 		}
 	}
 	if i < len(tuples) {
-		// tuples[i].Value > v, and that value occurs in the data, so
-		// at least one element above v is counted in its RMax.
-		hi = tuples[i].RMax - 1
+		// tuples[i].Value > v, and at least Dups elements of that value
+		// sit above v, so all of them come off its RMax.
+		d := tuples[i].Dups
+		if d < 1 {
+			d = 1
+		}
+		hi = tuples[i].RMax - d
 		if hi < lo {
 			hi = lo
 		}
@@ -178,13 +192,18 @@ func mergeTuples(a []Tuple, na int, b []Tuple, nb int) []Tuple {
 		}
 		aLo, aHi := rankBoundsAt(a, na, v)
 		bLo, bHi := rankBoundsAt(b, nb, v)
-		out = append(out, Tuple{Value: v, RMin: aLo + bLo, RMax: aHi + bHi})
+		// The streams are disjoint, so duplicate counts add (a side
+		// without a tuple at v contributes none it can prove).
+		dups := 0
 		for i < len(a) && a[i].Value == v {
+			dups += a[i].Dups
 			i++
 		}
 		for j < len(b) && b[j].Value == v {
+			dups += b[j].Dups
 			j++
 		}
+		out = append(out, Tuple{Value: v, RMin: aLo + bLo, RMax: aHi + bHi, Dups: dups})
 	}
 	return out
 }

@@ -1,0 +1,629 @@
+// Package standing is the continual-monitoring subsystem: a registry
+// and scheduler for standing queries attached to a dataset's ingest
+// stream. A registration names a query kind, a window specification, a
+// per-window ε, and a total standing budget reservation; the scheduler
+// fires each window exactly when the dataset's record watermark (or,
+// for wall-clock windows, the batch-apply clock) crosses the window's
+// close boundary, runs the query through a caller-supplied Fire
+// callback, and appends the result to a bounded per-query ring that
+// long-polling readers wait on.
+//
+// Determinism is the design center. Window boundaries are defined in
+// record-sequence terms against the dataset's monotonic watermark, so
+// the same record sequence produces the same windows regardless of how
+// ingest batches chunk it; firing is serialized (the ingest appender
+// goroutine drives Advance) and ordered by (registration order, window
+// index), so noise draws happen in a reproducible order; wall-clock
+// specs resolve to sequence watermarks at batch-apply time and the
+// resolved boundaries are journaled, so replay never re-reads a clock.
+//
+// Budget discipline ("the drip"): every window costs exactly the
+// registered per-window ε, charged through the dataset's analyst
+// policy by the Fire callback; the registry additionally enforces the
+// query's total reservation — a window that would overdraw it is
+// refused with outcome "exhausted" at zero charge and the query stops
+// firing. Durability is the callback's job (journal before the
+// registry commits); the registry never acknowledges a window the
+// callback did not persist.
+package standing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is a standing query's lifecycle state.
+type Status string
+
+const (
+	// StatusActive queries fire windows as the watermark advances.
+	StatusActive Status = "active"
+	// StatusExhausted queries hit their reservation (or their
+	// analyst's budget): registered, inspectable, no longer firing.
+	StatusExhausted Status = "exhausted"
+	// StatusCanceled queries were canceled by the owner: cursor
+	// stopped, result ring still readable.
+	StatusCanceled Status = "canceled"
+)
+
+// Spec is one standing query's immutable registration contract.
+type Spec struct {
+	Dataset string
+	Analyst string
+	ID      string
+	// Kind is the query kind (from the /v1 kind registry) each window
+	// executes.
+	Kind string
+	// Epsilon is the per-window budget drip: every fired window
+	// charges exactly this much through the analyst policy.
+	Epsilon float64
+	// Reservation is the total standing budget: the sum of window
+	// charges never exceeds it (refusal via an "exhausted" window).
+	Reservation float64
+	// Width and Stride define a record-sequence window: window i
+	// covers records [Base+i·Stride, Base+i·Stride+Width) and closes
+	// when the watermark reaches its end. Stride == Width is a
+	// tumbling window; Stride < Width slides with overlap (each window
+	// still pays the full Epsilon — overlapping releases compose).
+	Width  uint64
+	Stride uint64
+	// EveryMs, exclusive with Width, is a wall-clock tumbling window:
+	// evaluated only at batch apply, a window closes at the first
+	// apply at least EveryMs after the previous close and covers
+	// [previous close watermark, current watermark). The resolved
+	// boundaries are journaled, so replay is sequence-deterministic.
+	EveryMs int64
+	// Base is the dataset watermark at registration: records already
+	// present before the registration are never windowed.
+	Base uint64
+	// Request is the full registration request (wire JSON), carried so
+	// the executor can rebuild kind-specific parameters and a restart
+	// can rebuild the query.
+	Request []byte
+}
+
+// Window identifies one due window: its index and its record-sequence
+// bounds [Start, End) on the dataset watermark.
+type Window struct {
+	Index uint64
+	Start uint64
+	End   uint64
+}
+
+// Result is one fired window's committed outcome.
+type Result struct {
+	Window  Window
+	Outcome string // "ok", "exhausted", or "error"
+	Charged float64
+	// Exhausts marks the query's transition to StatusExhausted after
+	// this window (reservation overdraw or analyst-budget refusal).
+	Exhausts bool
+	// Body is the marshaled wire result appended to the ring and
+	// replayed byte-identically to pollers (including across restarts,
+	// via the journal).
+	Body []byte
+	// Time is the fire wall time in Unix nanoseconds.
+	Time int64
+}
+
+// Fire executes one due window. It must (in order) run the query,
+// journal the outcome durably, and only then return ok=true with the
+// committed result. Returning ok=false aborts the advance without
+// moving the cursor — the window stays due and retries on the next
+// advance (the fail-closed path while the ledger refuses appends, and
+// the journal-failure path after rolling back the in-memory charge).
+type Fire func(q *Query, w Window) (Result, bool)
+
+// Outcome values for Result.Outcome (and the wire/journal records).
+const (
+	OutcomeOK        = "ok"
+	OutcomeExhausted = "exhausted"
+	OutcomeError     = "error"
+)
+
+// Config configures a Registry.
+type Config struct {
+	// Fire executes and journals one due window (required).
+	Fire Fire
+	// RingCap bounds each query's result ring; 0 takes DefaultRingCap.
+	// It must match the journal fold's ring bound or replay diverges.
+	RingCap int
+	// MaxPerDataset bounds registrations per dataset (0 takes
+	// DefaultMaxPerDataset); canceled and exhausted queries count —
+	// they still hold state.
+	MaxPerDataset int
+	// Now is the scheduler clock for wall-clock windows and fire
+	// latency stats; nil takes time.Now.
+	Now func() time.Time
+}
+
+// DefaultRingCap matches ledger.StandingRingCap: the journal fold
+// keeps the same number of recent windows, so a restart restores the
+// identical ring.
+const DefaultRingCap = 64
+
+// DefaultMaxPerDataset bounds registrations per dataset.
+const DefaultMaxPerDataset = 256
+
+// Registration errors.
+var (
+	// ErrDuplicateID is returned when a registration names an ID
+	// already present on the dataset (including canceled or exhausted
+	// queries — IDs are never reused; their history persists).
+	ErrDuplicateID = errors.New("standing: id already registered")
+	// ErrTooMany is returned when a dataset is at its registration cap.
+	ErrTooMany = errors.New("standing: too many standing queries on dataset")
+	// ErrNotFound is returned for lookups of unknown (dataset, id).
+	ErrNotFound = errors.New("standing: no such standing query")
+)
+
+// Validate checks a spec's windowing and budget contract. It does not
+// check Kind (the caller owns the kind registry) or ID syntax (see
+// ValidID; minted IDs skip it).
+func Validate(s *Spec) error {
+	switch {
+	case s.Dataset == "":
+		return errors.New("standing: dataset is required")
+	case s.Analyst == "":
+		return errors.New("standing: analyst is required")
+	case s.Kind == "":
+		return errors.New("standing: query kind is required")
+	case !(s.Epsilon > 0) || s.Epsilon > 1e9:
+		return errors.New("standing: epsilon must be positive and finite")
+	case !(s.Reservation >= s.Epsilon) || s.Reservation > 1e12:
+		return errors.New("standing: reservation must be finite and at least one window's epsilon")
+	case s.Width == 0 && s.EveryMs == 0:
+		return errors.New("standing: window needs width (records) or everyMs (wall clock)")
+	case s.Width > 0 && s.EveryMs > 0:
+		return errors.New("standing: width and everyMs are mutually exclusive")
+	case s.EveryMs < 0:
+		return errors.New("standing: everyMs must be positive")
+	case s.Stride > 0 && s.Width == 0:
+		return errors.New("standing: stride requires a record-width window")
+	}
+	return nil
+}
+
+// ValidID reports whether a client-supplied ID is acceptable: 1–64
+// characters from [A-Za-z0-9._-].
+func ValidID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// stride is the effective stride: Stride, defaulting to Width
+// (tumbling) when zero.
+func (s *Spec) stride() uint64 {
+	if s.Stride > 0 {
+		return s.Stride
+	}
+	return s.Width
+}
+
+// Query is one registered standing query. Spec is immutable; the
+// mutable schedule state (cursor, spend, status, ring) is guarded by
+// the owning registry's lock and read through the accessor methods.
+type Query struct {
+	Spec Spec
+
+	reg *Registry
+
+	next     uint64 // next window index to fire
+	lastMark uint64 // end watermark of the last fired window
+	lastFire time.Time
+	spent    float64
+	status   Status
+	results  []Result
+	// updated is closed and replaced whenever the query's observable
+	// state changes (a window commit or a cancel) — the long-poll wake
+	// signal.
+	updated chan struct{}
+}
+
+// Restored is a query's recovered schedule state (see
+// Registry.Restore).
+type Restored struct {
+	NextWindow uint64
+	LastMark   uint64
+	LastFire   time.Time
+	Spent      float64
+	Status     Status
+	Results    []Result
+}
+
+// Snapshot is a point-in-time view of a query's schedule state.
+type Snapshot struct {
+	Spec       Spec
+	NextWindow uint64
+	LastMark   uint64
+	Spent      float64
+	Status     Status
+	Windows    int // results currently held in the ring
+}
+
+// Spent returns the cumulative standing ε charged by fired windows.
+func (q *Query) Spent() float64 {
+	q.reg.mu.Lock()
+	defer q.reg.mu.Unlock()
+	return q.spent
+}
+
+// Status returns the query's lifecycle state.
+func (q *Query) Status() Status {
+	q.reg.mu.Lock()
+	defer q.reg.mu.Unlock()
+	return q.status
+}
+
+// Snapshot returns the query's current schedule state.
+func (q *Query) Snapshot() Snapshot {
+	q.reg.mu.Lock()
+	defer q.reg.mu.Unlock()
+	return Snapshot{
+		Spec: q.Spec, NextWindow: q.next, LastMark: q.lastMark,
+		Spent: q.spent, Status: q.status, Windows: len(q.results),
+	}
+}
+
+// ResultsAfter returns the ring's results with window index >= after
+// (oldest first), the query's status, its cursor, and a channel closed
+// on the next state change — the long-poll contract: if the slice is
+// empty, wait on the channel and re-read.
+func (q *Query) ResultsAfter(after uint64) ([]Result, Status, uint64, <-chan struct{}) {
+	q.reg.mu.Lock()
+	defer q.reg.mu.Unlock()
+	var out []Result
+	for _, res := range q.results {
+		if res.Window.Index >= after {
+			out = append(out, res)
+		}
+	}
+	return out, q.status, q.next, q.updated
+}
+
+// due reports the next due window under the registry lock. mark is the
+// dataset watermark; now the batch-apply clock.
+func (q *Query) due(mark uint64, now time.Time) (Window, bool) {
+	if q.status != StatusActive {
+		return Window{}, false
+	}
+	if q.Spec.Width > 0 {
+		start := q.Spec.Base + q.next*q.Spec.stride()
+		end := start + q.Spec.Width
+		if mark < end {
+			return Window{}, false
+		}
+		return Window{Index: q.next, Start: start, End: end}, true
+	}
+	// Wall-clock tumbling: resolved against the watermark at apply
+	// time; an interval with no applies fires (once) at the next one.
+	if now.Sub(q.lastFire) < time.Duration(q.Spec.EveryMs)*time.Millisecond {
+		return Window{}, false
+	}
+	return Window{Index: q.next, Start: q.lastMark, End: mark}, true
+}
+
+// Registry owns every standing query and drives their schedules.
+type Registry struct {
+	cfg Config
+
+	// advanceMu serializes Advance calls: window firing must be
+	// totally ordered for noise-draw determinism. In the server only
+	// the ingest appender goroutine advances, so this is insurance.
+	advanceMu sync.Mutex
+
+	mu       sync.Mutex
+	datasets map[string]*dsEntry
+
+	// Fire latency reservoir + lifetime counters for Stats.
+	fireNS   []int64
+	fireNext int
+	windows  uint64
+	epsilon  float64
+}
+
+type dsEntry struct {
+	order  []*Query // registration order — the deterministic firing order
+	byID   map[string]*Query
+	minted uint64
+}
+
+// NewRegistry builds a registry; cfg.Fire is required.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.Fire == nil {
+		panic("standing: Config.Fire is required")
+	}
+	if cfg.RingCap <= 0 {
+		cfg.RingCap = DefaultRingCap
+	}
+	if cfg.MaxPerDataset <= 0 {
+		cfg.MaxPerDataset = DefaultMaxPerDataset
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Registry{cfg: cfg, datasets: make(map[string]*dsEntry)}
+}
+
+func (r *Registry) entry(dataset string) *dsEntry {
+	ds := r.datasets[dataset]
+	if ds == nil {
+		ds = &dsEntry{byID: make(map[string]*Query)}
+		r.datasets[dataset] = ds
+	}
+	return ds
+}
+
+// Register admits one standing query: it validates the spec, mints an
+// ID when the spec carries none, runs journal (durability first — an
+// error refuses the registration), and commits. The journal callback
+// runs under the registry lock so the (mint, journal, commit) triple
+// is atomic against concurrent registrations.
+func (r *Registry) Register(spec Spec, journal func(Spec) error) (*Query, error) {
+	if err := Validate(&spec); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds := r.entry(spec.Dataset)
+	if len(ds.order) >= r.cfg.MaxPerDataset {
+		return nil, fmt.Errorf("%w: cap %d", ErrTooMany, r.cfg.MaxPerDataset)
+	}
+	if spec.ID == "" {
+		for {
+			ds.minted++
+			id := fmt.Sprintf("sq-%d", ds.minted)
+			if _, taken := ds.byID[id]; !taken {
+				spec.ID = id
+				break
+			}
+		}
+	} else {
+		if !ValidID(spec.ID) {
+			return nil, errors.New("standing: id must be 1-64 chars of [A-Za-z0-9._-]")
+		}
+		if _, taken := ds.byID[spec.ID]; taken {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateID, spec.ID)
+		}
+	}
+	if journal != nil {
+		if err := journal(spec); err != nil {
+			return nil, err
+		}
+	}
+	q := &Query{
+		Spec: spec, reg: r, lastMark: spec.Base,
+		lastFire: r.cfg.Now(), status: StatusActive,
+		updated: make(chan struct{}),
+	}
+	ds.order = append(ds.order, q)
+	ds.byID[spec.ID] = q
+	return q, nil
+}
+
+// Restore re-installs one recovered query in registration order (the
+// caller sorts by journal sequence). It bypasses journaling — the
+// journal is where the state came from.
+func (r *Registry) Restore(spec Spec, st Restored) (*Query, error) {
+	if err := Validate(&spec); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds := r.entry(spec.Dataset)
+	if _, taken := ds.byID[spec.ID]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, spec.ID)
+	}
+	if st.Status == "" {
+		st.Status = StatusActive
+	}
+	lastFire := st.LastFire
+	if lastFire.IsZero() {
+		lastFire = r.cfg.Now()
+	}
+	results := st.Results
+	if n := len(results) - r.cfg.RingCap; n > 0 {
+		results = results[n:]
+	}
+	q := &Query{
+		Spec: spec, reg: r,
+		next: st.NextWindow, lastMark: st.LastMark, lastFire: lastFire,
+		spent: st.Spent, status: st.Status,
+		results: results, updated: make(chan struct{}),
+	}
+	ds.order = append(ds.order, q)
+	ds.byID[spec.ID] = q
+	return q, nil
+}
+
+// Get looks up one query.
+func (r *Registry) Get(dataset, id string) (*Query, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds := r.datasets[dataset]
+	if ds == nil {
+		return nil, false
+	}
+	q, ok := ds.byID[id]
+	return q, ok
+}
+
+// List returns a dataset's queries in registration order.
+func (r *Registry) List(dataset string) []*Query {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds := r.datasets[dataset]
+	if ds == nil {
+		return nil
+	}
+	return append([]*Query(nil), ds.order...)
+}
+
+// Cancel stops one query. journal runs under the registry lock before
+// the commit (an error leaves the query untouched); canceling an
+// already-stopped query is a journal-free no-op. The returned bool
+// reports whether this call performed the transition.
+func (r *Registry) Cancel(dataset, id string, journal func(Spec) error) (*Query, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds := r.datasets[dataset]
+	if ds == nil {
+		return nil, false, ErrNotFound
+	}
+	q, ok := ds.byID[id]
+	if !ok {
+		return nil, false, ErrNotFound
+	}
+	if q.status == StatusCanceled {
+		return q, false, nil
+	}
+	if journal != nil {
+		if err := journal(q.Spec); err != nil {
+			return nil, false, err
+		}
+	}
+	q.status = StatusCanceled
+	q.wakeLocked()
+	return q, true, nil
+}
+
+// Advance fires every window that became due when the dataset's
+// watermark reached mark, in deterministic order: queries in
+// registration order, each query's windows in index order. It is the
+// stream-side hook — the ingest appender calls it after each batch
+// apply — and is serialized so concurrent callers cannot interleave
+// noise draws.
+func (r *Registry) Advance(dataset string, mark uint64) {
+	r.advanceMu.Lock()
+	defer r.advanceMu.Unlock()
+	r.mu.Lock()
+	ds := r.datasets[dataset]
+	if ds == nil || len(ds.order) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	queries := append([]*Query(nil), ds.order...)
+	r.mu.Unlock()
+	for _, q := range queries {
+		for {
+			r.mu.Lock()
+			w, ok := q.due(mark, r.cfg.Now())
+			r.mu.Unlock()
+			if !ok {
+				break
+			}
+			t0 := r.cfg.Now()
+			res, committed := r.cfg.Fire(q, w)
+			if !committed {
+				// Fail closed: the window could not be journaled (ledger
+				// refusing). Nothing moved; it stays due for a healthier
+				// advance, and nothing later may fire before it.
+				return
+			}
+			r.commit(q, w, res, r.cfg.Now().Sub(t0))
+		}
+	}
+}
+
+// commit applies one journaled window to the query: cursor, spend,
+// status, ring, waiters, stats.
+func (r *Registry) commit(q *Query, w Window, res Result, dur time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res.Window = w
+	q.next = w.Index + 1
+	q.lastMark = w.End
+	q.lastFire = r.cfg.Now()
+	q.spent += res.Charged
+	if res.Exhausts {
+		q.status = StatusExhausted
+	}
+	if len(q.results) >= r.cfg.RingCap {
+		copy(q.results, q.results[1:])
+		q.results = q.results[:len(q.results)-1]
+	}
+	q.results = append(q.results, res)
+	q.wakeLocked()
+
+	r.windows++
+	r.epsilon += res.Charged
+	const reservoir = 4096
+	if len(r.fireNS) < reservoir {
+		r.fireNS = append(r.fireNS, int64(dur))
+	} else {
+		r.fireNS[r.fireNext%reservoir] = int64(dur)
+	}
+	r.fireNext++
+}
+
+func (q *Query) wakeLocked() {
+	close(q.updated)
+	q.updated = make(chan struct{})
+}
+
+// Active counts queries currently in StatusActive across all datasets.
+func (r *Registry) Active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ds := range r.datasets {
+		for _, q := range ds.order {
+			if q.status == StatusActive {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats summarizes the registry's lifetime window activity.
+type Stats struct {
+	Queries int // registrations currently held (any status)
+	Active  int
+	Windows uint64  // windows fired (all outcomes)
+	Epsilon float64 // total ε charged by fired windows
+	// Fire latency over the recent reservoir (up to 4096 windows).
+	FireP50, FireP99, FireMean time.Duration
+}
+
+// Stats returns a snapshot of the registry's counters and fire-latency
+// percentiles.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{Windows: r.windows, Epsilon: r.epsilon}
+	for _, ds := range r.datasets {
+		st.Queries += len(ds.order)
+		for _, q := range ds.order {
+			if q.status == StatusActive {
+				st.Active++
+			}
+		}
+	}
+	if n := len(r.fireNS); n > 0 {
+		sorted := append([]int64(nil), r.fireNS...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum int64
+		for _, v := range sorted {
+			sum += v
+		}
+		st.FireP50 = time.Duration(sorted[n/2])
+		st.FireP99 = time.Duration(sorted[(n*99)/100])
+		st.FireMean = time.Duration(sum / int64(n))
+	}
+	return st
+}
