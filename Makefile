@@ -60,8 +60,11 @@ bench-all:
 
 # Randomized fault soak (see DESIGN.md §S30): seeded rounds of a
 # concurrent query storm over a probabilistically failing filesystem,
-# asserting the closed failure surface and the ε invariants. check.sh
-# smoke-runs a short slice of this; run `make chaos` before touching
-# the ledger, the executor, or the server lifecycle.
+# asserting the closed failure surface and the ε invariants — plus
+# the kill-the-primary failover storm (DESIGN.md §S35): replicated
+# pairs killed mid-storm and promoted, asserting zero budget drift,
+# byte-identical idempotent replays, and clean ledger diffs. check.sh
+# smoke-runs short slices of both; run `make chaos` before touching
+# the ledger, the executor, replication, or the server lifecycle.
 chaos:
-	go test -race -run 'TestChaosStorm' -count=1 ./internal/dpserver -chaosdur 30s -v
+	go test -race -run 'TestChaosStorm|TestFailoverStorm' -count=1 ./internal/dpserver -chaosdur 30s -failoverdur 30s -v

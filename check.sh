@@ -40,6 +40,12 @@ go test -run=. -fuzz=FuzzCountMinMerge -fuzztime=5s ./internal/sketch
 # I/O faults + handler panics under a query storm must keep the
 # failure surface closed and the ε invariants intact.
 go test -race -run 'TestChaosStorm' -count=1 ./internal/dpserver -chaosdur 3s
+# Failover smoke (make chaos runs the full 30s storm): kill a
+# replicated primary mid-storm, promote the warm standby, and assert
+# zero budget drift — every ACKed ε present exactly once on the new
+# primary, idempotent replays byte-identical across the failover, and
+# the two ledger directories prefix-consistent (see DESIGN.md §S35).
+go test -race -run 'TestKillPrimaryFailover|TestFailoverStorm' -count=1 ./internal/dpserver -failoverdur 3s
 # Standing-query smoke: register + ingest + windows firing end to end,
 # and the kill-restart acceptance (byte-identical replay, no window
 # double-charged or skipped) — the continual-monitoring contract in

@@ -4,6 +4,14 @@
 //	dpledger verify  -dir /var/lib/dpserver/ledger [-q]
 //	dpledger inspect -dir /var/lib/dpserver/ledger [-events] [-json]
 //	dpledger compact -dir /var/lib/dpserver/ledger
+//	dpledger diff    [-q] /path/to/ledgerA /path/to/ledgerB
+//
+// diff compares two ledger directories — typically a killed primary's
+// and a promoted follower's after a failover — and exits 0 when one
+// retained history is a byte-identical prefix of the other (unshared
+// tail events are reported with their ε drift but are acceptable:
+// un-acked appends lost with the primary, or replication lag), 1 when
+// the histories hold different bytes for the same seq.
 //
 // verify replays the full history read-only and reports whether it is
 // clean, ends in a torn (crash-truncated) tail, or is corrupt,
@@ -57,6 +65,14 @@ func main() {
 	quiet := fs.Bool("q", false, "verify: suppress the report, communicate via exit code only")
 	auditCap := fs.Int("audit-cap", 0, "audit-trail bound during replay (0 = server default)")
 	fs.Parse(os.Args[2:])
+	if cmd == "diff" {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dpledger: diff takes exactly two ledger directories")
+			os.Exit(exitUsage)
+		}
+		diff(fs.Arg(0), fs.Arg(1), *auditCap, *quiet)
+		return
+	}
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "dpledger: -dir is required")
 		os.Exit(exitUsage)
@@ -76,7 +92,51 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: dpledger {verify|inspect|compact} -dir <ledger-dir> [-q] [-events] [-json]")
+	fmt.Fprintln(os.Stderr, "       dpledger diff [-q] <dirA> <dirB>")
 	os.Exit(exitUsage)
+}
+
+// diff compares two ledger directories (see ledger.Diff): exit 0 when
+// one retained history is a byte-identical prefix of the other —
+// unshared tail events are reported but acceptable (un-acked appends
+// lost with a killed primary, or replication lag) — and exit 1 when
+// the histories hold different bytes for the same seq, printing the
+// first divergent seq and the per-analyst ε drift. The failover
+// runbook (README) ends with this check.
+func diff(dirA, dirB string, auditCap int, quiet bool) {
+	r, err := ledger.Diff(dirA, dirB, auditCap)
+	if err != nil {
+		fatal(err)
+	}
+	if !r.Clean() {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "DIVERGED at seq %d:\n  %s: %s\n  %s: %s\n",
+				r.Diverged.Seq, dirA, r.Diverged.A, dirB, r.Diverged.B)
+			printDeltas(r)
+		}
+		os.Exit(exitCorrupt)
+	}
+	if !quiet {
+		fmt.Printf("consistent to seq %d (A head %d, B head %d; tail only in A: %d event(s), only in B: %d)\n",
+			r.Through, r.SeqA, r.SeqB, r.OnlyA, r.OnlyB)
+		printDeltas(r)
+	}
+	os.Exit(exitClean)
+}
+
+// printDeltas reports the ε the unshared histories represent.
+func printDeltas(r *ledger.DiffReport) {
+	for ds, d := range r.TotalDelta {
+		fmt.Printf("dataset %s: total spent delta %+.6g\n", ds, d)
+	}
+	for ds, per := range r.SpentDelta {
+		for analyst, d := range per {
+			fmt.Printf("dataset %s analyst %s: spent delta %+.6g\n", ds, analyst, d)
+		}
+	}
+	if r.MaxSpentDelta() == 0 {
+		fmt.Println("zero budget drift")
+	}
 }
 
 func verify(dir string, auditCap int, quiet bool) {

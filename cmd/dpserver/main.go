@@ -20,6 +20,22 @@
 // restart re-opens the full budget. Inspect a ledger directory with
 // the dpledger tool (inspect / verify / compact).
 //
+// Replication (requires -ledger-dir): -repl-listen makes this node a
+// PRIMARY that streams every committed ledger event to followers
+// (with -repl-min-sync N, a spend is refused unless N followers are
+// connected and not acknowledged until they hold it durably);
+// -follow <addr> makes it a warm STANDBY that writes the primary's
+// WAL verbatim into its own ledger and serves read-only (/v1/readyz
+// answers 503 with role=follower and the replication lag) until
+// promoted. `dpserver -promote http://standby:8080` (or POST
+// /v1/admin/promote) seals the stream, verifies the WAL tail against
+// a full replay, bumps the durable fencing epoch — a deposed
+// primary's late appends can never land on anyone who has seen the
+// new regime — and starts accepting spends at exactly the replayed
+// refusal boundary. After a failover, `dpledger diff` proves zero
+// budget drift between the two ledger directories. See DESIGN.md
+// §S35 and the README failover runbook.
+//
 // The API is mounted under /v1/ (legacy unversioned paths remain as
 // deprecated aliases). Admission control: -max-concurrent bounds
 // concurrently executing queries, with -queue-wait of patience before
@@ -60,6 +76,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -68,6 +85,7 @@ import (
 	"time"
 
 	"dptrace/internal/core"
+	"dptrace/internal/dpclient"
 	"dptrace/internal/dpserver"
 	"dptrace/internal/ingest"
 	"dptrace/internal/ledger"
@@ -108,10 +126,23 @@ func main() {
 	ingestBytesInFlight := flag.Int64("ingest-bytes-inflight", 0, "ingest admission watermark: max admitted-but-unapplied batch bytes (0 = default 64MiB; past it batches shed 429)")
 	ingestBatchesInFlight := flag.Int64("ingest-batches-inflight", 0, "ingest admission watermark: max admitted-but-unapplied batches (0 = default 256)")
 	ingestWorkers := flag.Int("ingest-workers", 0, "ingest decoder parallelism (0 = default 2)")
+	replListen := flag.String("repl-listen", "", "replication listen address: stream committed ledger events to followers (requires -ledger-dir)")
+	follow := flag.String("follow", "", "run as a warm standby following the primary at this replication address (requires -ledger-dir; serves read-only until promoted)")
+	replName := flag.String("repl-name", "", "node name in replication handshakes and events (default: the hostname)")
+	replMinSync := flag.Int("repl-min-sync", 0, "refuse spends unless this many followers are connected, and hold each ack until they have the event durably (0 = async replication)")
+	promote := flag.String("promote", "", "client mode: POST /v1/admin/promote to the dpserver at this base URL and exit")
 	flag.Parse()
 
+	if *promote != "" {
+		promoteRemote(*promote)
+		return
+	}
 	if len(traces) == 0 {
 		fmt.Fprintln(os.Stderr, "dpserver: at least one -trace name=path is required")
+		os.Exit(2)
+	}
+	if (*replListen != "" || *follow != "") && *ledgerDir == "" {
+		fmt.Fprintln(os.Stderr, "dpserver: -repl-listen / -follow require -ledger-dir (replication streams the durable ledger)")
 		os.Exit(2)
 	}
 
@@ -187,6 +218,47 @@ func main() {
 	}
 	srv := dpserver.New(src, opts...)
 
+	startRepl := func() {}
+	if *replListen != "" || *follow != "" {
+		name := *replName
+		if name == "" {
+			name, _ = os.Hostname()
+		}
+		cfg := dpserver.ReplicationConfig{
+			Follow:  *follow,
+			Name:    name,
+			MinSync: *replMinSync,
+		}
+		if *replListen != "" {
+			ln, err := net.Listen("tcp", *replListen)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Listen = ln
+		}
+		startRepl = func() {
+			if err := srv.StartReplication(cfg); err != nil {
+				fatal(err)
+			}
+			if *follow != "" {
+				fmt.Printf("replication: FOLLOWER of %s (read-only; promote with: dpserver -promote http://%s)\n", *follow, *listen)
+				if *replListen != "" {
+					fmt.Printf("replication: will accept followers on %s after promotion\n", *replListen)
+				}
+			} else {
+				fmt.Printf("replication: PRIMARY on %s (min-sync %d)\n", *replListen, *replMinSync)
+			}
+		}
+	}
+	if *follow != "" {
+		// A follower must follow BEFORE hosting traces: its dataset
+		// registrations arrive through the stream (journaling them
+		// locally would fork the WAL against the primary's bytes).
+		startRepl()
+		startRepl = func() {}
+		defer srv.CloseReplication()
+	}
+
 	for _, spec := range traces {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
@@ -219,6 +291,14 @@ func main() {
 	}
 	if *maxConcurrent > 0 {
 		fmt.Printf("admission control: %d concurrent queries, %v queue wait\n", *maxConcurrent, *queueWait)
+	}
+
+	// A primary starts replicating after its datasets are registered,
+	// so followers stream a settled history (a follower already
+	// started, above).
+	startRepl()
+	if *replListen != "" && *follow == "" {
+		defer srv.CloseReplication()
 	}
 
 	var hopts []dpserver.HandlerOption
@@ -255,6 +335,19 @@ func main() {
 		}
 		fmt.Println("dpserver: stopped")
 	}
+}
+
+// promoteRemote is the -promote client mode: ask the follower at
+// baseURL to take over as primary, print the new epoch, exit 0/1.
+func promoteRemote(baseURL string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	epoch, err := dpclient.New(baseURL, "operator").Promote(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("promoted: %s is now the primary at epoch %d\n", baseURL, epoch)
+	fmt.Println("verify zero drift against the old primary's ledger with: dpledger diff <old-ledger-dir> <new-ledger-dir>")
 }
 
 func fatal(err error) {

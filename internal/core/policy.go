@@ -120,6 +120,14 @@ func (p *AnalystPolicy) RestoreSpent(perAnalyst map[string]float64, total float6
 	p.total.restoreSpent(total)
 }
 
+// Budgets returns the policy's configured bounds (the constructor's
+// arguments): the shared total and the per-analyst cap. The ledger
+// layer re-journals a dataset registration from these when a promoted
+// replica discovers it was never persisted.
+func (p *AnalystPolicy) Budgets() (total, perAnalyst float64) {
+	return p.total.Budget(), p.perAnalyst
+}
+
 // analystJournal adapts the policy's journal funcs to one analyst's
 // SpendJournal. The funcs are read without the policy lock: they are
 // fixed before serving begins (SetSpendJournal contract).

@@ -21,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/big"
 	"net/http"
 	"net/url"
 	"os"
@@ -30,8 +29,10 @@ import (
 	"time"
 
 	"dptrace/internal/dpserver"
+	"dptrace/internal/dpserver/api"
 	"dptrace/internal/obs"
 	"dptrace/internal/obs/qlog"
+	"dptrace/internal/retry"
 )
 
 // ErrBudgetExceeded reports a budget_exhausted refusal from the
@@ -69,20 +70,12 @@ func (e *APIError) Is(target error) bool {
 // RetryPolicy controls how calls retry shed (429), draining (503) and
 // transport failures. Other failures — refusals, validation errors,
 // deadline overruns — are never retried by the client; re-sending them
-// cannot change the answer.
-type RetryPolicy struct {
-	// MaxAttempts is the total number of tries (first call included).
-	// Values below 1 behave as 1.
-	MaxAttempts int
-	// BaseBackoff is the delay before the first retry; each subsequent
-	// retry doubles it, capped at MaxBackoff. A Retry-After hint from
-	// the server overrides the computed backoff when longer.
-	BaseBackoff time.Duration
-	MaxBackoff  time.Duration
-	// Jitter spreads each delay uniformly over ±Jitter fraction
-	// (e.g. 0.2 → 80%..120% of the computed backoff).
-	Jitter float64
-}
+// cannot change the answer. A Retry-After hint from the server
+// overrides the computed backoff when longer.
+//
+// The backoff/jitter engine lives in internal/retry, shared with the
+// replication follower's reconnect loop.
+type RetryPolicy = retry.Policy
 
 // DefaultRetryPolicy retries up to 3 times after the first attempt,
 // starting at 100ms and backing off to 2s.
@@ -92,33 +85,6 @@ func DefaultRetryPolicy() RetryPolicy {
 
 // NoRetry disables retries: one attempt, errors surface immediately.
 func NoRetry() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
-
-// backoff computes the pre-jitter delay for retry i (0-based).
-func (p RetryPolicy) backoff(i int) time.Duration {
-	d := p.BaseBackoff << uint(i)
-	if p.MaxBackoff > 0 && (d > p.MaxBackoff || d <= 0) {
-		d = p.MaxBackoff
-	}
-	return d
-}
-
-// jittered spreads d over ±Jitter using crypto randomness (the client
-// has no seeded-determinism contract, and crypto/rand avoids seeding
-// concerns in concurrent analysts).
-func (p RetryPolicy) jittered(d time.Duration) time.Duration {
-	if p.Jitter <= 0 || d <= 0 {
-		return d
-	}
-	span := int64(float64(d) * p.Jitter * 2)
-	if span <= 0 {
-		return d
-	}
-	n, err := rand.Int(rand.Reader, big.NewInt(span))
-	if err != nil {
-		return d
-	}
-	return d - time.Duration(span/2) + time.Duration(n.Int64())
-}
 
 // Client queries one server as one analyst.
 type Client struct {
@@ -227,7 +193,7 @@ func (c *Client) callWith(ctx context.Context, method, path string, body []byte,
 	}
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			delay := c.retry.jittered(c.retry.backoff(attempt - 1))
+			delay := c.retry.Delay(attempt - 1)
 			var ae *APIError
 			if errors.As(lastErr, &ae) && ae.StatusCode != 0 {
 				if ra := ae.retryAfter; ra > delay {
@@ -495,6 +461,51 @@ func (c *Client) Health(ctx context.Context) (*dpserver.HealthStatus, error) {
 		return nil, fmt.Errorf("dpclient: decoding healthz: %w", err)
 	}
 	return &hs, nil
+}
+
+// Ready fetches GET /v1/readyz without the retry loop: not-ready IS
+// the answer, not a transient to paper over. The body decodes on both
+// 200 and 503 — a follower answers 503 with Role "follower" and its
+// replication lag, which is how a failover script decides the standby
+// is safe to promote (LagSeq 0 = fully caught up).
+func (c *Client) Ready(ctx context.Context) (*api.ReadyStatus, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/readyz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: %w", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dpclient: reading readyz: %w", err)
+	}
+	var rs api.ReadyStatus
+	if err := json.Unmarshal(out, &rs); err != nil {
+		return nil, fmt.Errorf("dpclient: decoding readyz (HTTP %d): %w", resp.StatusCode, err)
+	}
+	return &rs, nil
+}
+
+// Promote asks a follower to take over as primary (POST
+// /v1/admin/promote): the replication stream is sealed, the WAL tail
+// verified against a full replay, and the fencing epoch bumped before
+// the first spend is accepted. Returns the new epoch.
+func (c *Client) Promote(ctx context.Context) (uint64, error) {
+	out, err := c.call(ctx, http.MethodPost, "/v1/admin/promote", nil)
+	if err != nil {
+		return 0, err
+	}
+	var pr api.PromoteResult
+	if err := json.Unmarshal(out, &pr); err != nil {
+		return 0, fmt.Errorf("dpclient: decoding promote result: %w", err)
+	}
+	return pr.Epoch, nil
 }
 
 // RecentTraces fetches the server's ring of recent query traces

@@ -40,6 +40,8 @@ const (
 	CodeOverloaded       = "overloaded"
 	CodeShuttingDown     = "shutting_down"
 	CodeLedgerRefused    = "ledger_refused"
+	CodeNotPrimary       = "not_primary"
+	CodeNotFollower      = "not_follower"
 	CodeTooLarge         = "too_large"
 	CodeInternal         = "internal"
 )

@@ -185,4 +185,30 @@ type ReadyStatus struct {
 	Ready  bool   `json:"ready"`
 	Status string `json:"status"`
 	Reason string `json:"reason,omitempty"`
+	// Role is "primary" or "follower" when the server replicates its
+	// ledger, empty for a standalone server.
+	Role string `json:"role,omitempty"`
+	// Repl carries the replication detail when Role is set.
+	Repl *ReplStatus `json:"repl,omitempty"`
+}
+
+// ReplStatus describes a replicating node for /readyz: its role, link
+// health, and position gap. On a follower, LagSeq is the number of
+// primary-committed events not yet durably applied locally — the
+// promote-safety signal (0 = caught up). On a primary, LagSeq is the
+// slowest connected follower's un-acked backlog and Followers counts
+// connected subscribers.
+type ReplStatus struct {
+	Role      string `json:"role"`
+	Connected bool   `json:"connected"`
+	LagSeq    uint64 `json:"lagSeq"`
+	Epoch     uint64 `json:"epoch"`
+	Followers int    `json:"followers,omitempty"`
+}
+
+// PromoteResult is the POST /v1/admin/promote success body: the node
+// is now the primary, at the (durably bumped) fencing epoch.
+type PromoteResult struct {
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
 }

@@ -82,6 +82,12 @@ type Server struct {
 	// restart (see persist.go). Nil keeps in-memory-only behavior.
 	ledger *ledger.Ledger
 
+	// repl is the replication role (see repl.go): nil handles mean
+	// standalone. replMu guards the rare role transitions
+	// (StartReplication, Promote) against concurrent handler reads.
+	replMu sync.Mutex
+	repl   replState
+
 	start     time.Time
 	metrics   *obs.Registry
 	engineRec obs.Recorder // aggregates engine telemetry into metrics
@@ -244,9 +250,10 @@ func New(src noise.Source, opts ...ServerOption) *Server {
 		return float64(s.inflightGauge.Load())
 	})
 	// 1 while spending endpoints shed fail-closed (frozen or degraded
-	// ledger); read-only endpoints keep serving. Alert on this.
+	// ledger); read-only endpoints keep serving. Alert on this. A
+	// healthy follower reads 0 — its shedding is a role, not damage.
 	s.metrics.GaugeFunc("dp_degraded", func() float64 {
-		if s.spendRefusal() != nil {
+		if s.ledgerRefusal() != nil {
 			return 1
 		}
 		return 0
@@ -326,7 +333,12 @@ func (s *Server) AddPacketTrace(name string, packets []trace.Packet, totalBudget
 		return err
 	}
 	s.datasets[name] = d
-	s.restoreStanding(name)
+	// A follower does not schedule standing queries — it cannot spend.
+	// The replication stream keeps the ledger's standing state current,
+	// and Promote installs it fresh into the scheduler.
+	if s.replFollowerHandle() == nil {
+		s.restoreStanding(name)
+	}
 	d.policy.RegisterGauges(s.metrics, "dataset", name)
 	return nil
 }
@@ -397,6 +409,7 @@ var routeTable = []Route{
 	{Method: "GET", Path: "/standing/{dataset}", handler: func(s *Server) http.HandlerFunc { return s.handleStandingList }},
 	{Method: "DELETE", Path: "/standing/{dataset}/{id}", query: true, handler: func(s *Server) http.HandlerFunc { return s.handleStandingCancel }},
 	{Method: "GET", Path: "/standing/{dataset}/{id}/results", handler: func(s *Server) http.HandlerFunc { return s.handleStandingResults }},
+	{Method: "POST", Path: "/admin/promote", handler: func(s *Server) http.HandlerFunc { return s.handlePromote }},
 	{Method: "GET", Path: "/metrics", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleMetrics }},
 	{Method: "GET", Path: "/healthz", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleHealthz }},
 	{Method: "GET", Path: "/readyz", Legacy: true, handler: func(s *Server) http.HandlerFunc { return s.handleReadyz }},

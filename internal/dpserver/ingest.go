@@ -212,13 +212,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.inflight.Done()
-	cause := s.spendRefusal()
-	s.noteDegraded(cause)
-	if cause != nil {
-		s.ingestShed(name, "ledger_refused")
+	s.noteDegraded(s.ledgerRefusal())
+	if cause := s.spendRefusal(); cause != nil {
+		code, msg := shedCodeFor(cause)
+		s.ingestShed(name, code)
 		w.Header().Set("Retry-After", s.limits.retryAfter())
 		s.writeError(w, r, http.StatusServiceUnavailable, apiError{
-			Code: codeLedgerRefused, Message: "ledger refusing spends: " + cause.Error(), Retryable: true})
+			Code: code, Message: msg, Retryable: true})
 		return
 	}
 

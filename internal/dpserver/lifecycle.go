@@ -288,20 +288,22 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer s.inflight.Done()
-		cause := s.spendRefusal()
-		s.noteDegraded(cause)
-		if cause != nil {
-			// Degraded mode: the ledger refuses appends (frozen history
-			// or a runtime journal failure), so no spend can ever be
-			// journaled. Shed fail-closed before burning a concurrency
-			// slot or touching the budget; read-only endpoints are
-			// mounted without admit and keep serving.
+		s.noteDegraded(s.ledgerRefusal())
+		if cause := s.spendRefusal(); cause != nil {
+			// Fail closed: no spend can be journaled right now — the
+			// ledger refuses appends (frozen history or a runtime
+			// journal failure), this node is a replication follower,
+			// or the primary lacks its synchronous quorum. Shed before
+			// burning a concurrency slot or touching the budget;
+			// read-only endpoints are mounted without admit and keep
+			// serving.
+			code, msg := shedCodeFor(cause)
 			s.event(qlog.Warn, "query_shed",
-				qlog.F("endpoint", endpoint), qlog.F("reason", "ledger_refused"),
+				qlog.F("endpoint", endpoint), qlog.F("reason", code),
 				qlog.F("cause", cause.Error()))
 			w.Header().Set("Retry-After", s.limits.retryAfter())
 			s.writeError(w, r, http.StatusServiceUnavailable, apiError{
-				Code: codeLedgerRefused, Message: "ledger refusing spends: " + cause.Error(), Retryable: true,
+				Code: code, Message: msg, Retryable: true,
 			})
 			return
 		}

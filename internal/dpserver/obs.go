@@ -120,15 +120,33 @@ func (s *Server) recoverPanics(h http.HandlerFunc) http.HandlerFunc {
 type ReadyStatus = api.ReadyStatus
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	switch {
+	repl := s.replReadyStatus()
+	var role string
+	if repl != nil {
+		role = repl.Role
+	}
+	switch cause := s.spendRefusal(); {
 	case s.isDraining():
-		writeJSON(w, http.StatusServiceUnavailable, ReadyStatus{Status: "draining"})
-	case s.spendRefusal() != nil:
 		writeJSON(w, http.StatusServiceUnavailable, ReadyStatus{
-			Status: "ledger_refused", Reason: s.spendRefusal().Error(),
+			Status: "draining", Role: role, Repl: repl,
+		})
+	case repl != nil && repl.Role == "follower":
+		// A warm standby: alive and replicating, but not ready for
+		// spending traffic until promoted. The lag field is the
+		// operator's promote-safety signal (0 = fully caught up).
+		writeJSON(w, http.StatusServiceUnavailable, ReadyStatus{
+			Status: "follower", Role: role, Repl: repl,
+			Reason: "read-only standby; POST /v1/admin/promote to take over",
+		})
+	case cause != nil:
+		writeJSON(w, http.StatusServiceUnavailable, ReadyStatus{
+			Status: "ledger_refused", Reason: cause.Error(),
+			Role: role, Repl: repl,
 		})
 	default:
-		writeJSON(w, http.StatusOK, ReadyStatus{Ready: true, Status: "ready"})
+		writeJSON(w, http.StatusOK, ReadyStatus{
+			Ready: true, Status: "ready", Role: role, Repl: repl,
+		})
 	}
 }
 
@@ -162,7 +180,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		AuditEntries:  s.audit.len(),
 		RecentTraces:  s.traces.Len(),
 	}
-	if cause := s.spendRefusal(); cause != nil {
+	// Role-based shedding (follower, quorum) is /readyz's concern;
+	// liveness only flags actual ledger damage.
+	if cause := s.ledgerRefusal(); cause != nil {
 		h.Status = "degraded"
 		h.Degraded = true
 		h.LedgerError = cause.Error()

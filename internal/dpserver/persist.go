@@ -42,11 +42,34 @@ func WithLedger(led *ledger.Ledger) ServerOption {
 	return func(s *Server) { s.ledger = led }
 }
 
-// spendRefusal reports why budget-spending endpoints must shed (the
-// ledger is frozen on corrupt history, or degraded after a runtime
-// journal I/O failure), or nil when spending is possible. Without a
-// ledger there is nothing to refuse.
+// spendRefusal reports why budget-spending endpoints must shed, or
+// nil when spending is possible: the node is a replication follower
+// (read-only until promoted), the primary lacks its synchronous
+// quorum or has been fenced by a newer epoch, or the ledger itself
+// refuses appends (frozen on corrupt history, degraded after a
+// runtime journal I/O failure). Without a ledger there is nothing to
+// refuse.
 func (s *Server) spendRefusal() error {
+	s.replMu.Lock()
+	p, f, closed := s.repl.primary, s.repl.follower, s.repl.closed
+	s.replMu.Unlock()
+	if f != nil {
+		return errNotPrimary
+	}
+	if p != nil {
+		if err := p.SyncGate(); err != nil {
+			return err
+		}
+	} else if closed {
+		return errReplRetired
+	}
+	return s.ledgerRefusal()
+}
+
+// ledgerRefusal is spendRefusal minus the replication role: only the
+// ledger's own frozen/degraded state. Health surfaces use it so a
+// healthy follower does not read as damaged.
+func (s *Server) ledgerRefusal() error {
 	if s.ledger == nil {
 		return nil
 	}
@@ -67,28 +90,7 @@ func (s *Server) restoreFromLedger() {
 		s.event(qlog.Error, "ledger_frozen", qlog.F("cause", cause.Error()))
 		s.degradedNoted.Store(true)
 	}
-	state := led.State()
-
-	entries := make([]AuditEntry, 0, len(state.Audit))
-	for _, rec := range state.Audit {
-		entries = append(entries, AuditEntry{
-			Time: time.Unix(0, rec.Time), Analyst: rec.Analyst,
-			Dataset: rec.Dataset, Query: rec.Query, Epsilon: rec.Epsilon,
-			Charged: rec.Charged, Outcome: rec.Outcome,
-		})
-	}
-	s.audit.restore(entries)
-
-	now := time.Now()
-	for _, rec := range state.Idem {
-		expires := time.Unix(0, rec.Expires)
-		if !expires.After(now) {
-			continue
-		}
-		s.idem.restore(
-			idemKey{endpoint: rec.Endpoint, dataset: rec.Dataset, analyst: rec.Analyst, key: rec.Key},
-			rec.Status, rec.Body, expires)
-	}
+	s.restoreAuditIdem(led.State())
 }
 
 // registerDataset is the ledger half of Add*Trace (callers hold s.mu):
@@ -111,20 +113,21 @@ func (s *Server) registerDataset(name, kind string, policy *core.AnalystPolicy, 
 		}
 		policy.RestoreSpent(ds.Spent, ds.TotalSpent)
 	} else {
-		if err := s.ledger.Append(ledger.Event{
+		if err := s.journalAppend(ledger.Event{
 			Type: ledger.EventDatasetCreated, Dataset: name, Kind: kind,
 			Total:      ledger.EncodeBudget(totalBudget),
 			PerAnalyst: ledger.EncodeBudget(perAnalystBudget),
 		}); err != nil {
-			if s.ledger.Refusing() == nil {
+			if s.ledger.Refusing() == nil && !errors.Is(err, errNotPrimary) {
 				return fmt.Errorf("dpserver: journal dataset registration: %w", err)
 			}
-			// The ledger is frozen or degraded: it cannot journal the
-			// registration, but it also refuses every charge, so
+			// The ledger cannot journal the registration — it is
+			// frozen or degraded, or this node is a follower — but in
+			// every such state it also refuses every charge, so
 			// hosting the dataset keeps the invariant (no ε can move
 			// without a journaled record) while the read-only surface
-			// stays up for the operator diagnosing the ledger. A
-			// healthy restart re-registers and journals normally.
+			// stays up. A healthy restart re-registers and journals
+			// normally; a promoted follower journals it during resync.
 			s.event(qlog.Warn, "registration_unjournaled",
 				qlog.F("dataset", name), qlog.F("kind", kind),
 				qlog.F("error", err.Error()))
@@ -132,7 +135,7 @@ func (s *Server) registerDataset(name, kind string, policy *core.AnalystPolicy, 
 	}
 	policy.SetSpendJournal(
 		func(analyst string, epsilon float64) error {
-			return s.ledger.Append(ledger.Event{
+			return s.journalAppend(ledger.Event{
 				Type: ledger.EventCharge, Dataset: name,
 				Analyst: analyst, Epsilon: epsilon,
 			})
@@ -140,7 +143,7 @@ func (s *Server) registerDataset(name, kind string, policy *core.AnalystPolicy, 
 		func(analyst string, epsilon float64) {
 			// A rollback that fails to journal leaves the ledger
 			// over-counting the spend — conservative, so best-effort.
-			_ = s.ledger.Append(ledger.Event{
+			_ = s.journalAppend(ledger.Event{
 				Type: ledger.EventRollback, Dataset: name,
 				Analyst: analyst, Epsilon: epsilon,
 			})
@@ -158,7 +161,7 @@ func (s *Server) recordAudit(e AuditEntry) {
 		if e.Outcome == "refused" {
 			typ = ledger.EventRefusal
 		}
-		_ = s.ledger.Append(ledger.Event{
+		_ = s.journalAppend(ledger.Event{
 			Type: typ, Dataset: e.Dataset, Analyst: e.Analyst,
 			Query: e.Query, Epsilon: e.Epsilon, Charged: e.Charged,
 			Outcome: e.Outcome,
@@ -173,7 +176,7 @@ func (s *Server) recordIdemReply(k idemKey, status int, body []byte, expires tim
 	if s.ledger == nil {
 		return
 	}
-	_ = s.ledger.Append(ledger.Event{
+	_ = s.journalAppend(ledger.Event{
 		Type: ledger.EventIdemReply, Endpoint: k.endpoint,
 		Dataset: k.dataset, Analyst: k.analyst, Key: k.key,
 		Status: status, Body: body, Expires: expires.UnixNano(),

@@ -183,7 +183,7 @@ func (s *Server) fireStandingWindow(q *standing.Query, w standing.Window) (stand
 	body, _ := json.Marshal(wire)
 	res.Body = body
 	if s.ledger != nil {
-		err := s.ledger.Append(ledger.Event{
+		err := s.journalAppend(ledger.Event{
 			Type: ledger.EventStandingWindow, Dataset: spec.Dataset,
 			Analyst: spec.Analyst, Standing: spec.ID,
 			Window: w.Index, WindowStart: w.Start, Watermark: w.End,
@@ -349,7 +349,7 @@ func (s *Server) executeStandingRegister(d *dataset, name string, req *api.Stand
 		if s.ledger == nil {
 			return nil
 		}
-		return s.ledger.Append(ledger.Event{
+		return s.journalAppend(ledger.Event{
 			Type: ledger.EventStandingRegistered, Dataset: sp.Dataset,
 			Analyst: sp.Analyst, Standing: sp.ID, Query: sp.Kind,
 			Epsilon: sp.Epsilon, Reservation: sp.Reservation,
@@ -397,7 +397,7 @@ func (s *Server) handleStandingCancel(w http.ResponseWriter, r *http.Request) {
 		if s.ledger == nil {
 			return nil
 		}
-		return s.ledger.Append(ledger.Event{
+		return s.journalAppend(ledger.Event{
 			Type: ledger.EventStandingCanceled, Dataset: sp.Dataset,
 			Analyst: sp.Analyst, Standing: sp.ID,
 		})

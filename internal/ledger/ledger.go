@@ -145,6 +145,8 @@ type Ledger struct {
 	closed      bool
 	rec         Recovery
 	now         func() time.Time
+	epoch       uint64
+	commitHook  func(seq uint64, payload []byte)
 
 	metricsMu sync.Mutex
 	metrics   *obs.Registry
@@ -205,6 +207,9 @@ func Open(opts Options) (*Ledger, error) {
 
 	l := &Ledger{dir: opts.Dir, opts: opts, fs: opts.FS, now: now}
 	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	if err := l.loadEpoch(); err != nil {
 		return nil, err
 	}
 	if l.frozen == nil && l.opts.Fsync == FsyncInterval {
@@ -415,6 +420,12 @@ func loadSnapshot(fsys vfs.FS, path string, auditCap int) (*State, error) {
 	if int64(magicSize+n) != int64(len(data)) {
 		return nil, errors.New("trailing bytes after snapshot record")
 	}
+	return decodeSnapshotState(&ev, auditCap)
+}
+
+// decodeSnapshotState folds a decoded snapshot record into a State,
+// normalizing maps JSON may have left nil.
+func decodeSnapshotState(ev *Event, auditCap int) (*State, error) {
 	if ev.Type != "snapshot" {
 		return nil, fmt.Errorf("unexpected record type %q", ev.Type)
 	}
@@ -486,16 +497,23 @@ func (l *Ledger) Refusing() error {
 // ErrDegraded): subsequent Appends refuse immediately without touching
 // the disk.
 func (l *Ledger) Append(ev Event) error {
+	_, err := l.AppendSeq(ev)
+	return err
+}
+
+// AppendSeq is Append, additionally returning the sequence number the
+// event committed at — the handle replication waits on.
+func (l *Ledger) AppendSeq(ev Event) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.frozen != nil {
-		return fmt.Errorf("%w: %v", ErrFrozen, l.frozen)
+		return 0, fmt.Errorf("%w: %v", ErrFrozen, l.frozen)
 	}
 	if l.degraded != nil {
-		return fmt.Errorf("%w: %v", ErrDegraded, l.degraded)
+		return 0, fmt.Errorf("%w: %v", ErrDegraded, l.degraded)
 	}
 	if l.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	ev.Seq = l.state.Seq + 1
 	if ev.Time == 0 {
@@ -503,8 +521,18 @@ func (l *Ledger) Append(ev Event) error {
 	}
 	buf, err := EncodeRecord(nil, &ev)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	if err := l.appendRecordLocked(&ev, buf); err != nil {
+		return 0, err
+	}
+	return ev.Seq, nil
+}
+
+// appendRecordLocked writes one encoded record (buf = header+payload,
+// ev its decoded form with ev.Seq == state.Seq+1), syncs per policy,
+// folds it into state, and fires the commit hook. Must hold l.mu.
+func (l *Ledger) appendRecordLocked(ev *Event, buf []byte) error {
 	if _, err := l.active.WriteAt(buf, l.activeSize); err != nil {
 		// A partial write leaves a torn tail that the next recovery
 		// truncates. Appending past it is NOT safe (a later successful
@@ -523,13 +551,16 @@ func (l *Ledger) Append(ev Event) error {
 		l.dirty = true
 	}
 	l.activeSize += int64(len(buf))
-	if err := l.state.Apply(&ev); err != nil {
+	if err := l.state.Apply(ev); err != nil {
 		// Cannot happen for events this process built; fail closed if
 		// it somehow does.
 		l.frozen = err
 		return err
 	}
 	l.countAppend(ev.Type)
+	if l.commitHook != nil {
+		l.commitHook(ev.Seq, buf[recordHeaderSize:])
+	}
 	l.sinceSnap++
 	if l.opts.SnapshotEvery > 0 && l.sinceSnap >= l.opts.SnapshotEvery {
 		if err := l.snapshotLocked(); err != nil {

@@ -1,0 +1,173 @@
+package repl
+
+// Fault injection on the FOLLOWER's WAL: the replication contract says
+// a follower never acks a seq that is not durable on its own disk, a
+// sick follower fails closed (stops acking, primary lag grows), and a
+// crashed follower resyncs cleanly from its durable position. These
+// tests script vfs.FaultFS faults under FsyncAlways — the production
+// durability policy — and check each of those promises.
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"dptrace/internal/ledger"
+	"dptrace/internal/vfs"
+)
+
+// faultHarness is a primary plus one follower whose ledger runs on a
+// FaultFS, caught up through the seed events.
+type faultHarness struct {
+	pl     *ledger.Ledger
+	addr   string
+	fsys   *vfs.FaultFS
+	fl     *ledger.Ledger
+	f      *Follower
+	dirA   string
+	dirB   string
+	seeded uint64
+}
+
+func newFaultHarness(t *testing.T, charges int) *faultHarness {
+	t.Helper()
+	h := &faultHarness{dirA: t.TempDir(), dirB: t.TempDir()}
+	h.pl = openLedger(t, h.dirA, nil, ledger.FsyncNever, -1)
+	seedDataset(t, h.pl)
+	for i := 0; i < charges; i++ {
+		if err := h.pl.Append(charge("alice", 0.1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.seeded = h.pl.CommittedSeq()
+	_, h.addr = startPrimary(t, h.pl, PrimaryConfig{Name: "p"})
+
+	h.fsys = vfs.NewFaultFS(nil)
+	h.fl = openLedger(t, h.dirB, h.fsys, ledger.FsyncAlways, -1)
+	h.f = startFollower(t, h.fl, FollowerConfig{Primary: h.addr, Name: "f"})
+	waitUntil(t, 5*time.Second, func() bool { return h.f.Applied() == h.seeded }, "seed catch-up")
+	return h
+}
+
+func TestFollowerEIOFailsClosed(t *testing.T) {
+	h := newFaultHarness(t, 3)
+	// The next WAL write returns EIO, sticky: the disk is gone.
+	h.fsys.Inject(vfs.Rule{Op: vfs.OpWrite, Path: "wal-", Err: syscall.EIO, Sticky: true})
+
+	if err := h.pl.Append(charge("bob", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	// The follower must go fatal (degraded ledger), never acking the
+	// event it could not persist.
+	waitUntil(t, 5*time.Second, func() bool { return h.f.Err() != nil }, "follower fatal")
+	if !errors.Is(h.f.Err(), ledger.ErrDegraded) {
+		t.Fatalf("follower err = %v, want ErrDegraded", h.f.Err())
+	}
+	if h.f.Applied() != h.seeded {
+		t.Fatalf("applied advanced to %d past a failed write (seeded %d)", h.f.Applied(), h.seeded)
+	}
+	if h.fl.CommittedSeq() != h.seeded {
+		t.Fatalf("follower ledger at %d, want %d", h.fl.CommittedSeq(), h.seeded)
+	}
+	// The durable common prefix is still byte-identical: the primary
+	// simply has un-replicated tail events.
+	r, err := ledger.Diff(h.dirA, h.dirB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Clean() || r.OnlyA != 1 {
+		t.Fatalf("diff after EIO: clean=%v onlyA=%d", r.Clean(), r.OnlyA)
+	}
+}
+
+func TestFollowerENOSPCOnFsyncNeverAcksUndurable(t *testing.T) {
+	h := newFaultHarness(t, 3)
+	// The write lands but the fsync fails with ENOSPC, sticky. Under
+	// fsyncgate rules the ledger must degrade — the bytes may or may
+	// not be stable, so the seq must never be acked.
+	h.fsys.Inject(vfs.Rule{Op: vfs.OpSync, Path: "wal-", Err: syscall.ENOSPC, Sticky: true})
+
+	if err := h.pl.Append(charge("bob", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 5*time.Second, func() bool { return h.f.Err() != nil }, "follower fatal")
+	if !errors.Is(h.f.Err(), ledger.ErrDegraded) {
+		t.Fatalf("follower err = %v, want ErrDegraded", h.f.Err())
+	}
+	if h.f.Applied() != h.seeded {
+		t.Fatalf("acked seq %d whose fsync failed (seeded %d)", h.f.Applied(), h.seeded)
+	}
+}
+
+func TestFollowerTornWriteCrashAndResync(t *testing.T) {
+	h := newFaultHarness(t, 3)
+	// The record write tears 5 bytes in, then the machine loses power:
+	// the torn bytes were never synced, so the crash truncates them.
+	h.fsys.Inject(vfs.Rule{Op: vfs.OpWrite, Path: "wal-", Err: syscall.EIO, Short: 5})
+
+	if err := h.pl.Append(charge("bob", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 5*time.Second, func() bool { return h.f.Err() != nil }, "follower fatal")
+	if h.f.Applied() != h.seeded {
+		t.Fatalf("acked a torn seq: applied %d, seeded %d", h.f.Applied(), h.seeded)
+	}
+	h.f.Close()
+	h.fl.Close()
+	if err := h.fsys.SimulateCrash(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": reopen on the surviving bytes with a healthy disk.
+	// Recovery sees a clean tail (the torn bytes are gone) and the
+	// follower resyncs from its durable position.
+	fl2 := openLedger(t, h.dirB, nil, ledger.FsyncAlways, -1)
+	if fl2.Recovery().Err != nil {
+		t.Fatalf("recovery after crash: %v", fl2.Recovery().Err)
+	}
+	if fl2.CommittedSeq() != h.seeded {
+		t.Fatalf("recovered seq %d, want %d", fl2.CommittedSeq(), h.seeded)
+	}
+	f2 := startFollower(t, fl2, FollowerConfig{Primary: h.addr, Name: "f"})
+	want := h.pl.CommittedSeq()
+	waitUntil(t, 5*time.Second, func() bool { return f2.Applied() == want }, "resync")
+	assertDiffClean(t, h.dirA, h.dirB)
+}
+
+func TestFollowerCrashBetweenReceiveAndFsync(t *testing.T) {
+	h := newFaultHarness(t, 3)
+	// The record is fully written, then the crash hits DURING the
+	// fsync — the exact window between receiving an event and making
+	// it durable. The ack for that seq must never have been sent, and
+	// the written-but-unsynced bytes must not survive the reboot.
+	h.fsys.Inject(vfs.Rule{Op: vfs.OpSync, Path: "wal-", Crash: true})
+
+	if err := h.pl.Append(charge("bob", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 5*time.Second, func() bool { return h.f.Err() != nil }, "follower fatal")
+	if h.f.Applied() != h.seeded {
+		t.Fatalf("acked an unsynced seq: applied %d, seeded %d", h.f.Applied(), h.seeded)
+	}
+	h.f.Close()
+	h.fl.Close()
+	if err := h.fsys.SimulateCrash(); err != nil {
+		t.Fatal(err)
+	}
+
+	fl2 := openLedger(t, h.dirB, nil, ledger.FsyncAlways, -1)
+	if fl2.Recovery().Err != nil {
+		t.Fatalf("recovery after crash: %v", fl2.Recovery().Err)
+	}
+	// The unsynced record is gone: the follower is exactly at its last
+	// acked position, so the resync re-delivers the lost event instead
+	// of double-applying it.
+	if fl2.CommittedSeq() != h.seeded {
+		t.Fatalf("recovered seq %d, want %d (unsynced record must not survive)", fl2.CommittedSeq(), h.seeded)
+	}
+	f2 := startFollower(t, fl2, FollowerConfig{Primary: h.addr, Name: "f"})
+	want := h.pl.CommittedSeq()
+	waitUntil(t, 5*time.Second, func() bool { return f2.Applied() == want }, "resync")
+	assertDiffClean(t, h.dirA, h.dirB)
+}

@@ -1,0 +1,221 @@
+// Package repl replicates the budget ledger: a primary streams
+// committed WAL records — post-fsync, in seq order — to followers
+// over a length-prefixed TCP protocol, and each follower writes them
+// verbatim into its own durable WAL (byte-identical segments, same
+// refusal boundary on replay) while keeping a warm in-memory policy
+// state. See DESIGN.md §S35 for the replication contract.
+//
+// Wire protocol. Each side writes an 8-byte magic ("dprepl1\n") at
+// connection start, then CRC-framed messages:
+//
+//	uint32  frame length (kind byte + payload)
+//	uint32  CRC32C (Castagnoli) of kind + payload
+//	byte    kind
+//	[]byte  payload
+//
+// Kinds: 'S' subscribe (follower→primary: name, fencing epoch, last
+// applied seq + its payload CRC), 'P' publish (primary→follower:
+// epoch, committed seq, snapshot-coming flag), 'N' snapshot (raw
+// ledger snapshot record payload), 'E' event (raw ledger record
+// payload, exactly the bytes in the primary's WAL), 'A' ack
+// (follower→primary: highest durably-applied seq, cumulative), 'H'
+// heartbeat (primary→follower: committed seq + epoch; the follower
+// answers with an ack so both directions detect dead peers), 'X'
+// error (terminal, with a machine-readable code).
+//
+// Fencing: the subscribe/publish exchange carries each side's durable
+// epoch. A primary that sees a higher epoch than its own has been
+// deposed — it fences itself (refusing all further spends); a
+// follower that sees a lower epoch than its own refuses to follow.
+// Promotion bumps the follower's epoch durably before it accepts its
+// first spend, so a deposed primary's late appends can never land on
+// anyone who has seen the new regime.
+package repl
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const magic = "dprepl1\n"
+
+const (
+	kindSub       = 'S'
+	kindPub       = 'P'
+	kindSnapshot  = 'N'
+	kindEvent     = 'E'
+	kindAck       = 'A'
+	kindHeartbeat = 'H'
+	kindError     = 'X'
+)
+
+// maxFrameSize bounds one frame: a ledger record (≤16 MiB) plus
+// envelope slack. Larger prefixes are corruption, not data.
+const maxFrameSize = 17 << 20
+
+const frameHeaderSize = 8
+
+var frameCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Terminal protocol errors.
+var (
+	// ErrFenced means a higher fencing epoch exists: this node has
+	// been deposed and must stop accepting spends.
+	ErrFenced = errors.New("repl: fenced by a higher epoch")
+	// ErrDiverged means the two ledgers hold different bytes for the
+	// same seq — histories forked, replication refuses to paper over
+	// it. Run dpledger diff and re-seed the bad side.
+	ErrDiverged = errors.New("repl: ledger histories diverged")
+	// ErrBehind means the follower's position has been compacted away
+	// on the primary and the follower is not empty, so it cannot take
+	// a snapshot without discarding history. Re-seed it from an empty
+	// directory.
+	ErrBehind = errors.New("repl: follower behind the primary's compaction horizon")
+	// ErrNoQuorum means fewer followers are connected than MinSync
+	// requires; spends are refused before journaling (fail closed).
+	ErrNoQuorum = errors.New("repl: not enough connected followers")
+	// ErrAckTimeout means the local append committed but the required
+	// follower acks did not arrive in time. The event IS durable on
+	// the primary — treat the spend as charged (conservative: the
+	// same direction as a post-write fsync failure).
+	ErrAckTimeout = errors.New("repl: follower ack timeout (event journaled locally)")
+	// ErrClosed refuses appends on a closed Primary: the node has
+	// retired from the role and must not silently fall back to
+	// unreplicated spending.
+	ErrClosed = errors.New("repl: primary closed")
+)
+
+// subRequest is the follower's handshake.
+type subRequest struct {
+	Name    string `json:"name"`
+	Epoch   uint64 `json:"epoch"`
+	LastSeq uint64 `json:"lastSeq"`
+	// LastCRC is the CRC32C of the record payload at LastSeq; the
+	// primary re-verifies it against its own bytes to catch forked
+	// histories before streaming a single event.
+	LastCRC uint32 `json:"lastCRC,omitempty"`
+}
+
+// pubReply is the primary's handshake answer.
+type pubReply struct {
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+	// Snapshot announces an 'N' frame before the event stream: the
+	// follower is empty and behind the compaction horizon.
+	Snapshot bool `json:"snapshot,omitempty"`
+}
+
+// ackMsg carries the follower's cumulative durable position.
+type ackMsg struct {
+	Seq uint64 `json:"seq"`
+}
+
+// heartbeatMsg keeps lag fresh and detects dead peers while idle.
+type heartbeatMsg struct {
+	Seq   uint64 `json:"seq"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// errMsg is a terminal 'X' frame.
+type errMsg struct {
+	Code    string `json:"code"` // fenced | diverged | behind | corrupt | internal
+	Message string `json:"message"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+}
+
+// toError maps an errMsg to the package-level error values.
+func (m errMsg) toError() error {
+	switch m.Code {
+	case "fenced":
+		return fmt.Errorf("%w (epoch %d): %s", ErrFenced, m.Epoch, m.Message)
+	case "diverged":
+		return fmt.Errorf("%w: %s", ErrDiverged, m.Message)
+	case "behind":
+		return fmt.Errorf("%w: %s", ErrBehind, m.Message)
+	default:
+		return fmt.Errorf("repl: peer error %s: %s", m.Code, m.Message)
+	}
+}
+
+// writeMagic/readMagic exchange the protocol preamble.
+func writeMagic(w io.Writer) error {
+	_, err := w.Write([]byte(magic))
+	return err
+}
+
+func readMagic(r io.Reader) error {
+	var buf [len(magic)]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return fmt.Errorf("repl: read magic: %w", err)
+	}
+	if string(buf[:]) != magic {
+		return fmt.Errorf("repl: bad magic %q", buf[:])
+	}
+	return nil
+}
+
+// writeFrame writes one frame. Callers own buffering and deadlines.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	n := 1 + len(payload)
+	if n > maxFrameSize {
+		return fmt.Errorf("repl: frame too large (%d bytes)", n)
+	}
+	hdr := make([]byte, frameHeaderSize+1)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	crc := crc32.Checksum([]byte{kind}, frameCRC)
+	crc = crc32.Update(crc, frameCRC, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	hdr[8] = kind
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeJSONFrame marshals v and writes it as one frame of the given
+// kind.
+func writeJSONFrame(w io.Writer, kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, kind, payload)
+}
+
+// readFrame reads one frame, verifying length sanity and CRC.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n < 1 || n > maxFrameSize {
+		return 0, nil, fmt.Errorf("repl: implausible frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("repl: short frame: %w", err)
+	}
+	if got, want := crc32.Checksum(body, frameCRC), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+		return 0, nil, fmt.Errorf("repl: frame checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return body[0], body[1:], nil
+}
+
+// decodeJSON unmarshals a frame payload.
+func decodeJSON(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("repl: decode frame: %w", err)
+	}
+	return nil
+}
+
+// sendError best-effort writes a terminal 'X' frame.
+func sendError(w io.Writer, code, message string, epoch uint64) {
+	_ = writeJSONFrame(w, kindError, errMsg{Code: code, Message: message, Epoch: epoch})
+}

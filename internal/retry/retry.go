@@ -1,0 +1,80 @@
+// Package retry is the shared capped-exponential-backoff policy used
+// by everything in this repo that re-dials or re-sends: the analyst
+// client retrying shed queries and the replication follower re-dialing
+// its primary. Centralizing it keeps the jitter discipline uniform —
+// every reconnect storm in the fleet decorrelates the same way.
+package retry
+
+import (
+	"context"
+	"crypto/rand"
+	"math/big"
+	"time"
+)
+
+// Policy controls retry pacing: exponential backoff from BaseBackoff,
+// doubling per attempt, capped at MaxBackoff, spread by ±Jitter.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first attempt
+	// included). Values below 1 behave as 1. Loops that retry forever
+	// (e.g. a replication follower) ignore it and use Backoff alone.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each subsequent
+	// retry doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter spreads each delay uniformly over ±Jitter fraction
+	// (e.g. 0.2 → 80%..120% of the computed backoff).
+	Jitter float64
+}
+
+// Backoff computes the pre-jitter delay for retry i (0-based). The cap
+// also catches shift overflow (d <= 0).
+func (p Policy) Backoff(i int) time.Duration {
+	d := p.BaseBackoff << uint(i)
+	if p.MaxBackoff > 0 && (d > p.MaxBackoff || d <= 0) {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// Jittered spreads d over ±Jitter using crypto randomness (callers
+// have no seeded-determinism contract, and crypto/rand avoids seeding
+// concerns in concurrent users).
+func (p Policy) Jittered(d time.Duration) time.Duration {
+	if p.Jitter <= 0 || d <= 0 {
+		return d
+	}
+	span := int64(float64(d) * p.Jitter * 2)
+	if span <= 0 {
+		return d
+	}
+	n, err := rand.Int(rand.Reader, big.NewInt(span))
+	if err != nil {
+		return d
+	}
+	return d - time.Duration(span/2) + time.Duration(n.Int64())
+}
+
+// Delay is the jittered backoff for retry i — the value callers
+// actually sleep.
+func (p Policy) Delay(i int) time.Duration {
+	return p.Jittered(p.Backoff(i))
+}
+
+// Sleep waits Delay(i) or until ctx is done, returning ctx.Err() in
+// the latter case.
+func (p Policy) Sleep(ctx context.Context, i int) error {
+	d := p.Delay(i)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

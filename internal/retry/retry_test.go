@@ -1,0 +1,50 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := Policy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 2 * time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second, 2 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Shift overflow must land on the cap, not go negative.
+	if got := p.Backoff(62); got != 2*time.Second {
+		t.Errorf("Backoff(62) = %v, want cap", got)
+	}
+}
+
+func TestJitteredBounds(t *testing.T) {
+	p := Policy{Jitter: 0.2}
+	d := time.Second
+	for i := 0; i < 100; i++ {
+		got := p.Jittered(d)
+		if got < 800*time.Millisecond || got > 1200*time.Millisecond {
+			t.Fatalf("Jittered(%v) = %v outside ±20%%", d, got)
+		}
+	}
+	if got := (Policy{}).Jittered(d); got != d {
+		t.Errorf("zero jitter changed the delay: %v", got)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	p := Policy{BaseBackoff: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	if err := (Policy{}).Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero-delay Sleep = %v", err)
+	}
+}
